@@ -1,0 +1,131 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index), plus a Bechamel
+   microbenchmark of host-level wrapper overhead.
+
+   Usage:  dune exec bench/main.exe [-- experiment ...]
+   Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
+                ulfm reprored ablation micro all (default: all) *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+(* ---------------- Bechamel microbenchmarks ---------------- *)
+
+(* Host wall-clock of whole simulated operations: the KaMPIng wrapper layer
+   (buffers, records, optional arguments) must not add measurable cost over
+   calling the simulated MPI layer directly. *)
+let micro_tests () =
+  let open Bechamel in
+  let ranks = 8 in
+  let plain_allgatherv () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let r = Mpisim.Comm.rank comm and p = Mpisim.Comm.size comm in
+        let rc = Array.make p 0 in
+        Mpisim.Collectives.allgather comm D.int ~sendbuf:[| r + 1 |] ~recvbuf:rc ~count:1;
+        let rd = Array.make p 0 in
+        for i = 1 to p - 1 do
+          rd.(i) <- rd.(i - 1) + rc.(i - 1)
+        done;
+        let out = Array.make (rd.(p - 1) + rc.(p - 1)) 0 in
+        Mpisim.Collectives.allgatherv comm D.int ~sendbuf:(Array.make (r + 1) r) ~scount:(r + 1)
+          ~recvbuf:out ~rcounts:rc ~rdispls:rd)
+  in
+  let kamping_allgatherv () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let kc = K.wrap comm in
+        ignore (K.allgatherv kc D.int ~send_buf:(V.make (K.rank kc + 1) (K.rank kc))))
+  in
+  let kamping_counts_given () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let kc = K.wrap comm in
+        let counts = Array.init ranks (fun i -> i + 1) in
+        ignore
+          (K.allgatherv ~recv_counts:counts kc D.int ~send_buf:(V.make (K.rank kc + 1) (K.rank kc))))
+  in
+  let serde_payload = List.init 1000 (fun i -> i) in
+  let serde_codec = Serde.Codec.(list int) in
+  let serde_bytes = Serde.Codec.encode serde_codec serde_payload in
+  [
+    Test.make ~name:"sim: hand-rolled allgatherv (8 ranks)" (Staged.stage plain_allgatherv);
+    Test.make ~name:"sim: kamping allgatherv, defaults" (Staged.stage kamping_allgatherv);
+    Test.make ~name:"sim: kamping allgatherv, counts given" (Staged.stage kamping_counts_given);
+    Test.make ~name:"serde: encode 1000 ints"
+      (Staged.stage (fun () -> Serde.Codec.encode serde_codec serde_payload));
+    Test.make ~name:"serde: decode 1000 ints"
+      (Staged.stage (fun () -> Serde.Codec.decode serde_codec serde_bytes));
+    Test.make ~name:"vec: push 1000"
+      (Staged.stage (fun () ->
+           let v = Ds.Vec.create () in
+           for i = 1 to 1000 do
+             Ds.Vec.push v i
+           done));
+  ]
+
+let microbench () =
+  let open Bechamel in
+  Printf.printf "\n== Bechamel microbenchmarks (host wall-clock per run) ==\n%!";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | Some [] | None -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-50s %12.1f ns/run\n" name ns)
+    (List.sort compare !rows);
+  (* the wrapper-overhead claim at host level *)
+  let ends_with key (name, _) =
+    String.length name >= String.length key
+    && String.sub name (String.length name - String.length key) (String.length key) = key
+  in
+  let find key = List.find_opt (ends_with key) !rows in
+  match (find "hand-rolled allgatherv (8 ranks)", find "kamping allgatherv, defaults") with
+  | Some (_, plain), Some (_, kamping) ->
+      Printf.printf "  kamping-vs-plain host overhead: %+.1f%%\n"
+        (100.0 *. ((kamping /. plain) -. 1.0))
+  | _ -> ()
+
+(* ---------------- dispatch ---------------- *)
+
+let experiments =
+  [
+    ("table1", Experiments.Loc_table.run);
+    ("fig8", Experiments.Fig8_sort.run);
+    ("fig10", Experiments.Fig10_bfs.run);
+    ("types", Experiments.Types_bench.run);
+    ("overhead", Experiments.Overhead.run);
+    ("suffix", Experiments.Suffix_exp.run);
+    ("labelprop", Experiments.Labelprop_exp.run);
+    ("raxml", Experiments.Raxml_exp.run);
+    ("ulfm", Experiments.Ulfm_exp.run);
+    ("reprored", Experiments.Reprored_exp.run);
+    ("ablation", Experiments.Ablation.run);
+    ("micro", microbench);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: args when args <> [] && args <> [ "all" ] -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+          Printf.printf "\n######## %s ########\n%!" name;
+          run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested;
+  print_newline ()

@@ -1,0 +1,194 @@
+(* Command-line driver: run individual applications or paper experiments on
+   the simulated machine with custom parameters.
+
+   Examples:
+     dune exec bin/kamping_cli.exe -- sort --ranks 32 --n 10000
+     dune exec bin/kamping_cli.exe -- bfs --ranks 16 --family rgg2d --strategy grid
+     dune exec bin/kamping_cli.exe -- suffix --ranks 8 --n 2000
+     dune exec bin/kamping_cli.exe -- experiment fig10 *)
+
+open Cmdliner
+
+let ranks_arg =
+  Arg.(value & opt int 8 & info [ "p"; "ranks" ] ~docv:"P" ~doc:"Number of simulated MPI ranks.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+(* ------------- sort ------------- *)
+
+let sort_cmd =
+  let n_arg =
+    Arg.(value & opt int 10_000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Elements per rank.")
+  in
+  let binding_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mpi", `Mpi); ("kamping", `Kamping); ("boost", `Boost); ("rwth", `Rwth); ("mpl", `Mpl) ]) `Kamping
+      & info [ "binding" ] ~docv:"BINDING" ~doc:"Binding style: mpi|kamping|boost|rwth|mpl.")
+  in
+  let run ranks n seed binding =
+    let sorter =
+      match binding with
+      | `Mpi -> Apps.Ss_mpi.sort
+      | `Kamping -> Apps.Ss_kamping.sort
+      | `Boost -> Apps.Ss_boost.sort
+      | `Rwth -> Apps.Ss_rwth.sort
+      | `Mpl -> Apps.Ss_mpl.sort
+    in
+    let res =
+      Mpisim.Mpi.run ~ranks (fun comm ->
+          let data =
+            Apps.Ss_common.generate_input ~rank:(Mpisim.Comm.rank comm) ~n_per_rank:n ~seed
+          in
+          let t0 = Mpisim.Comm.now comm in
+          let out = sorter comm data in
+          (Array.length out, Mpisim.Comm.now comm -. t0))
+    in
+    let parts = Mpisim.Mpi.results_exn res in
+    let total = Array.fold_left (fun acc (k, _) -> acc + k) 0 parts in
+    let time = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
+    Printf.printf "sorted %d integers on %d ranks in %.3f ms simulated (%d events)\n" total ranks
+      (1e3 *. time) res.Mpisim.Mpi.events
+  in
+  Cmd.v (Cmd.info "sort" ~doc:"Distributed sample sort.")
+    Term.(const run $ ranks_arg $ n_arg $ seed_arg $ binding_arg)
+
+(* ------------- bfs ------------- *)
+
+let bfs_cmd =
+  let n_arg =
+    Arg.(value & opt int 1024 & info [ "n"; "count" ] ~docv:"N" ~doc:"Vertices per rank.")
+  in
+  let degree_arg =
+    Arg.(value & opt int 8 & info [ "degree" ] ~docv:"D" ~doc:"Average vertex degree.")
+  in
+  let family_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("erdos-renyi", Graphgen.Generators.Erdos_renyi); ("rgg2d", Graphgen.Generators.Rgg2d);
+               ("rhg", Graphgen.Generators.Rhg) ])
+          Graphgen.Generators.Erdos_renyi
+      & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family: erdos-renyi|rgg2d|rhg.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("mpi", `Mpi); ("kamping", `Kamping); ("mpl", `Mpl); ("sparse", `Sparse);
+               ("grid", `Grid); ("hypergrid3", `Hypergrid3); ("neighbor", `Neighbor);
+               ("neighbor-dyn", `NeighborDyn) ])
+          `Kamping
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Frontier exchange: mpi|kamping|mpl|sparse|grid|hypergrid3|neighbor|neighbor-dyn.")
+  in
+  let run ranks n seed degree family strategy =
+    let bfs =
+      match strategy with
+      | `Mpi -> Apps.Bfs_mpi.bfs
+      | `Kamping -> Apps.Bfs_kamping.bfs
+      | `Mpl -> Apps.Bfs_mpl.bfs
+      | `Sparse -> Apps.Bfs_strategies.bfs_sparse
+      | `Grid -> Apps.Bfs_strategies.bfs_grid
+      | `Hypergrid3 ->
+          fun comm graph ~src ->
+            let kc = Kamping.Comm.wrap comm in
+            let hg = Kamping_plugins.Hypergrid.create kc ~ndims:3 in
+            let exchange (st : Apps.Bfs_common.state) remote =
+              let p = Mpisim.Comm.size st.Apps.Bfs_common.comm in
+              let data, send_counts = Apps.Bfs_common.flatten_buckets p remote in
+              fst (Kamping_plugins.Hypergrid.alltoallv hg Mpisim.Datatype.int ~send_buf:data ~send_counts)
+            in
+            let all_empty (st : Apps.Bfs_common.state) empty =
+              Kamping.Comm.allreduce_single
+                (Kamping.Comm.wrap st.Apps.Bfs_common.comm)
+                Mpisim.Datatype.bool Mpisim.Op.bool_and empty
+            in
+            Apps.Bfs_common.run (Apps.Bfs_common.init comm graph src) ~exchange ~all_empty
+      | `Neighbor -> Apps.Bfs_strategies.bfs_neighbor
+      | `NeighborDyn -> Apps.Bfs_strategies.bfs_neighbor_dynamic
+    in
+    let global_n = ranks * n in
+    let res =
+      Mpisim.Mpi.run ~ranks (fun comm ->
+          let graph =
+            Graphgen.Generators.generate family ~rank:(Mpisim.Comm.rank comm) ~comm_size:ranks
+              ~global_n ~avg_degree:degree ~seed
+          in
+          let t0 = Mpisim.Comm.now comm in
+          let dist = bfs comm graph ~src:0 in
+          (dist, Mpisim.Comm.now comm -. t0))
+    in
+    let parts = Mpisim.Mpi.results_exn res in
+    let dist = Array.concat (List.map fst (Array.to_list parts)) in
+    let time = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
+    let reached =
+      Array.fold_left (fun acc d -> if d <> Apps.Bfs_common.undef then acc + 1 else acc) 0 dist
+    in
+    Printf.printf "reached %d/%d vertices in %.3f ms simulated\n" reached global_n (1e3 *. time)
+  in
+  Cmd.v (Cmd.info "bfs" ~doc:"Distributed breadth-first search.")
+    Term.(const run $ ranks_arg $ n_arg $ seed_arg $ degree_arg $ family_arg $ strategy_arg)
+
+(* ------------- suffix ------------- *)
+
+let suffix_cmd =
+  let n_arg = Arg.(value & opt int 2000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Text length.") in
+  let run ranks n seed =
+    let text = Experiments.Suffix_exp.random_text ~n ~sigma:4 ~seed in
+    let sa, seconds = Experiments.Suffix_exp.build_distributed text ranks in
+    let ok = sa = Apps.Suffix_array.naive_suffix_array text in
+    Printf.printf "suffix array of %d chars on %d ranks: %.3f ms simulated, correct: %b\n" n ranks
+      (1e3 *. seconds) ok
+  in
+  Cmd.v (Cmd.info "suffix" ~doc:"Distributed suffix array construction (prefix doubling).")
+    Term.(const run $ ranks_arg $ n_arg $ seed_arg)
+
+(* ------------- experiment ------------- *)
+
+let experiment_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Experiment to run: table1, fig8, fig10, types, overhead, suffix, labelprop, raxml, \
+             ulfm, reprored.")
+  in
+  let run name =
+    let experiments =
+      [
+        ("table1", Experiments.Loc_table.run);
+        ("fig8", Experiments.Fig8_sort.run);
+        ("fig10", Experiments.Fig10_bfs.run);
+        ("types", Experiments.Types_bench.run);
+        ("overhead", Experiments.Overhead.run);
+        ("suffix", Experiments.Suffix_exp.run);
+        ("labelprop", Experiments.Labelprop_exp.run);
+        ("raxml", Experiments.Raxml_exp.run);
+        ("ulfm", Experiments.Ulfm_exp.run);
+        ("reprored", Experiments.Reprored_exp.run);
+        ("ablation", Experiments.Ablation.run);
+      ]
+    in
+    match List.assoc_opt name experiments with
+    | Some f ->
+        f ();
+        `Ok ()
+    | None -> `Error (false, Printf.sprintf "unknown experiment %s" name)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Re-run one of the paper's tables/figures.")
+    Term.(ret (const run $ which_arg))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "kamping_cli" ~version:"1.0"
+      ~doc:"KaMPIng-OCaml: flexible message-passing bindings on a simulated MPI machine."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ sort_cmd; bfs_cmd; suffix_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/bfs_example.ml: Apps Array Float Graphgen List Mpisim Printf

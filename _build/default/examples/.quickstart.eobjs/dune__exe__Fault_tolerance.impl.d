@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Array Kamping Kamping_plugins Mpisim Printf Simnet

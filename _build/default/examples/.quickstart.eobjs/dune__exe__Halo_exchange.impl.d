@@ -1,0 +1,1 @@
+examples/halo_exchange.ml: Array Ds Format Kamping Kamping_plugins List Mpisim Printf

@@ -1,0 +1,1 @@
+examples/halo_exchange.mli:

@@ -1,0 +1,1 @@
+examples/nonblocking_safety.ml: Ds Kamping List Mpisim Printf String

@@ -1,0 +1,1 @@
+examples/one_sided.ml: Array List Mpisim Printf Simnet String

@@ -1,0 +1,1 @@
+examples/one_sided.mli:

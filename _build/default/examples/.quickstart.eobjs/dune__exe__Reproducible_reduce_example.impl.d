@@ -1,0 +1,1 @@
+examples/reproducible_reduce_example.ml: Array Ds Kamping Kamping_plugins List Mpisim Printf

@@ -1,0 +1,1 @@
+examples/sample_sort_example.ml: Apps Array Mpisim Printf

@@ -1,0 +1,1 @@
+examples/serialization_example.ml: Kamping List Mpisim Printf Serde String

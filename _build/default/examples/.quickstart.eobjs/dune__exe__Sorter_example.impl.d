@@ -1,0 +1,1 @@
+examples/sorter_example.ml: Ds Kamping Kamping_plugins Mpisim Printf Simnet

@@ -1,0 +1,1 @@
+examples/vector_allgather.ml: Array Ds Kamping List Mpisim Printf

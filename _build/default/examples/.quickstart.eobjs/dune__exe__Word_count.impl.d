@@ -1,0 +1,1 @@
+examples/word_count.ml: Array Ds Hashtbl Kamping Kamping_plugins List Mpisim Option Printf Serde String

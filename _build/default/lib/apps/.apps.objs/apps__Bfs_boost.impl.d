@@ -1,0 +1,1 @@
+lib/apps/bfs_boost.ml: Array Bfs_common Bindings Ds List Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/bfs_boost.mli: Graphgen Mpisim

@@ -1,0 +1,1 @@
+lib/apps/bfs_common.ml: Array Ds Graphgen Hashtbl Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/apps/bfs_common.mli: Ds Graphgen Hashtbl Mpisim

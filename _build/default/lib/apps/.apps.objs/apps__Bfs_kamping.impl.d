@@ -1,0 +1,1 @@
+lib/apps/bfs_kamping.ml: Bfs_common Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/apps/bfs_kamping.mli: Graphgen Mpisim

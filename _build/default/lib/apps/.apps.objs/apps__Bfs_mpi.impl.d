@@ -1,0 +1,1 @@
+lib/apps/bfs_mpi.ml: Array Bfs_common Ds Mpisim

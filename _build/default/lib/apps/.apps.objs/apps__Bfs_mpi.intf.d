@@ -1,0 +1,1 @@
+lib/apps/bfs_mpi.mli: Graphgen Mpisim

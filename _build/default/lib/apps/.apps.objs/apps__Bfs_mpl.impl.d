@@ -1,0 +1,1 @@
+lib/apps/bfs_mpl.ml: Array Bfs_common Bindings Ds Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/bfs_mpl.mli: Graphgen Mpisim

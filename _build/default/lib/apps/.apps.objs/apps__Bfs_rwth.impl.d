@@ -1,0 +1,1 @@
+lib/apps/bfs_rwth.ml: Array Bfs_common Bindings Ds Mpisim Ss_common

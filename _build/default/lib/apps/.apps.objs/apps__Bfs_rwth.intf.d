@@ -1,0 +1,1 @@
+lib/apps/bfs_rwth.mli: Graphgen Mpisim

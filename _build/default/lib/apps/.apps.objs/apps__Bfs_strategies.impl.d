@@ -1,0 +1,1 @@
+lib/apps/bfs_strategies.ml: Array Bfs_common Ds Graphgen Hashtbl Kamping Kamping_plugins List Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/bfs_strategies.mli: Graphgen Mpisim

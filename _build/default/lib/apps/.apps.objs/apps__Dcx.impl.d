@@ -1,0 +1,1 @@
+lib/apps/dcx.ml: Array Char Dist_util Ds Fun Kamping Kamping_plugins Mpisim

@@ -1,0 +1,1 @@
+lib/apps/dcx.mli: Kamping

@@ -1,0 +1,1 @@
+lib/apps/dist_util.ml: Array Ds Graphgen Hashtbl Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/apps/dist_util.mli: Ds Kamping Mpisim

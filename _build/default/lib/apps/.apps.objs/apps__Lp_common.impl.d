@@ -1,0 +1,1 @@
+lib/apps/lp_common.ml: Array Graphgen Hashtbl Kamping List Mpisim Ss_common

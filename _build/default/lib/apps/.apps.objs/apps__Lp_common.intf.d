@@ -1,0 +1,1 @@
+lib/apps/lp_common.mli: Graphgen Hashtbl Mpisim

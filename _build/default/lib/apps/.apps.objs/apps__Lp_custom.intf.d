@@ -1,0 +1,1 @@
+lib/apps/lp_custom.mli: Graphgen Mpisim

@@ -1,0 +1,1 @@
+lib/apps/lp_kamping.ml: Array Ds Kamping Lp_common Mpisim

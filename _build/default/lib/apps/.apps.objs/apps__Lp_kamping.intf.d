@@ -1,0 +1,1 @@
+lib/apps/lp_kamping.mli: Graphgen Lp_common Mpisim

@@ -1,0 +1,1 @@
+lib/apps/lp_mpi.ml: Array Lp_common Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/lp_mpi.mli: Graphgen Lp_common Mpisim

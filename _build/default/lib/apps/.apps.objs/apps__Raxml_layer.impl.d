@@ -1,0 +1,1 @@
+lib/apps/raxml_layer.ml: Array Bytes Float Int64 Kamping Mpisim Serde Simnet

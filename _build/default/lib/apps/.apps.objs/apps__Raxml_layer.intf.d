@@ -1,0 +1,1 @@
+lib/apps/raxml_layer.mli: Mpisim Serde

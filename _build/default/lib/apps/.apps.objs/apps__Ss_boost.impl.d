@@ -1,0 +1,1 @@
+lib/apps/ss_boost.ml: Array Bindings List Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/ss_common.ml: Array Int64 Kamping Mpisim Simnet

@@ -1,0 +1,1 @@
+lib/apps/ss_common.mli: Mpisim

@@ -1,0 +1,1 @@
+lib/apps/ss_kamping.ml: Array Ds Kamping Mpisim Ss_common

@@ -1,0 +1,1 @@
+lib/apps/ss_mpi.ml: Array Mpisim Ss_common

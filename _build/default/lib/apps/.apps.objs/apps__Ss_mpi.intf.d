@@ -1,0 +1,1 @@
+lib/apps/ss_mpi.mli: Mpisim

@@ -1,0 +1,1 @@
+lib/apps/ss_mpl.ml: Array Bindings Mpisim Ss_common

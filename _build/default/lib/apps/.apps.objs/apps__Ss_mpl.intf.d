@@ -1,0 +1,1 @@
+lib/apps/ss_mpl.mli: Mpisim

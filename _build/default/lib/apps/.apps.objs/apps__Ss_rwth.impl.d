@@ -1,0 +1,1 @@
+lib/apps/ss_rwth.ml: Array Bindings Mpisim Ss_common

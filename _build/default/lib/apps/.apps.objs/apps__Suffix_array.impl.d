@@ -1,0 +1,1 @@
+lib/apps/suffix_array.ml: Array Char Ds Fun Graphgen Hashtbl Kamping Kamping_plugins Mpisim String

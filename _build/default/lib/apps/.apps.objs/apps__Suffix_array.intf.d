@@ -1,0 +1,1 @@
+lib/apps/suffix_array.mli: Mpisim

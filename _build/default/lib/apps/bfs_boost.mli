@@ -1,0 +1,6 @@
+(** BFS frontier exchange against the Boost.MPI style (no alltoallv: the
+    payload travels point-to-point). *)
+
+(** [bfs comm graph ~src] returns the hop distances of this rank's local
+    vertices. *)
+val bfs : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array

@@ -1,0 +1,98 @@
+(* Shared, binding-agnostic parts of the distributed BFS (paper Sec. IV-B,
+   Fig. 9): frontier expansion and distance bookkeeping.  The binding
+   variants differ only in the frontier exchange and termination check. *)
+
+module V = Ds.Vec
+module G = Graphgen.Distgraph
+
+let undef = max_int
+
+type state = {
+  comm : Mpisim.Comm.t;
+  graph : G.t;
+  dist : int array;  (* per local vertex *)
+  mutable frontier : int V.t;  (* global ids, all local *)
+  mutable level : int;
+}
+
+let init comm graph src =
+  let dist = Array.make (max graph.G.local_n 1) undef in
+  let frontier = V.create () in
+  if G.is_local graph src then begin
+    dist.(G.local_of_global graph src) <- 0;
+    V.push frontier src
+  end;
+  { comm; graph; dist; frontier; level = 0 }
+
+(* Walk the frontier's edges: newly discovered local vertices go straight
+   into the next local frontier; remote candidates are bucketed by owner
+   rank.  Returns the bucket table for the exchange step. *)
+let expand st =
+  let g = st.graph in
+  let next_local = V.create () in
+  let remote : (int, int V.t) Hashtbl.t = Hashtbl.create 8 in
+  let bucket o =
+    match Hashtbl.find_opt remote o with
+    | Some v -> v
+    | None ->
+        let v = V.create () in
+        Hashtbl.add remote o v;
+        v
+  in
+  let edges = ref 0 in
+  V.iter
+    (fun v ->
+      let i = G.local_of_global g v in
+      G.iter_neighbors g i (fun u ->
+          incr edges;
+          if G.is_local g u then begin
+            let j = G.local_of_global g u in
+            if st.dist.(j) = undef then begin
+              st.dist.(j) <- st.level + 1;
+              V.push next_local u
+            end
+          end
+          else V.push (bucket (G.owner g u)) u))
+    st.frontier;
+  Mpisim.Comm.compute st.comm (Kamping.Costs.per_edge !edges);
+  (next_local, remote)
+
+(* Merge exchanged candidates into the next frontier. *)
+let absorb st next_local received =
+  let g = st.graph in
+  let frontier = next_local in
+  V.iter
+    (fun u ->
+      let j = G.local_of_global g u in
+      if st.dist.(j) = undef then begin
+        st.dist.(j) <- st.level + 1;
+        V.push frontier u
+      end)
+    received;
+  Mpisim.Comm.compute st.comm (Kamping.Costs.hash_ops (V.length received));
+  st.frontier <- frontier;
+  st.level <- st.level + 1
+
+(* The generic level loop, parameterized by the exchange strategy and the
+   global-termination test. *)
+let run st ~exchange ~all_empty =
+  while not (all_empty st (V.is_empty st.frontier)) do
+    let next_local, remote = expand st in
+    let received = exchange st remote in
+    absorb st next_local received
+  done;
+  st.dist
+
+(* Flatten a bucket table into (data, counts) for alltoallv-style
+   exchanges — the boilerplate KaMPIng's with_flattened removes. *)
+let flatten_buckets p remote =
+  let counts = Array.make p 0 in
+  let data = V.create () in
+  for d = 0 to p - 1 do
+    match Hashtbl.find_opt remote d with
+    | Some v ->
+        counts.(d) <- V.length v;
+        V.append data v
+    | None -> ()
+  done;
+  (data, counts)

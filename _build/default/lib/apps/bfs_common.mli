@@ -1,0 +1,39 @@
+(** Shared, binding-agnostic pieces of the distributed BFS (paper
+    Sec. IV-B, Fig. 9): distance bookkeeping, frontier expansion and the
+    generic level loop.  Binding variants plug in only the frontier
+    exchange and the termination check. *)
+
+(** Distance value of unreached vertices. *)
+val undef : int
+
+type state = {
+  comm : Mpisim.Comm.t;
+  graph : Graphgen.Distgraph.t;
+  dist : int array;  (** per local vertex *)
+  mutable frontier : int Ds.Vec.t;  (** current frontier, global ids *)
+  mutable level : int;
+}
+
+(** [init comm graph src] seeds the search at global vertex [src]. *)
+val init : Mpisim.Comm.t -> Graphgen.Distgraph.t -> int -> state
+
+(** [expand st] walks the frontier's edges: newly found local vertices join
+    the next frontier immediately; remote candidates come back bucketed by
+    owner rank. *)
+val expand : state -> int Ds.Vec.t * (int, int Ds.Vec.t) Hashtbl.t
+
+(** [absorb st next_local received] merges exchanged candidates and
+    advances the level. *)
+val absorb : state -> int Ds.Vec.t -> int Ds.Vec.t -> unit
+
+(** [run st ~exchange ~all_empty] drives levels until every rank's frontier
+    is empty; returns the distance array. *)
+val run :
+  state ->
+  exchange:(state -> (int, int Ds.Vec.t) Hashtbl.t -> int Ds.Vec.t) ->
+  all_empty:(state -> bool -> bool) ->
+  int array
+
+(** [flatten_buckets p buckets] lays the buckets out contiguously in rank
+    order — the boilerplate [with_flattened] removes. *)
+val flatten_buckets : int -> (int, int Ds.Vec.t) Hashtbl.t -> int Ds.Vec.t * int array

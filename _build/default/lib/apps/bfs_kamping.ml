@@ -1,0 +1,17 @@
+(* BFS frontier exchange with KaMPIng (paper Fig. 9): with_flattened plus
+   a one-line alltoallv, and allreduce_single for the termination test. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+
+let all_empty (st : Bfs_common.state) empty =
+  K.allreduce_single (K.wrap st.Bfs_common.comm) D.bool Mpisim.Op.bool_and empty
+
+let exchange (st : Bfs_common.state) remote =
+  let kc = K.wrap st.Bfs_common.comm in
+  let flat = Kamping.Flatten.flatten ~comm_size:(K.size kc) remote in
+  (K.alltoallv_flat kc D.int flat).K.recv_buf
+
+let bfs comm graph ~src =
+  let st = Bfs_common.init comm graph src in
+  Bfs_common.run st ~exchange ~all_empty

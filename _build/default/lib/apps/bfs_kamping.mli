@@ -1,0 +1,6 @@
+(** BFS frontier exchange with KaMPIng (paper Fig. 9): with_flattened plus
+    a one-line alltoallv. *)
+
+(** [bfs comm graph ~src] returns the hop distances of this rank's local
+    vertices. *)
+val bfs : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array

@@ -1,0 +1,35 @@
+(* BFS frontier exchange against the plain MPI interface — the 46-LoC
+   baseline of Table I. *)
+
+module C = Mpisim.Collectives
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let all_empty (st : Bfs_common.state) empty =
+  let out = Array.make 1 false in
+  C.allreduce st.Bfs_common.comm D.bool Mpisim.Op.bool_and ~sendbuf:[| empty |] ~recvbuf:out
+    ~count:1;
+  out.(0)
+
+let exchange (st : Bfs_common.state) remote =
+  let comm = st.Bfs_common.comm in
+  let p = Mpisim.Comm.size comm in
+  let data, scounts = Bfs_common.flatten_buckets p remote in
+  let sdispls = Array.make p 0 in
+  for i = 1 to p - 1 do
+    sdispls.(i) <- sdispls.(i - 1) + scounts.(i - 1)
+  done;
+  let rcounts = Array.make p 0 in
+  C.alltoall comm D.int ~sendbuf:scounts ~recvbuf:rcounts ~count:1;
+  let rdispls = Array.make p 0 in
+  for i = 1 to p - 1 do
+    rdispls.(i) <- rdispls.(i - 1) + rcounts.(i - 1)
+  done;
+  let total = rdispls.(p - 1) + rcounts.(p - 1) in
+  let recvbuf = Array.make (max total 1) 0 in
+  C.alltoallv comm D.int ~sendbuf:(V.unsafe_data data) ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls;
+  V.unsafe_of_array recvbuf total
+
+let bfs comm graph ~src =
+  let st = Bfs_common.init comm graph src in
+  Bfs_common.run st ~exchange ~all_empty

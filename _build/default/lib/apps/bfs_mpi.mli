@@ -1,0 +1,6 @@
+(** BFS frontier exchange against plain MPI — the 46-LoC-role baseline of
+    Table I. *)
+
+(** [bfs comm graph ~src] returns the hop distances of this rank's local
+    vertices. *)
+val bfs : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array

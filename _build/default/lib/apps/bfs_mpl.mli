@@ -1,0 +1,7 @@
+(** BFS frontier exchange against the MPL style; the exchange rides the
+    Alltoallw path, which is why MPL is slower on every graph family in
+    Fig. 10. *)
+
+(** [bfs comm graph ~src] returns the hop distances of this rank's local
+    vertices. *)
+val bfs : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array

@@ -1,0 +1,17 @@
+(** BFS with the alternative all-to-all strategies of Fig. 10 (paper
+    Sec. V-A). *)
+
+(** NBX sparse all-to-all: message cost proportional to actual partners. *)
+val bfs_sparse : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array
+
+(** Two-hop grid routing: O(sqrt p) message start-ups per exchange. *)
+val bfs_grid : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array
+
+(** MPI-3 neighborhood collectives over the static rank-adjacency graph,
+    built once. *)
+val bfs_neighbor : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array
+
+(** Neighborhood collectives with the topology rebuilt before every level
+    — models dynamic communication patterns, where the setup cost stops the
+    approach from scaling. *)
+val bfs_neighbor_dynamic : Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array

@@ -1,0 +1,165 @@
+(* Distributed suffix-array construction with DC3 (the DCX algorithm of
+   Kärkkäinen-Sanders-Burkhardt for X = 3; paper Sec. IV-A, compared
+   against pDCX).
+
+   All arrays are block-distributed.  One level works as follows:
+   1. fetch the two following characters for every local position
+      (alltoallv with locally derivable counts);
+   2. sort the (3-gram, position) tuples of the sample positions
+      (i mod 3 <> 0) with the sorter plugin and name them densely;
+   3. if names collide, build the recursive text (names arranged as all
+      i=1 mod 3 positions followed by all i=2 mod 3 positions), recurse on
+      it, and turn its suffix array into unique sample ranks — including
+      the canonical dummy sample at position n when n = 1 (mod 3), which
+      keeps the recursive comparisons aligned (Karkkainen-Sanders);
+   4. fetch sample ranks at i+1 and i+2 for every local position and sort
+      {e all} suffixes with the standard DC3 comparator (rank-rank for two
+      samples; char/rank comparisons otherwise);
+   5. the sorted order is the suffix array; route it back to the block
+      owners.
+
+   The recursion bottoms out by gathering tiny subproblems on rank 0. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+module U = Dist_util
+
+let dt_sample = D.pair (D.triple D.int D.int D.int) D.int
+let dt_merge = D.pair (D.triple D.int D.int D.int) (D.triple D.int D.int D.int)
+
+(* Sequential suffix sort for the recursion's base case. *)
+let sequential_sa (text : int array) =
+  let n = Array.length text in
+  let idx = Array.init n Fun.id in
+  let rec cmp a b =
+    if a >= n && b >= n then 0
+    else if a >= n then -1
+    else if b >= n then 1
+    else if text.(a) <> text.(b) then compare text.(a) text.(b)
+    else cmp (a + 1) (b + 1)
+  in
+  Array.sort cmp idx;
+  idx
+
+(* The DC3 merge comparator over (i, c_i, c_i+1) x (rank_i, rank_i+1,
+   rank_i+2) tuples; ranks are 1-based at sample positions and 0 at
+   non-sample or out-of-range positions. *)
+let dc3_compare ((i1, a0, a1), (ra0, ra1, ra2)) ((i2, b0, b1), (rb0, rb1, rb2)) =
+  if i1 = i2 then 0
+  else begin
+    let m1 = i1 mod 3 and m2 = i2 mod 3 in
+    if m1 <> 0 && m2 <> 0 then compare ra0 rb0
+    else if m1 = 0 && m2 = 0 then compare (a0, ra1, i1) (b0, rb1, i2)
+    else begin
+      let mixed (c0, c1, r1, r2, m) (d0, d1, s1, s2, mo) =
+        ignore mo;
+        (* nonsample on the left, sample (m = 1 or 2) on the right *)
+        if m = 1 then compare (c0, r1) (d0, s1) else compare (c0, c1, r2) (d0, d1, s2)
+      in
+      if m1 = 0 then mixed (a0, a1, ra1, ra2, m2) (b0, b1, rb1, rb2, m1)
+      else -mixed (b0, b1, rb1, rb2, m1) (a0, a1, ra1, ra2, m2)
+    end
+  end
+
+let rec build_ints comm (text : int array) ~n =
+  let p = K.size comm and r = K.rank comm in
+  let first, local_n = U.block_of ~n ~p r in
+  if n <= max 64 (3 * p) then begin
+    (* base case: solve sequentially on rank 0 *)
+    let whole =
+      (K.gatherv comm D.int ~send_buf:(V.unsafe_of_array (Array.sub text 0 local_n) local_n))
+        .K.recv_buf
+    in
+    let sa = if r = 0 then sequential_sa (V.to_array whole) else [||] in
+    if r = 0 then K.compute comm (Kamping.Costs.sort n);
+    let counts = Array.init p (fun t -> snd (U.block_of ~n ~p t)) in
+    let mine =
+      K.scatterv
+        ?send_buf:(if r = 0 then Some (V.unsafe_of_array sa n) else None)
+        ?send_counts:(if r = 0 then Some counts else None)
+        ~recv_count:local_n comm D.int
+    in
+    V.to_array mine
+  end
+  else begin
+    let c1 = U.fetch_shifted comm ~n ~k:1 ~fill:0 D.int text in
+    let c2 = U.fetch_shifted comm ~n ~k:2 ~fill:0 D.int text in
+    (* 2. sort and name the sample 3-grams.  When n = 1 (mod 3), the
+       canonical dummy sample at position n (triple (0,0,0)) joins the
+       1-mod block so the recursive string compares correctly. *)
+    let dummy = n mod 3 = 1 in
+    let samples = V.create () in
+    for j = 0 to local_n - 1 do
+      let i = first + j in
+      if i mod 3 <> 0 then V.push samples ((text.(j), c1.(j), c2.(j)), i)
+    done;
+    if dummy && r = p - 1 then V.push samples ((0, 0, 0), n);
+    let sorted = Kamping_plugins.Sorter.sort ~seed:0xdc3 comm dt_sample ~cmp:compare samples in
+    let keys = V.map fst sorted in
+    let names, distinct, _ =
+      U.dense_ranks comm (D.triple D.int D.int D.int)
+        ~eq:(fun a b -> a = b)
+        ~none:(-2, -2, -2) keys
+    in
+    let n1 = ((n + 1) / 3) + (if dummy then 1 else 0) and n2 = n / 3 in
+    let nr = n1 + n2 in
+    let rec_index i = if i mod 3 = 1 then (i - 1) / 3 else n1 + ((i - 2) / 3) in
+    let sample_rank_pairs =
+      if distinct = nr then begin
+        (* all names unique: they already are the sample ranks *)
+        let pairs = V.create () in
+        V.iteri (fun j (_, i) -> V.push pairs (i, names.(j) + 1)) sorted;
+        pairs
+      end
+      else begin
+        (* 3. recurse on the name string *)
+        let name_pairs = V.create () in
+        V.iteri (fun j (_, i) -> V.push name_pairs (rec_index i, names.(j) + 1)) sorted;
+        let routed = U.route comm ~n:nr D.int name_pairs in
+        let rfirst, rlocal = U.block_of ~n:nr ~p r in
+        let rec_text = Array.make (max rlocal 1) 0 in
+        V.iter (fun (j, name) -> rec_text.(j - rfirst) <- name) routed;
+        let sa_r = build_ints comm rec_text ~n:nr in
+        (* invert: rank of rec position sa_r.(j) is its global SA slot *)
+        let isa_pairs = V.init rlocal (fun j -> (sa_r.(j), rfirst + j + 1)) in
+        let routed = U.route comm ~n:nr D.int isa_pairs in
+        (* translate rec indices back to text positions *)
+        let pairs = V.create () in
+        V.iter
+          (fun (j, rank) ->
+            let i = if j < n1 then (3 * j) + 1 else (3 * (j - n1)) + 2 in
+            V.push pairs (i, rank))
+          routed;
+        pairs
+      end
+    in
+    (* 4. scatter sample ranks to the block layout (the dummy at position n
+       is dropped), fetch shifted ranks *)
+    let real_pairs = V.create () in
+    V.iter (fun ((i, _) as pair) -> if i < n then V.push real_pairs pair) sample_rank_pairs;
+    let rank12 = Array.make (max local_n 1) 0 in
+    V.iter (fun (i, rank) -> rank12.(i - first) <- rank) (U.route comm ~n D.int real_pairs);
+    let r1 = U.fetch_shifted comm ~n ~k:1 ~fill:0 D.int rank12 in
+    let r2 = U.fetch_shifted comm ~n ~k:2 ~fill:0 D.int rank12 in
+    let merge_tuples =
+      V.init local_n (fun j ->
+          ((first + j, text.(j), c1.(j)), (rank12.(j), r1.(j), r2.(j))))
+    in
+    let order = Kamping_plugins.Sorter.sort ~seed:0xdcc comm dt_merge ~cmp:dc3_compare merge_tuples in
+    (* 5. sorted position -> suffix index, routed to block owners *)
+    let offset = K.exscan_single ~init:0 comm D.int Mpisim.Op.int_sum (V.length order) in
+    let sa_pairs = V.init (V.length order) (fun j -> (offset + j, fst3 (V.get order j))) in
+    let sa = Array.make (max local_n 1) 0 in
+    V.iter (fun (g, i) -> sa.(g - first) <- i) (U.route comm ~n D.int sa_pairs);
+    Array.sub sa 0 local_n
+  end
+
+and fst3 ((i, _, _), _) = i
+
+(* Public entry point: text as characters, block-distributed.  Characters
+   shift to 1-based codes so 0 can serve as the past-the-end sentinel. *)
+let build comm ~text ~global_n =
+  let ints = Array.map (fun c -> Char.code c + 1) text in
+  let padded = if Array.length ints = 0 then [| 0 |] else ints in
+  build_ints comm padded ~n:global_n

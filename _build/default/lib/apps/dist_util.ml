@@ -1,0 +1,100 @@
+(* Utilities for block-distributed global arrays, shared by the text-index
+   algorithms (prefix doubling, DCX): shifted fetches, value routing by
+   index owner, and dense ranking of a globally sorted sequence.  All
+   exchanges derive their counts from the block layout, so the underlying
+   alltoallv calls run on KaMPIng's zero-overhead path where possible. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let block_of ~n ~p r = Graphgen.Distgraph.block_range ~global_n:n ~comm_size:p r
+
+let owner_of ~n ~p q =
+  let base = n / p and extra = n mod p in
+  if base = 0 then min q (p - 1)
+  else begin
+    let boundary = extra * (base + 1) in
+    if q < boundary then q / (base + 1) else extra + ((q - boundary) / base)
+  end
+
+(* [fetch_shifted comm ~n ~k ~fill dt local] — [local] is this rank's block
+   of a global n-element array; the result holds the elements k positions
+   ahead ([fill] past the end).  Counts are computed locally on both
+   sides. *)
+let fetch_shifted comm ~n ~k ~fill dt (local : 'a array) =
+  let p = K.size comm and r = K.rank comm in
+  let first, local_n = block_of ~n ~p r in
+  let send_counts = Array.make p 0 in
+  let recv_counts = Array.make p 0 in
+  for t = 0 to p - 1 do
+    let tf, tl = block_of ~n ~p t in
+    let lo = max (tf + k) first and hi = min (tf + tl + k) (first + local_n) in
+    if hi > lo then send_counts.(t) <- hi - lo;
+    let lo = max (first + k) tf and hi = min (first + local_n + k) (tf + tl) in
+    if hi > lo then recv_counts.(t) <- hi - lo
+  done;
+  let send_buf = V.create () in
+  for t = 0 to p - 1 do
+    let tf, tl = block_of ~n ~p t in
+    let lo = max (tf + k) first and hi = min (tf + tl + k) (first + local_n) in
+    for q = lo to hi - 1 do
+      V.push send_buf local.(q - first)
+    done
+  done;
+  let res = K.alltoallv ~recv_counts comm dt ~send_buf ~send_counts in
+  let shifted = Array.make (max local_n 1) fill in
+  V.iteri (fun i x -> shifted.(i) <- x) res.K.recv_buf;
+  shifted
+
+(* [route comm ~n dt pairs] delivers each [(index, value)] pair to the rank
+   owning [index] in the block layout of an n-element array. *)
+let route comm ~n dt (pairs : (int * 'v) V.t) =
+  let p = K.size comm in
+  let buckets : (int, (int * 'v) V.t) Hashtbl.t = Hashtbl.create 8 in
+  V.iter
+    (fun ((idx, _) as pair) ->
+      let o = owner_of ~n ~p idx in
+      match Hashtbl.find_opt buckets o with
+      | Some b -> V.push b pair
+      | None -> Hashtbl.add buckets o (V.of_list [ pair ]))
+    pairs;
+  let flat = Kamping.Flatten.flatten ~comm_size:p buckets in
+  (K.alltoallv_flat comm (D.pair D.int dt) flat).K.recv_buf
+
+(* Pass each slice's last element along the rank chain (empty slices
+   forward what they received) so cross-boundary comparisons work. *)
+let chain_last comm dt ~none (items : 'k V.t) =
+  let p = K.size comm and r = K.rank comm in
+  let prev = if r > 0 then V.get (K.recv ~count:1 comm dt ~src:(r - 1)) 0 else none in
+  let mine = if V.is_empty items then prev else V.get items (V.length items - 1) in
+  if r < p - 1 then K.send comm dt ~send_buf:(V.of_list [ mine ]) ~dst:(r + 1);
+  prev
+
+(* [dense_ranks comm dt ~eq ~none keys] — [keys] is this rank's slice of a
+   globally sorted sequence; returns [(ranks, total_distinct, my_offset)]
+   where [ranks.(j)] is the 0-based dense rank of element j (equal keys
+   share a rank), [total_distinct] counts distinct keys globally, and
+   [my_offset] is the global position of this slice's first element. *)
+let dense_ranks comm dt ~eq ~none (keys : 'k V.t) =
+  let m = V.length keys in
+  let prev = chain_last comm dt ~none keys in
+  let flags = Array.make (max m 1) 0 in
+  let last = ref prev in
+  for j = 0 to m - 1 do
+    let k = V.get keys j in
+    if not (eq k !last) then flags.(j) <- 1;
+    last := k
+  done;
+  K.compute comm (Kamping.Costs.linear m);
+  let local_sum = Array.fold_left ( + ) 0 flags in
+  let flags_before = K.exscan_single ~init:0 comm D.int Mpisim.Op.int_sum local_sum in
+  let total_distinct = K.allreduce_single comm D.int Mpisim.Op.int_sum local_sum in
+  let my_offset = K.exscan_single ~init:0 comm D.int Mpisim.Op.int_sum m in
+  let ranks = Array.make (max m 1) 0 in
+  let acc = ref flags_before in
+  for j = 0 to m - 1 do
+    acc := !acc + flags.(j);
+    ranks.(j) <- !acc - 1
+  done;
+  (ranks, total_distinct, my_offset)

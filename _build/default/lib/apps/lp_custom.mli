@@ -1,0 +1,5 @@
+(** Label propagation ghost pull through a dKaMinPar-style bespoke layer:
+    tersest use site (106-LoC role), at the cost of owning the layer. *)
+
+val run :
+  Mpisim.Comm.t -> Graphgen.Distgraph.t -> iterations:int -> max_cluster_size:int -> int array

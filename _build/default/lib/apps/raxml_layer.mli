@@ -1,0 +1,36 @@
+(** The RAxML-NG integration benchmark (paper Sec. IV-C, Fig. 11): the
+    hand-written serialize+broadcast abstraction layer ("before") against
+    the KaMPIng one-liner ("after"), driven by a synthetic likelihood
+    search at the original MPI call rate. *)
+
+(** The model state travelling between workers. *)
+type model = { branch_lengths : float array; alpha : float; logl : float }
+
+(** Serde codec of {!model} (the role of RAxML's BinaryStream). *)
+val model_codec : model Serde.Codec.t
+
+(** [make_model ~taxa ~seed] builds a deterministic pseudo-model. *)
+val make_model : taxa:int -> seed:int -> model
+
+(** The original hand-written layer: serialize into a scratch buffer,
+    broadcast the size, broadcast the bytes (Fig. 11 top). *)
+module Before : sig
+  type t
+
+  val create : Mpisim.Comm.t -> t
+  val mpi_broadcast : t -> root:int -> model -> model
+end
+
+(** The same functionality as one KaMPIng call (Fig. 11 bottom). *)
+module After : sig
+  type t
+
+  val create : Mpisim.Comm.t -> t
+  val mpi_broadcast : t -> root:int -> model -> model
+end
+
+type stats = { iterations : int; final_logl : float; sim_seconds : float }
+
+(** [search ~variant ~iterations ~taxa comm] runs the synthetic likelihood
+    search with the chosen abstraction layer. *)
+val search : variant:[ `Before | `After ] -> iterations:int -> taxa:int -> Mpisim.Comm.t -> stats

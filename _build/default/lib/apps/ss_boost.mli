@@ -1,0 +1,7 @@
+(** Sample sort against the Boost.MPI style.  Boost has no
+    [MPI_Alltoallv] binding (paper Sec. II), so the bucket exchange is a
+    hand-written point-to-point pattern. *)
+
+(** [sort comm data] returns this rank's slice of the globally sorted
+    multiset formed by all ranks' inputs. *)
+val sort : Mpisim.Comm.t -> int array -> int array

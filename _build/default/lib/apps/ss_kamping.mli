@@ -1,0 +1,6 @@
+(** Sample sort with KaMPIng (paper Fig. 7): collectives collapse to
+    one-liners with inferred counts and results returned by value. *)
+
+(** [sort comm data] returns this rank's slice of the globally sorted
+    multiset formed by all ranks' inputs. *)
+val sort : Mpisim.Comm.t -> int array -> int array

@@ -1,0 +1,6 @@
+(** Sample sort against the plain (C-style) MPI interface — the verbose
+    baseline of Table I and Fig. 8. *)
+
+(** [sort comm data] returns this rank's slice of the globally sorted
+    multiset formed by all ranks' inputs. *)
+val sort : Mpisim.Comm.t -> int array -> int array

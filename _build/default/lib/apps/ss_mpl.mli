@@ -1,0 +1,6 @@
+(** Sample sort against the MPL style: explicit layout objects everywhere
+    and the variable-size exchange on MPL's Alltoallw path. *)
+
+(** [sort comm data] returns this rank's slice of the globally sorted
+    multiset formed by all ranks' inputs. *)
+val sort : Mpisim.Comm.t -> int array -> int array

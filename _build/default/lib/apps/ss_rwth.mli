@@ -1,0 +1,6 @@
+(** Sample sort against the RWTH-MPI style: convenience overloads for the
+    regular collectives, C-style mirroring for alltoallv. *)
+
+(** [sort comm data] returns this rank's slice of the globally sorted
+    multiset formed by all ranks' inputs. *)
+val sort : Mpisim.Comm.t -> int array -> int array

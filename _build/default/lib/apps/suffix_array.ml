@@ -1,0 +1,152 @@
+(* Distributed suffix-array construction by prefix doubling (paper
+   Sec. IV-A, Manber-Myers): suffixes are ranked by their first k
+   characters; each round fetches the rank of the suffix k positions ahead,
+   sorts the (rank, rank+k) pairs globally with the sorter plugin and
+   re-ranks, doubling k until all ranks are distinct.
+
+   The text and all arrays are block-distributed; every exchange computes
+   its counts locally (block layout), so KaMPIng's alltoallv runs on its
+   zero-overhead path. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let block_range ~n ~p r = Graphgen.Distgraph.block_range ~global_n:n ~comm_size:p r
+
+let owner_of ~n ~p q =
+  let base = n / p and extra = n mod p in
+  if base = 0 then min q (p - 1)
+  else begin
+    let boundary = extra * (base + 1) in
+    if q < boundary then q / (base + 1) else extra + ((q - boundary) / base)
+  end
+
+(* Fetch R[q + k] for every local q (0 beyond the end): both sides of the
+   exchange derive their counts from the block layout alone. *)
+let fetch_shifted kc ~n ~p ~first ~local_n ~k (ranks : int array) =
+  let send_counts = Array.make p 0 in
+  let recv_counts = Array.make p 0 in
+  for t = 0 to p - 1 do
+    let tf, tl = block_range ~n ~p t in
+    (* rank t needs positions [tf+k, tf+tl+k) ∩ [0,n); I own [first, first+local_n) *)
+    let lo = max (tf + k) first and hi = min (tf + tl + k) (first + local_n) in
+    if hi > lo then send_counts.(t) <- hi - lo;
+    (* symmetric: what I need from t *)
+    let lo = max (first + k) tf and hi = min (first + local_n + k) (tf + tl) in
+    if hi > lo then recv_counts.(t) <- hi - lo
+  done;
+  let send_buf = V.create () in
+  for t = 0 to p - 1 do
+    let tf, tl = block_range ~n ~p t in
+    let lo = max (tf + k) first and hi = min (tf + tl + k) (first + local_n) in
+    for q = lo to hi - 1 do
+      V.push send_buf ranks.(q - first)
+    done
+  done;
+  let res = K.alltoallv ~recv_counts kc D.int ~send_buf ~send_counts in
+  (* received values are R[first+k .. first+local_n+k) clipped at n;
+     positions beyond the text rank as -1, strictly below every dense
+     rank, so shorter suffixes sort first *)
+  let shifted = Array.make (max local_n 1) (-1) in
+  let got = res.K.recv_buf in
+  for i = 0 to V.length got - 1 do
+    shifted.(i) <- V.get got i
+  done;
+  shifted
+
+(* Pass each slice's last sort key along the rank chain so re-ranking can
+   compare across slice boundaries. *)
+let boundary_key kc (tuples : (int * int * int) V.t) =
+  let p = K.size kc and r = K.rank kc in
+  let dt = D.pair D.int D.int in
+  let none = (min_int, min_int) in
+  let prev = if r > 0 then V.get (K.recv ~count:1 kc dt ~src:(r - 1)) 0 else none in
+  let mine =
+    if V.is_empty tuples then prev
+    else begin
+      let a, b, _ = V.get tuples (V.length tuples - 1) in
+      (a, b)
+    end
+  in
+  if r < p - 1 then K.send kc dt ~send_buf:(V.of_list [ mine ]) ~dst:(r + 1);
+  prev
+
+let build comm ~text ~global_n =
+  let kc = K.wrap comm in
+  let p = K.size kc and r = K.rank kc in
+  let n = global_n in
+  let first, local_n = block_range ~n ~p r in
+  let dt3 = D.triple D.int D.int D.int in
+  let ranks = ref (Array.init (max local_n 1) (fun i -> if i < local_n then Char.code text.(i) else 0)) in
+  let sa = Array.make (max local_n 1) 0 in
+  let k = ref 1 in
+  let finished = ref false in
+  while not !finished do
+    let shifted = fetch_shifted kc ~n ~p ~first ~local_n ~k:!k !ranks in
+    let tuples =
+      V.init local_n (fun i -> ((!ranks).(i), shifted.(i), first + i))
+    in
+    let cmp (a1, b1, i1) (a2, b2, i2) = compare (a1, b1, i1) (a2, b2, i2) in
+    let sorted = Kamping_plugins.Sorter.sort ~seed:(0x54 + !k) kc dt3 ~cmp tuples in
+    (* dense re-ranking: rank = number of distinct keys before the tuple *)
+    let m = V.length sorted in
+    let prev_key = boundary_key kc sorted in
+    let flags = Array.make (max m 1) 0 in
+    let last = ref prev_key in
+    for j = 0 to m - 1 do
+      let a, b, _ = V.get sorted j in
+      if (a, b) <> !last then flags.(j) <- 1;
+      last := (a, b)
+    done;
+    K.compute kc (Kamping.Costs.linear m);
+    let local_flag_sum = Array.fold_left ( + ) 0 flags in
+    let flags_before = K.exscan_single ~init:0 kc D.int Mpisim.Op.int_sum local_flag_sum in
+    let total_distinct = K.allreduce_single kc D.int Mpisim.Op.int_sum local_flag_sum in
+    let offset = K.exscan_single ~init:0 kc D.int Mpisim.Op.int_sum m in
+    (* route results back to the owner of each suffix index *)
+    let out : (int, (int * int) V.t) Hashtbl.t = Hashtbl.create 8 in
+    let bucket o =
+      match Hashtbl.find_opt out o with
+      | Some v -> v
+      | None ->
+          let v = V.create () in
+          Hashtbl.add out o v;
+          v
+    in
+    if total_distinct = n then begin
+      (* done: sorted position g holds suffix i -> SA[g] = i *)
+      for j = 0 to m - 1 do
+        let _, _, i = V.get sorted j in
+        let g = offset + j in
+        V.push (bucket (owner_of ~n ~p g)) (g, i)
+      done;
+      let flat = Kamping.Flatten.flatten ~comm_size:p out in
+      let res = K.alltoallv_flat kc (D.pair D.int D.int) flat in
+      V.iter (fun (g, i) -> sa.(g - first) <- i) res.K.recv_buf;
+      finished := true
+    end
+    else begin
+      (* new rank of suffix i = dense id of its key *)
+      let acc = ref flags_before in
+      for j = 0 to m - 1 do
+        acc := !acc + flags.(j);
+        let _, _, i = V.get sorted j in
+        V.push (bucket (owner_of ~n ~p i)) (i, !acc - 1)
+      done;
+      let flat = Kamping.Flatten.flatten ~comm_size:p out in
+      let res = K.alltoallv_flat kc (D.pair D.int D.int) flat in
+      V.iter (fun (i, rk) -> (!ranks).(i - first) <- rk) res.K.recv_buf;
+      k := !k * 2;
+      if !k > 2 * n then Mpisim.Errors.usage "prefix doubling failed to converge"
+    end
+  done;
+  Array.sub sa 0 local_n
+
+(* Sequential reference for testing: O(n^2 log n) direct suffix sort. *)
+let naive_suffix_array text =
+  let n = String.length text in
+  let suffix i = String.sub text i (n - i) in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (suffix a) (suffix b)) idx;
+  idx

@@ -1,0 +1,11 @@
+(** Distributed suffix-array construction by prefix doubling (paper
+    Sec. IV-A; Manber-Myers).  The KaMPIng implementation is the paper's
+    163-LoC-role artifact (vs. 426 LoC for plain MPI). *)
+
+(** [build comm ~text ~global_n] computes this rank's block of the suffix
+    array of the block-distributed [text]. *)
+val build : Mpisim.Comm.t -> text:char array -> global_n:int -> int array
+
+(** [naive_suffix_array text] is the O(n^2 log n) sequential reference used
+    by the tests. *)
+val naive_suffix_array : string -> int array

@@ -1,0 +1,1 @@
+lib/bindings/boost_mpi.ml: Array Bytes Mpisim Serde

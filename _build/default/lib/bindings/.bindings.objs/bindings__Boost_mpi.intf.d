@@ -1,0 +1,1 @@
+lib/bindings/boost_mpi.mli: Mpisim Serde

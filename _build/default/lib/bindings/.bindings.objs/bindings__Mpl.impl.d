@@ -1,0 +1,1 @@
+lib/bindings/mpl.ml: Array Mpisim

@@ -1,0 +1,1 @@
+lib/bindings/mpl.mli: Mpisim

@@ -1,0 +1,1 @@
+lib/bindings/rwth_mpi.ml: Array Mpisim

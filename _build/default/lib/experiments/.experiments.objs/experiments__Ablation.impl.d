@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Apps Array Ds Float Graphgen Kamping Kamping_plugins List Mpisim Printf Simnet Table_fmt

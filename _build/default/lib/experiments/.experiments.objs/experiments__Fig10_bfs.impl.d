@@ -1,0 +1,1 @@
+lib/experiments/fig10_bfs.ml: Apps Array Float Graphgen List Mpisim Printf Table_fmt

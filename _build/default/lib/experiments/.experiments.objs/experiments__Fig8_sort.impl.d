@@ -1,0 +1,1 @@
+lib/experiments/fig8_sort.ml: Apps Array Float List Mpisim Printf Table_fmt

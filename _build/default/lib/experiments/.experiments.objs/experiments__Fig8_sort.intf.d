@@ -1,0 +1,1 @@
+lib/experiments/fig8_sort.mli:

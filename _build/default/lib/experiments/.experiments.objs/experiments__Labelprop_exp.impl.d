@@ -1,0 +1,1 @@
+lib/experiments/labelprop_exp.ml: Apps Array Filename Float Graphgen Hashtbl List Loc_table Mpisim Printf Table_fmt

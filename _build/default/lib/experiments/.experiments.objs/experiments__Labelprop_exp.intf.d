@@ -1,0 +1,1 @@
+lib/experiments/labelprop_exp.mli:

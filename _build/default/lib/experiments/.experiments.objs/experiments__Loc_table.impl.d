@@ -1,0 +1,1 @@
+lib/experiments/loc_table.ml: Buffer Filename List Printf String Sys Table_fmt

@@ -1,0 +1,1 @@
+lib/experiments/loc_table.mli:

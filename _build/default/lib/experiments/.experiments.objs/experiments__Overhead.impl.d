@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Apps Array Ds Float Kamping List Mpisim Printf String Table_fmt

@@ -1,0 +1,1 @@
+lib/experiments/raxml_exp.ml: Apps Array Float Mpisim Printf Table_fmt

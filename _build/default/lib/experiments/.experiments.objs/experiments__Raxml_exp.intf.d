@@ -1,0 +1,1 @@
+lib/experiments/raxml_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/reprored_exp.ml: Array Ds Float Int64 Kamping Kamping_plugins List Mpisim Printf Table_fmt

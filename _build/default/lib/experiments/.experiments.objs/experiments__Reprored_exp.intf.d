@@ -1,0 +1,1 @@
+lib/experiments/reprored_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/suffix_exp.ml: Apps Array Char Filename Float Graphgen Int64 Kamping List Loc_table Mpisim Printf Simnet String Table_fmt

@@ -1,0 +1,1 @@
+lib/experiments/suffix_exp.mli:

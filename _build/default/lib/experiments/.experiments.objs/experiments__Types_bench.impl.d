@@ -1,0 +1,1 @@
+lib/experiments/types_bench.ml: Array Bytes Char Ds Float Int64 Kamping List Mpisim Printf Serde Table_fmt

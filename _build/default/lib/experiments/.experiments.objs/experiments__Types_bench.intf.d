@@ -1,0 +1,1 @@
+lib/experiments/types_bench.mli:

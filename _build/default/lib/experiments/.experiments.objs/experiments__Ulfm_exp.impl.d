@@ -1,0 +1,1 @@
+lib/experiments/ulfm_exp.ml: Array Kamping Kamping_plugins List Mpisim Printf Table_fmt

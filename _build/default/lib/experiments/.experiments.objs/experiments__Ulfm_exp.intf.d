@@ -1,0 +1,1 @@
+lib/experiments/ulfm_exp.mli:

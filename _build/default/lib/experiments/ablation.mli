@@ -1,0 +1,5 @@
+(** Ablation studies: network-latency sensitivity of the grid plugin, the
+    indirection-dimension sweep (Sec. VI future work), the NBX poll
+    interval, sample-sort oversampling, and assertion-level costs. *)
+
+val run : unit -> unit

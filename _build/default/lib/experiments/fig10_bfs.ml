@@ -1,0 +1,99 @@
+(* Fig. 10: BFS weak scaling across graph families and frontier-exchange
+   strategies.  Paper setup: 2^12 vertices and 2^15 edges per rank on three
+   families; we scale down to 2^10 vertices / ~2^13 edges per rank.
+   Expected shape: kamping == mpi; MPL slowest everywhere; grid best on RHG
+   (and good on Erdos-Renyi); sparse near neighborhood collectives and best
+   where locality is high (RGG); rebuilding the topology every level
+   (neighbor-dyn) does not scale. *)
+
+module Gen = Graphgen.Generators
+
+type point = { family : string; strategy : string; ranks : int; seconds : float }
+
+let strategies : (string * (Mpisim.Comm.t -> Graphgen.Distgraph.t -> src:int -> int array)) list =
+  [
+    ("mpi", Apps.Bfs_mpi.bfs);
+    ("kamping", Apps.Bfs_kamping.bfs);
+    ("mpl", Apps.Bfs_mpl.bfs);
+    ("sparse", Apps.Bfs_strategies.bfs_sparse);
+    ("grid", Apps.Bfs_strategies.bfs_grid);
+    ("neighbor", Apps.Bfs_strategies.bfs_neighbor);
+    ("neighbor-dyn", Apps.Bfs_strategies.bfs_neighbor_dynamic);
+  ]
+
+let families = [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ]
+
+let measure ?(vertices_per_rank = 1024) ?(avg_degree = 8) ?(rank_counts = [ 4; 16; 64 ]) () =
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun ranks ->
+          let global_n = vertices_per_rank * ranks in
+          List.map
+            (fun (strategy, bfs) ->
+              let res =
+                Mpisim.Mpi.run ~ranks (fun comm ->
+                    let graph =
+                      Gen.generate family ~rank:(Mpisim.Comm.rank comm) ~comm_size:ranks ~global_n
+                        ~avg_degree ~seed:31
+                    in
+                    let t0 = Mpisim.Comm.now comm in
+                    let (_ : int array) = bfs comm graph ~src:0 in
+                    Mpisim.Comm.now comm -. t0)
+              in
+              let seconds = Array.fold_left Float.max 0.0 (Mpisim.Mpi.results_exn res) in
+              { family = Gen.family_name family; strategy; ranks; seconds })
+            strategies)
+        rank_counts)
+    families
+
+let run () =
+  let points = measure () in
+  let rank_counts = List.sort_uniq compare (List.map (fun p -> p.ranks) points) in
+  List.iter
+    (fun family ->
+      let fname = Gen.family_name family in
+      let rows =
+        List.map
+          (fun (strategy, _) ->
+            strategy
+            :: List.map
+                 (fun ranks ->
+                   let p =
+                     List.find
+                       (fun p -> p.family = fname && p.strategy = strategy && p.ranks = ranks)
+                       points
+                   in
+                   Table_fmt.seconds p.seconds)
+                 rank_counts)
+          strategies
+      in
+      Table_fmt.print_table
+        ~title:(Printf.sprintf "Fig. 10 - BFS weak scaling on %s (simulated time)" fname)
+        ~header:("strategy" :: List.map (fun r -> Printf.sprintf "p=%d" r) rank_counts)
+        rows)
+    families;
+  (* shape checks *)
+  let at family strategy ranks =
+    (List.find (fun p -> p.family = family && p.strategy = strategy && p.ranks = ranks) points)
+      .seconds
+  in
+  let pmax = List.fold_left max 0 rank_counts in
+  Printf.printf "kamping on par with mpi (all families, p=%d): %b\n" pmax
+    (List.for_all
+       (fun f ->
+         let f = Gen.family_name f in
+         Float.abs (at f "kamping" pmax -. at f "mpi" pmax) /. at f "mpi" pmax < 0.05)
+       families);
+  Printf.printf "mpl slower than mpi on all families at p=%d: %b\n" pmax
+    (List.for_all
+       (fun f ->
+         let f = Gen.family_name f in
+         at f "mpl" pmax > at f "mpi" pmax)
+       families);
+  Printf.printf "grid beats plain alltoallv on rhg at p=%d: %b\n" pmax
+    (at "rhg" "grid" pmax < at "rhg" "mpi" pmax);
+  Printf.printf "sparse beats plain alltoallv on rgg2d at p=%d: %b\n" pmax
+    (at "rgg2d" "sparse" pmax < at "rgg2d" "mpi" pmax);
+  Printf.printf "rebuilding the topology every level does not scale: %b\n"
+    (at "rgg2d" "neighbor-dyn" pmax > at "rgg2d" "neighbor" pmax)

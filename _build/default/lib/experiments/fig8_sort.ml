@@ -1,0 +1,69 @@
+(* Fig. 8: weak-scaling running time of sample sort under each binding.
+   The paper sorts 1e6 64-bit integers per rank on up to 256 x 48 cores; we
+   scale the per-rank load down (the DES runs every rank in one process)
+   but keep the weak-scaling setup and the full binding matrix.  Expected
+   shape (paper: "KaMPIng introduces no additional overhead compared to a
+   hand-rolled implementation in plain MPI or other libraries"): all
+   bindings on top of each other — sample sort is dominated by local work
+   and a single bulk exchange, so even MPL's Alltoallw path hides here
+   (its cost shows in the latency-bound BFS of Fig. 10). *)
+
+type point = { binding : string; ranks : int; seconds : float }
+
+let bindings : (string * (Mpisim.Comm.t -> int array -> int array)) list =
+  [
+    ("mpi", Apps.Ss_mpi.sort);
+    ("kamping", Apps.Ss_kamping.sort);
+    ("boost", Apps.Ss_boost.sort);
+    ("rwth", Apps.Ss_rwth.sort);
+    ("mpl", Apps.Ss_mpl.sort);
+  ]
+
+let measure ?(n_per_rank = 20_000) ?(rank_counts = [ 4; 16; 64; 256 ]) () =
+  List.concat_map
+    (fun ranks ->
+      List.map
+        (fun (binding, sorter) ->
+          let res =
+            Mpisim.Mpi.run ~ranks (fun comm ->
+                let data =
+                  Apps.Ss_common.generate_input ~rank:(Mpisim.Comm.rank comm) ~n_per_rank ~seed:8
+                in
+                let t0 = Mpisim.Comm.now comm in
+                let (_ : int array) = sorter comm data in
+                Mpisim.Comm.now comm -. t0)
+          in
+          let per_rank = Mpisim.Mpi.results_exn res in
+          let seconds = Array.fold_left Float.max 0.0 per_rank in
+          { binding; ranks; seconds })
+        bindings)
+    rank_counts
+
+let run () =
+  let points = measure () in
+  let rank_counts = List.sort_uniq compare (List.map (fun p -> p.ranks) points) in
+  let rows =
+    List.map
+      (fun (binding, _) ->
+        binding
+        :: List.map
+             (fun ranks ->
+               let p = List.find (fun p -> p.binding = binding && p.ranks = ranks) points in
+               Table_fmt.seconds p.seconds)
+             rank_counts)
+      bindings
+  in
+  Table_fmt.print_table
+    ~title:"Fig. 8 - sample sort weak scaling, 20k int64/rank (simulated time)"
+    ~header:("binding" :: List.map (fun r -> Printf.sprintf "p=%d" r) rank_counts)
+    rows;
+  (* shape checks from the paper *)
+  let at binding ranks = (List.find (fun p -> p.binding = binding && p.ranks = ranks) points).seconds in
+  let pmax = List.fold_left max 0 rank_counts in
+  let mpi = at "mpi" pmax in
+  Printf.printf "kamping within 2%% of plain MPI at p=%d: %b (%.3f vs %.3f ms)\n" pmax
+    (Float.abs (at "kamping" pmax -. mpi) /. mpi < 0.02)
+    (1e3 *. at "kamping" pmax)
+    (1e3 *. mpi);
+  Printf.printf "all bindings within 10%% of plain MPI at p=%d: %b\n" pmax
+    (List.for_all (fun (b, _) -> Float.abs (at b pmax -. mpi) /. mpi < 0.10) bindings)

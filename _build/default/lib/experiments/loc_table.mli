@@ -1,0 +1,17 @@
+(** Table I: lines of code of the communication-specific part of each
+    application per binding, measured on this repository's variant files. *)
+
+(** [repo_root ()] locates the source tree (walks up to dune-project). *)
+val repo_root : unit -> string option
+
+(** [count_loc path] counts non-blank lines outside OCaml comments. *)
+val count_loc : string -> int
+
+type row = { app : string; mpi : int; boost : int; rwth : int; mpl : int; kamping : int }
+
+(** [measure ()] counts all variant files. *)
+val measure : unit -> (row list, string) result
+
+(** [run ()] prints the measured and the paper's tables plus the ordering
+    checks. *)
+val run : unit -> unit

@@ -1,0 +1,93 @@
+(* Sec. IV-A / III-H: the (near) zero-overhead claim.
+
+   Two observables, as in the paper:
+   1. the PMPI view — with all parameters supplied, a KaMPIng call issues
+      exactly the MPI calls a hand-rolled implementation issues (also
+      enforced by the unit tests);
+   2. simulated end-to-end time of the sample-sort kernel: plain MPI vs
+      KaMPIng vs KaMPIng with every assertion disabled. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let profile_row name run =
+  let res = run () in
+  let calls =
+    res.Mpisim.Mpi.profile.Mpisim.Profiling.calls
+    |> List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c)
+    |> String.concat " "
+  in
+  [ name; calls; string_of_int res.Mpisim.Mpi.profile.Mpisim.Profiling.messages ]
+
+let call_profiles () =
+  let ranks = 8 in
+  let handrolled () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let r = Mpisim.Comm.rank comm and p = Mpisim.Comm.size comm in
+        let rc = Array.make p 0 in
+        Mpisim.Collectives.allgather comm D.int ~sendbuf:[| r + 1 |] ~recvbuf:rc ~count:1;
+        let rd = Array.make p 0 in
+        for i = 1 to p - 1 do
+          rd.(i) <- rd.(i - 1) + rc.(i - 1)
+        done;
+        let out = Array.make (rd.(p - 1) + rc.(p - 1)) 0 in
+        Mpisim.Collectives.allgatherv comm D.int ~sendbuf:(Array.make (r + 1) r) ~scount:(r + 1)
+          ~recvbuf:out ~rcounts:rc ~rdispls:rd)
+  in
+  let kamping_defaults () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let kc = K.wrap comm in
+        ignore (K.allgatherv kc D.int ~send_buf:(V.make (K.rank kc + 1) (K.rank kc))))
+  in
+  let kamping_full () =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let kc = K.wrap comm in
+        let counts = Array.init ranks (fun i -> i + 1) in
+        ignore
+          (K.allgatherv ~recv_counts:counts kc D.int ~send_buf:(V.make (K.rank kc + 1) (K.rank kc))))
+  in
+  [
+    profile_row "hand-rolled (Fig. 2)" handrolled;
+    profile_row "kamping, defaults (Fig. 1)" kamping_defaults;
+    profile_row "kamping, counts given" kamping_full;
+  ]
+
+type timing = { variant : string; seconds : float }
+
+let sort_timings ?(ranks = 64) ?(n_per_rank = 20_000) () =
+  let time sorter =
+    let res =
+      Mpisim.Mpi.run ~ranks (fun comm ->
+          let data =
+            Apps.Ss_common.generate_input ~rank:(Mpisim.Comm.rank comm) ~n_per_rank ~seed:12
+          in
+          let t0 = Mpisim.Comm.now comm in
+          let (_ : int array) = sorter comm data in
+          Mpisim.Comm.now comm -. t0)
+    in
+    Array.fold_left Float.max 0.0 (Mpisim.Mpi.results_exn res)
+  in
+  [
+    { variant = "plain MPI"; seconds = time Apps.Ss_mpi.sort };
+    { variant = "kamping (default assertions)"; seconds = time Apps.Ss_kamping.sort };
+    {
+      variant = "kamping (assertions off)";
+      seconds =
+        Kamping.Assertions.with_level Kamping.Assertions.Off (fun () -> time Apps.Ss_kamping.sort);
+    };
+  ]
+
+let run () =
+  Table_fmt.print_table ~title:"Sec. III-H - PMPI view of allgatherv (8 ranks)"
+    ~header:[ "implementation"; "MPI calls issued"; "messages" ]
+    (call_profiles ());
+  let timings = sort_timings () in
+  Table_fmt.print_table ~title:"Sec. IV-A - sample sort kernel, 64 ranks x 20k (simulated)"
+    ~header:[ "variant"; "time" ]
+    (List.map (fun t -> [ t.variant; Table_fmt.seconds t.seconds ]) timings);
+  match timings with
+  | [ mpi; kamping; _off ] ->
+      Printf.printf "kamping overhead vs plain MPI: %.2f%%\n"
+        (100.0 *. ((kamping.seconds /. mpi.seconds) -. 1.0))
+  | _ -> ()

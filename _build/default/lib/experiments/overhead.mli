@@ -1,0 +1,7 @@
+(** Sec. III-H / IV-A: the (near) zero-overhead claim — PMPI call profiles
+    and end-to-end sample-sort timing. *)
+
+type timing = { variant : string; seconds : float }
+
+val sort_timings : ?ranks:int -> ?n_per_rank:int -> unit -> timing list
+val run : unit -> unit

@@ -1,0 +1,3 @@
+(** Sec. IV-C: the RAxML-NG abstraction layer before/after KaMPIng. *)
+
+val run : unit -> unit

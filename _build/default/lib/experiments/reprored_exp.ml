@@ -1,0 +1,97 @@
+(* Fig. 13 / Sec. V-C: reproducible reduce.  Two observables:
+   1. the float sum of a fixed global vector must be bitwise identical for
+      every rank count under the plugin, while the ordinary tree reduce
+      drifts with p;
+   2. the plugin must be faster than the reproducible fallback
+      (gather + local in-order reduce + broadcast) while staying within a
+      small factor of the non-reproducible native reduce. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let global_data n =
+  Array.init n (fun i ->
+      (10.0 ** float_of_int ((i * 7 mod 33) - 16)) *. (if i mod 3 = 0 then -1.0 else 1.0))
+
+let distribute data p r =
+  let n = Array.length data in
+  let base = n / p and extra = n mod p in
+  let count = base + (if r < extra then 1 else 0) in
+  let start = (r * base) + min r extra in
+  V.init count (fun i -> data.(start + i))
+
+type variant = Native | Gather_reduce | Tree_plugin
+
+let variant_name = function
+  | Native -> "native allreduce (not reproducible)"
+  | Gather_reduce -> "gather + local reduce + bcast"
+  | Tree_plugin -> "reproducible tree plugin"
+
+let reduce_with variant data comm =
+  let kc = K.wrap comm in
+  let mine = distribute data (K.size kc) (K.rank kc) in
+  match variant with
+  | Native ->
+      let local = V.fold_left ( +. ) 0.0 mine in
+      K.allreduce_single kc D.float Mpisim.Op.float_sum local
+  | Gather_reduce ->
+      let all = (K.gatherv kc D.float ~send_buf:mine).K.recv_buf in
+      let sum = if K.is_root kc then V.fold_left ( +. ) 0.0 all else 0.0 in
+      K.compute kc (4.0e-9 *. float_of_int (V.length all));
+      K.bcast_single kc D.float sum
+  | Tree_plugin -> Kamping_plugins.Reproducible_reduce.reduce kc D.float ( +. ) ~send_buf:mine
+
+let measure ~n ~rank_counts =
+  let data = global_data n in
+  List.map
+    (fun variant ->
+      let outcomes =
+        List.map
+          (fun ranks ->
+            let res =
+              Mpisim.Mpi.run ~ranks (fun comm ->
+                  let t0 = Mpisim.Comm.now comm in
+                  let v = reduce_with variant data comm in
+                  (v, Mpisim.Comm.now comm -. t0))
+            in
+            let parts = Mpisim.Mpi.results_exn res in
+            let value, _ = parts.(0) in
+            let seconds = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
+            (ranks, value, seconds))
+          rank_counts
+      in
+      (variant, outcomes))
+    [ Native; Gather_reduce; Tree_plugin ]
+
+let run () =
+  let n = 50_000 in
+  let rank_counts = [ 1; 4; 16; 64 ] in
+  let results = measure ~n ~rank_counts in
+  let rows =
+    List.map
+      (fun (variant, outcomes) ->
+        let bits = List.map (fun (_, v, _) -> Int64.bits_of_float v) outcomes in
+        let reproducible = List.for_all (Int64.equal (List.hd bits)) bits in
+        variant_name variant
+        :: ((if reproducible then "yes" else "NO")
+            :: List.map (fun (_, _, t) -> Table_fmt.seconds t) outcomes))
+      results
+  in
+  Table_fmt.print_table
+    ~title:(Printf.sprintf "Fig. 13 - reproducible reduce, %d doubles" n)
+    ~header:
+      ("variant" :: "bitwise reproducible"
+      :: List.map (fun p -> Printf.sprintf "t(p=%d)" p) rank_counts)
+    rows;
+  let time_of variant p =
+    let _, outcomes = List.find (fun (v, _) -> v = variant) results in
+    let _, _, t = List.find (fun (r, _, _) -> r = p) outcomes in
+    t
+  in
+  let pmax = List.fold_left max 0 rank_counts in
+  Printf.printf "plugin faster than gather+reduce+bcast at p=%d: %b (%.2fx)\n" pmax
+    (time_of Tree_plugin pmax < time_of Gather_reduce pmax)
+    (time_of Gather_reduce pmax /. time_of Tree_plugin pmax);
+  Printf.printf "plugin within small factor of native reduce at p=%d: %.2fx\n" pmax
+    (time_of Tree_plugin pmax /. time_of Native pmax)

@@ -1,0 +1,64 @@
+(* Sec. IV-A suffix-array construction: correctness at scale plus the
+   lines-of-code comparison (paper: prefix doubling needs 163 LoC with
+   KaMPIng vs 426 with plain MPI vs 266 with Thrill). *)
+
+let random_text ~n ~sigma ~seed =
+  let rng = Simnet.Rng.create (Int64.of_int seed) in
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Simnet.Rng.int rng sigma))
+
+let build_with algo text ranks =
+  let n = String.length text in
+  let res =
+    Mpisim.Mpi.run ~ranks (fun comm ->
+        let first, local_n =
+          Graphgen.Distgraph.block_range ~global_n:n ~comm_size:(Mpisim.Comm.size comm)
+            (Mpisim.Comm.rank comm)
+        in
+        let local = Array.init local_n (fun i -> text.[first + i]) in
+        let t0 = Mpisim.Comm.now comm in
+        let sa =
+          match algo with
+          | `Prefix_doubling -> Apps.Suffix_array.build comm ~text:local ~global_n:n
+          | `Dcx -> Apps.Dcx.build (Kamping.Comm.wrap comm) ~text:local ~global_n:n
+        in
+        (sa, Mpisim.Comm.now comm -. t0))
+  in
+  let parts = Mpisim.Mpi.results_exn res in
+  let sa = Array.concat (List.map fst (Array.to_list parts)) in
+  let seconds = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
+  (sa, seconds)
+
+let build_distributed text ranks = build_with `Prefix_doubling text ranks
+
+let run () =
+  let n = 4096 in
+  let text = random_text ~n ~sigma:4 ~seed:77 in
+  let reference = Apps.Suffix_array.naive_suffix_array text in
+  let rows =
+    List.map
+      (fun ranks ->
+        let sa_pd, t_pd = build_with `Prefix_doubling text ranks in
+        let sa_dcx, t_dcx = build_with `Dcx text ranks in
+        [
+          string_of_int ranks;
+          Table_fmt.seconds t_pd;
+          (if sa_pd = reference then "yes" else "NO");
+          Table_fmt.seconds t_dcx;
+          (if sa_dcx = reference then "yes" else "NO");
+        ])
+      [ 1; 4; 16; 64 ]
+  in
+  Table_fmt.print_table
+    ~title:(Printf.sprintf "Sec. IV-A - suffix array construction, n=%d (simulated)" n)
+    ~header:[ "ranks"; "prefix doubling"; "correct"; "DCX"; "correct" ]
+    rows;
+  (* LoC comparison: our implementation vs the paper's counts *)
+  (match Loc_table.repo_root () with
+  | Some root ->
+      let loc f = Loc_table.count_loc (Filename.concat root ("lib/apps/" ^ f)) in
+      Printf.printf
+        "prefix doubling LoC: %d here (KaMPIng-style) - paper: 163 KaMPIng / 426 plain MPI / 266 Thrill\n"
+        (loc "suffix_array.ml");
+      Printf.printf "DCX LoC: %d here (+ %d shared dist_util) - paper: 1264 KaMPIng / 1396 pDCX\n"
+        (loc "dcx.ml") (loc "dist_util.ml")
+  | None -> ())

@@ -1,0 +1,12 @@
+(** Sec. IV-A: suffix-array construction (prefix doubling and DCX),
+    correctness at scale plus the LoC comparison. *)
+
+(** [random_text ~n ~sigma ~seed] draws a random text over [sigma]
+    letters. *)
+val random_text : n:int -> sigma:int -> seed:int -> string
+
+(** [build_distributed text ranks] runs the prefix-doubling builder and
+    returns [(suffix array, simulated seconds)]. *)
+val build_distributed : string -> int -> int array * float
+
+val run : unit -> unit

@@ -1,0 +1,34 @@
+(* Plain-text table rendering for the benchmark harness. *)
+
+let print_table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let columns = List.length header in
+  let widths =
+    List.init columns (fun c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length (List.nth header c))
+          rows)
+  in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "| %-*s " w cell else Printf.printf "| %*s " w cell)
+      row;
+    print_string "|\n"
+  in
+  let rule () =
+    List.iter (fun w -> Printf.printf "+%s" (String.make (w + 2) '-')) widths;
+    print_string "+\n"
+  in
+  rule ();
+  print_row header;
+  rule ();
+  List.iter print_row rows;
+  rule ()
+
+let seconds s =
+  if s < 1.0e-3 then Printf.sprintf "%.1fus" (s *. 1.0e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1.0e3)
+  else Printf.sprintf "%.3fs" s

@@ -1,0 +1,7 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+(** [print_table ~title ~header rows] prints an aligned ASCII table. *)
+val print_table : title:string -> header:string list -> string list list -> unit
+
+(** [seconds s] formats a duration with an appropriate unit. *)
+val seconds : float -> string

@@ -1,0 +1,15 @@
+(** Fig. 12: fault-tolerant execution with the ULFM plugin. *)
+
+type outcome = {
+  ranks : int;
+  failures : int;
+  survivors_done : int;
+  rounds_target : int;
+  seconds : float;
+}
+
+(** [scenario ~ranks ~failures ~rounds] injects [failures] process faults
+    into a compute-allreduce loop and reports recovery. *)
+val scenario : ranks:int -> failures:int -> rounds:int -> outcome
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/graphgen/distgraph.ml: Array Ds Mpisim

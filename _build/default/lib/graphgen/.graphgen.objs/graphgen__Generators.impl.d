@@ -1,0 +1,1 @@
+lib/graphgen/generators.ml: Distgraph Ds Float Int64 Simnet

@@ -1,0 +1,73 @@
+type t = {
+  comm_size : int;
+  global_n : int;
+  first_vertex : int;
+  local_n : int;
+  xadj : int array;
+  adjncy : int array;
+}
+
+let block_range ~global_n ~comm_size rank =
+  let base = global_n / comm_size and extra = global_n mod comm_size in
+  let count = base + (if rank < extra then 1 else 0) in
+  let first = (rank * base) + min rank extra in
+  (first, count)
+
+let owner g v =
+  if v < 0 || v >= g.global_n then Mpisim.Errors.usage "vertex %d out of range" v;
+  let base = g.global_n / g.comm_size and extra = g.global_n mod g.comm_size in
+  if base = 0 then min v (g.comm_size - 1)
+  else begin
+    let boundary = extra * (base + 1) in
+    if v < boundary then v / (base + 1) else extra + ((v - boundary) / base)
+  end
+
+let is_local g v = v >= g.first_vertex && v < g.first_vertex + g.local_n
+
+let local_of_global g v =
+  if not (is_local g v) then Mpisim.Errors.usage "vertex %d is not local" v;
+  v - g.first_vertex
+
+let global_of_local g i = g.first_vertex + i
+let degree g i = g.xadj.(i + 1) - g.xadj.(i)
+
+let iter_neighbors g i f =
+  for e = g.xadj.(i) to g.xadj.(i + 1) - 1 do
+    f g.adjncy.(e)
+  done
+
+let local_edges g = Array.length g.adjncy
+
+let of_edges ~comm_size ~rank ~global_n edges =
+  let first_vertex, local_n = block_range ~global_n ~comm_size rank in
+  let xadj = Array.make (local_n + 1) 0 in
+  Ds.Vec.iter
+    (fun (src, _) ->
+      let i = src - first_vertex in
+      if i < 0 || i >= local_n then Mpisim.Errors.usage "edge source %d is not local" src;
+      xadj.(i + 1) <- xadj.(i + 1) + 1)
+    edges;
+  for i = 1 to local_n do
+    xadj.(i) <- xadj.(i) + xadj.(i - 1)
+  done;
+  let adjncy = Array.make (Ds.Vec.length edges) 0 in
+  let cursor = Array.sub xadj 0 (max local_n 1) in
+  Ds.Vec.iter
+    (fun (src, dst) ->
+      let i = src - first_vertex in
+      adjncy.(cursor.(i)) <- dst;
+      cursor.(i) <- cursor.(i) + 1)
+    edges;
+  { comm_size; global_n; first_vertex; local_n; xadj; adjncy }
+
+let rank_partners g =
+  let seen = Ds.Bitset.create g.comm_size in
+  let my = if g.local_n > 0 then owner g g.first_vertex else -1 in
+  Array.iter
+    (fun v ->
+      let o = owner g v in
+      if o <> my then Ds.Bitset.set seen o)
+    g.adjncy;
+  let out = Ds.Vec.create () in
+  Ds.Bitset.iter_set (fun r -> Ds.Vec.push out r) seen;
+  Ds.Vec.to_array out

@@ -1,0 +1,50 @@
+(** Distributed graphs in CSR form.
+
+    Vertices [0 .. global_n) are block-distributed: every rank owns a
+    contiguous range (balanced to within one vertex) and stores the
+    adjacency lists of its local vertices with {e global} neighbor ids —
+    the representation the paper's BFS example assumes (Sec. IV-B). *)
+
+type t = {
+  comm_size : int;
+  global_n : int;
+  first_vertex : int;  (** global id of this rank's first vertex *)
+  local_n : int;
+  xadj : int array;  (** CSR offsets, length [local_n + 1] *)
+  adjncy : int array;  (** neighbor global ids *)
+}
+
+(** [block_range ~global_n ~comm_size rank] is [(first, count)] of the
+    rank's vertex block. *)
+val block_range : global_n:int -> comm_size:int -> int -> int * int
+
+(** [owner g v] is the rank owning global vertex [v]. *)
+val owner : t -> int -> int
+
+(** [is_local g v] tests whether this rank owns global vertex [v]. *)
+val is_local : t -> int -> bool
+
+(** [local_of_global g v] converts a global id owned here to a local
+    index.  @raise Errors.Usage_error when not local. *)
+val local_of_global : t -> int -> int
+
+(** [global_of_local g i] converts a local index to the global id. *)
+val global_of_local : t -> int -> int
+
+(** [degree g i] is local vertex [i]'s out-degree. *)
+val degree : t -> int -> int
+
+(** [iter_neighbors g i f] applies [f] to each neighbor (global id) of
+    local vertex [i]. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [local_edges g] is the number of locally stored edges. *)
+val local_edges : t -> int
+
+(** [of_edges ~comm_size ~rank ~global_n edges] builds the CSR for one rank
+    from (local-source global id, target global id) pairs. *)
+val of_edges : comm_size:int -> rank:int -> global_n:int -> (int * int) Ds.Vec.t -> t
+
+(** [rank_partners g] is the sorted list of other ranks this rank has at
+    least one edge to (used to build static graph topologies). *)
+val rank_partners : t -> int array

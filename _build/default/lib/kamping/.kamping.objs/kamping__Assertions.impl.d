@@ -1,0 +1,1 @@
+lib/kamping/assertions.ml: Array Fun Mpisim

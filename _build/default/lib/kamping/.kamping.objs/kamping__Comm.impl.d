@@ -1,0 +1,1 @@
+lib/kamping/comm.ml: Array Assertions Ds Flatten List Mpisim Nb_result Option Printf Resize_policy Serialization

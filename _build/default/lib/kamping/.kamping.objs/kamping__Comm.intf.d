@@ -1,0 +1,1 @@
+lib/kamping/comm.mli: Ds Flatten Mpisim Nb_result Resize_policy Serde

@@ -1,0 +1,1 @@
+lib/kamping/costs.mli:

@@ -1,0 +1,1 @@
+lib/kamping/flatten.ml: Array Ds Hashtbl List Mpisim

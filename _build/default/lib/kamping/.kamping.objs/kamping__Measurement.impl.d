@@ -1,0 +1,1 @@
+lib/kamping/measurement.ml: Comm Format Fun Hashtbl List Mpisim String

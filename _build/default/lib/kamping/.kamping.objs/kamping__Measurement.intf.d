@@ -1,0 +1,1 @@
+lib/kamping/measurement.mli: Comm Format

@@ -1,0 +1,1 @@
+lib/kamping/nb_result.mli: Mpisim Simnet

@@ -1,0 +1,1 @@
+lib/kamping/serialization.ml: Array Bytes Mpisim Serde

@@ -1,0 +1,1 @@
+lib/kamping/serialization.mli: Mpisim Serde

@@ -1,0 +1,1 @@
+lib/kamping/type_traits.mli: Mpisim

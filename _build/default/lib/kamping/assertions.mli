@@ -1,0 +1,34 @@
+(** Leveled runtime assertions (paper Sec. III-G).
+
+    KaMPIng groups its runtime checks in levels that can be disabled
+    one by one, from lightweight local checks up to assertions that issue
+    {e additional communication} to verify cross-rank invariants (e.g. that
+    all ranks agree on a count).  The level is a global runtime switch;
+    with [Off], every check compiles down to nothing on the hot path. *)
+
+type level =
+  | Off  (** no checking at all — the zero-overhead production mode *)
+  | Light  (** cheap local parameter validation *)
+  | Normal  (** local validation plus invariant checks *)
+  | Heavy  (** additionally run checks that require communication *)
+
+(** [set_level l] / [level ()] configure the global assertion level
+    (default [Light]). *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** [enabled l] is true when the current level includes [l]. *)
+val enabled : level -> bool
+
+(** [check l cond msg] raises [Errors.Usage_error msg] when level [l] is
+    enabled and [cond ()] is false.  [cond] is not evaluated otherwise. *)
+val check : level -> (unit -> bool) -> string -> unit
+
+(** [heavy_check_uniform comm value ~what] verifies (with an allreduce —
+    communication!) that every rank passed the same [value]; only runs at
+    level [Heavy]. *)
+val heavy_check_uniform : Mpisim.Comm.t -> int -> what:string -> unit
+
+(** [with_level l f] runs [f] with the level temporarily set to [l]. *)
+val with_level : level -> (unit -> 'a) -> 'a

@@ -1,0 +1,28 @@
+type 'a flat = { data : 'a Ds.Vec.t; send_counts : int array }
+
+let flatten ~comm_size tbl =
+  Hashtbl.iter
+    (fun dest _ ->
+      if dest < 0 || dest >= comm_size then
+        Mpisim.Errors.usage "flatten: destination %d outside communicator of size %d" dest comm_size)
+    tbl;
+  let send_counts = Array.make comm_size 0 in
+  let data = Ds.Vec.create () in
+  for dest = 0 to comm_size - 1 do
+    match Hashtbl.find_opt tbl dest with
+    | Some msgs ->
+        send_counts.(dest) <- Ds.Vec.length msgs;
+        Ds.Vec.append data msgs
+    | None -> ()
+  done;
+  { data; send_counts }
+
+let flatten_fn ~comm_size f =
+  let send_counts = Array.make comm_size 0 in
+  let data = Ds.Vec.create () in
+  for dest = 0 to comm_size - 1 do
+    let msgs = f dest in
+    send_counts.(dest) <- List.length msgs;
+    List.iter (Ds.Vec.push data) msgs
+  done;
+  { data; send_counts }

@@ -1,0 +1,21 @@
+(** [with_flattened]-style utilities (paper Sec. IV-B).
+
+    Irregular algorithms naturally build a {e mapping from destination rank
+    to a message buffer} (e.g. the next BFS frontier per target rank).
+    MPI's [Alltoallv] instead wants one contiguous buffer plus a counts
+    array.  [flatten] performs the conversion and hands both to the caller,
+    removing a recurring chunk of boilerplate. *)
+
+type 'a flat = {
+  data : 'a Ds.Vec.t;  (** all messages concatenated by ascending rank *)
+  send_counts : int array;  (** elements destined for each rank *)
+}
+
+(** [flatten ~comm_size tbl] lays the per-destination buffers out
+    contiguously in rank order.  Missing destinations contribute zero
+    elements; destinations outside [0, comm_size) are a usage error. *)
+val flatten : comm_size:int -> (int, 'a Ds.Vec.t) Hashtbl.t -> 'a flat
+
+(** [flatten_fn ~comm_size f] is {!flatten} for a functional description:
+    [f dest] lists the elements for [dest]. *)
+val flatten_fn : comm_size:int -> (int -> 'a list) -> 'a flat

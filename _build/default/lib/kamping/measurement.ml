@@ -1,0 +1,52 @@
+type entry = { mutable accumulated : float; mutable started_at : float option }
+type t = { comm : Comm.t; entries : (string, entry) Hashtbl.t }
+
+let create comm = { comm; entries = Hashtbl.create 8 }
+
+let entry t phase =
+  match Hashtbl.find_opt t.entries phase with
+  | Some e -> e
+  | None ->
+      let e = { accumulated = 0.0; started_at = None } in
+      Hashtbl.add t.entries phase e;
+      e
+
+let start t phase =
+  let e = entry t phase in
+  match e.started_at with
+  | Some _ -> Mpisim.Errors.usage "Measurement.start: phase %s is already running" phase
+  | None -> e.started_at <- Some (Comm.now t.comm)
+
+let stop t phase =
+  let e = entry t phase in
+  match e.started_at with
+  | None -> Mpisim.Errors.usage "Measurement.stop: phase %s is not running" phase
+  | Some t0 ->
+      e.accumulated <- e.accumulated +. (Comm.now t.comm -. t0);
+      e.started_at <- None
+
+let time t phase f =
+  start t phase;
+  Fun.protect ~finally:(fun () -> stop t phase) f
+
+let local t phase = (entry t phase).accumulated
+
+let phases t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [] |> List.sort String.compare
+
+type stats = { phase : string; min : float; mean : float; max : float }
+
+let aggregate t =
+  let names = phases t in
+  List.map
+    (fun phase ->
+      let v = local t phase in
+      let min = Comm.allreduce_single t.comm Mpisim.Datatype.float Mpisim.Op.float_min v in
+      let max = Comm.allreduce_single t.comm Mpisim.Datatype.float Mpisim.Op.float_max v in
+      let sum = Comm.allreduce_single t.comm Mpisim.Datatype.float Mpisim.Op.float_sum v in
+      { phase; min; mean = sum /. float_of_int (Comm.size t.comm); max })
+    names
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%-20s min %.1fus mean %.1fus max %.1fus" s.phase (1e6 *. s.min)
+    (1e6 *. s.mean) (1e6 *. s.max)

@@ -1,0 +1,40 @@
+(** Timing instrumentation for distributed phases (the analogue of
+    KaMPIng's measurement utilities, supporting the algorithm-engineering
+    workflow of Sec. III-C).
+
+    A timer accumulates named phases on each rank (in simulated time);
+    {!aggregate} then combines them across the communicator into min, mean
+    and max — the numbers a scaling plot needs.  [start]/[stop] pairs may
+    nest and repeat; repeated phases accumulate. *)
+
+type t
+
+(** [create comm] makes a per-rank timer. *)
+val create : Comm.t -> t
+
+(** [start t phase] begins (or resumes) a named phase.
+    @raise Mpisim.Errors.Usage_error if the phase is already running. *)
+val start : t -> string -> unit
+
+(** [stop t phase] ends the phase, adding to its accumulated time.
+    @raise Mpisim.Errors.Usage_error if the phase is not running. *)
+val stop : t -> string -> unit
+
+(** [time t phase f] runs [f ()] inside a [start]/[stop] pair. *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** [local t phase] is the accumulated simulated seconds on this rank. *)
+val local : t -> string -> float
+
+(** [phases t] lists the phases recorded so far (sorted). *)
+val phases : t -> string list
+
+(** Aggregated statistics of one phase across the communicator. *)
+type stats = { phase : string; min : float; mean : float; max : float }
+
+(** [aggregate t] combines all phases across ranks (collective; every rank
+    must have recorded the same phase set). *)
+val aggregate : t -> stats list
+
+(** [pp_stats fmt stats] prints an aggregate table row. *)
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,49 @@
+type t = { slots : int option; pending : Mpisim.Request.t Ds.Vec.t }
+
+let create () = { slots = None; pending = Ds.Vec.create () }
+
+let create_bounded ~slots () =
+  if slots <= 0 then Mpisim.Errors.usage "Request_pool.create_bounded: need at least one slot";
+  { slots = Some slots; pending = Ds.Vec.create () }
+
+(* Drop completed requests from the front to make room. *)
+let reap pool =
+  let keep = Ds.Vec.create () in
+  Ds.Vec.iter
+    (fun req -> if not (Mpisim.Request.is_complete req) then Ds.Vec.push keep req)
+    pool.pending;
+  Ds.Vec.clear pool.pending;
+  Ds.Vec.append pool.pending keep
+
+let add pool req =
+  (match pool.slots with
+  | Some slots when Ds.Vec.length pool.pending >= slots ->
+      reap pool;
+      (* Still full: block on the oldest request to free a slot. *)
+      while Ds.Vec.length pool.pending >= slots do
+        let oldest = Ds.Vec.get pool.pending 0 in
+        ignore (Mpisim.Request.wait oldest);
+        reap pool
+      done
+  | Some _ | None -> ());
+  Ds.Vec.push pool.pending req
+
+let in_flight pool = Ds.Vec.length pool.pending
+
+let wait_all pool =
+  let first_error = ref None in
+  Ds.Vec.iter
+    (fun req ->
+      match Mpisim.Request.wait req with
+      | (_ : Mpisim.Request.status) -> ()
+      | exception e -> if !first_error = None then first_error := Some e)
+    pool.pending;
+  Ds.Vec.clear pool.pending;
+  match !first_error with Some e -> raise e | None -> ()
+
+let test_all pool =
+  if Ds.Vec.for_all Mpisim.Request.is_complete pool.pending then begin
+    wait_all pool;
+    true
+  end
+  else false

@@ -1,0 +1,33 @@
+(** Request pools: bulk completion of non-blocking operations
+    (paper Sec. III-E).
+
+    The unbounded pool simply collects requests and completes them together.
+    The {e bounded} pool — mentioned in the paper as work in progress — has
+    a fixed number of slots and blocks the submitter until a slot frees up,
+    which caps the number of concurrent non-blocking requests (useful to
+    bound unexpected-message memory). *)
+
+type t
+
+(** [create ()] is an empty, unbounded pool. *)
+val create : unit -> t
+
+(** [create_bounded ~slots ()] is a pool with at most [slots] in-flight
+    requests; {!add} blocks (completing the oldest requests) when full. *)
+val create_bounded : slots:int -> unit -> t
+
+(** [add pool req] submits a request. *)
+val add : t -> Mpisim.Request.t -> unit
+
+(** [in_flight pool] counts submitted requests that have not been reaped by
+    {!wait_all}. *)
+val in_flight : t -> int
+
+(** [wait_all pool] completes every submitted request and empties the
+    pool.
+    @raise the first failure exception encountered, after draining. *)
+val wait_all : t -> unit
+
+(** [test_all pool] is true (and empties the pool) iff every request has
+    completed. *)
+val test_all : t -> bool

@@ -1,0 +1,23 @@
+(** Explicit serialization adapters (paper Sec. III-D3, Fig. 5).
+
+    Heap-structured data (strings, maps, trees) cannot be described by a
+    fixed-extent datatype; it must be packed into a contiguous buffer.
+    Unlike Boost.MPI, serialization is never implicit: the caller opts in by
+    wrapping values with {!to_wire} / unwrapping with {!of_wire} (or by
+    using the [_serialized] convenience calls on [Comm]).  The pack/unpack
+    CPU time is charged to the simulated clock, making the hidden cost of
+    serialization visible in every benchmark. *)
+
+(** [cost ~bytes] is the simulated CPU seconds to (de)serialize a payload
+    of [bytes] (used by the communication wrappers). *)
+val cost : bytes:int -> float
+
+(** [to_wire codec v] serializes [v] into a wire buffer ([char array]
+    tagged with the [serialized] datatype). *)
+val to_wire : 'a Serde.Codec.t -> 'a -> char array
+
+(** [of_wire codec buf len] deserializes the first [len] bytes. *)
+val of_wire : 'a Serde.Codec.t -> char array -> int -> 'a
+
+(** [wire_datatype] is the datatype of serialized payloads. *)
+val wire_datatype : char Mpisim.Datatype.t

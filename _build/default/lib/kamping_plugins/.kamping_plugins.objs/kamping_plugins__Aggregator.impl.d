@@ -1,0 +1,1 @@
+lib/kamping_plugins/aggregator.ml: Array Ds Kamping List Mpisim

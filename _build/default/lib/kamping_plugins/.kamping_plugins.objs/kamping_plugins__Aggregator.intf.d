@@ -1,0 +1,1 @@
+lib/kamping_plugins/aggregator.mli: Ds Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/kamping_plugins/dist_vector.ml: Array Ds Kamping Mpisim Reproducible_reduce Sorter

@@ -1,0 +1,1 @@
+lib/kamping_plugins/dist_vector.mli: Ds Kamping Mpisim

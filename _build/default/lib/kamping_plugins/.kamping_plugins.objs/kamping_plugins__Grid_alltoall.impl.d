@@ -1,0 +1,1 @@
+lib/kamping_plugins/grid_alltoall.ml: Array Ds Hashtbl Kamping List Mpisim

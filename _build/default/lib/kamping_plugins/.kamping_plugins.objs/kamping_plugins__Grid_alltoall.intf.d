@@ -1,0 +1,1 @@
+lib/kamping_plugins/grid_alltoall.mli: Ds Kamping Mpisim

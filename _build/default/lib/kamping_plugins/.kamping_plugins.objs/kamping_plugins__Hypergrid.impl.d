@@ -1,0 +1,1 @@
+lib/kamping_plugins/hypergrid.ml: Array Ds Hashtbl Kamping List Mpisim

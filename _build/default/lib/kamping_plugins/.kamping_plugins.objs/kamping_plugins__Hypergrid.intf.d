@@ -1,0 +1,1 @@
+lib/kamping_plugins/hypergrid.mli: Ds Kamping Mpisim

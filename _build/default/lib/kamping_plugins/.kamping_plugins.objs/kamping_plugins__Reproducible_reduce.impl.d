@@ -1,0 +1,1 @@
+lib/kamping_plugins/reproducible_reduce.ml: Array Ds Kamping List Mpisim

@@ -1,0 +1,1 @@
+lib/kamping_plugins/reproducible_reduce.mli: Ds Kamping Mpisim

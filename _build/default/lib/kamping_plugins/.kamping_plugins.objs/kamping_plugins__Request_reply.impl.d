@@ -1,0 +1,1 @@
+lib/kamping_plugins/request_reply.ml: Ds Hashtbl Kamping List Mpisim Option Sparse_alltoall

@@ -1,0 +1,1 @@
+lib/kamping_plugins/request_reply.mli: Ds Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/kamping_plugins/sorter.ml: Array Ds Int64 Kamping Mpisim Simnet

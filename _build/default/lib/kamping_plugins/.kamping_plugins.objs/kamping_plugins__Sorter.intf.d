@@ -1,0 +1,1 @@
+lib/kamping_plugins/sorter.mli: Ds Kamping Mpisim

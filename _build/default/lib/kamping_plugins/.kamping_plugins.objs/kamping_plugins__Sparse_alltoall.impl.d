@@ -1,0 +1,1 @@
+lib/kamping_plugins/sparse_alltoall.ml: Array Ds Kamping List Mpisim

@@ -1,0 +1,1 @@
+lib/kamping_plugins/sparse_alltoall.mli: Ds Kamping Mpisim

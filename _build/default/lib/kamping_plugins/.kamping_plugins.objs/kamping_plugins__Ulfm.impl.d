@@ -1,0 +1,1 @@
+lib/kamping_plugins/ulfm.ml: Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/kamping_plugins/ulfm.mli: Kamping

@@ -1,0 +1,90 @@
+module V = Ds.Vec
+module D = Mpisim.Datatype
+
+type 'a t = {
+  comm : Kamping.Comm.t;
+  dt : 'a D.t;
+  threshold : int;
+  tag : int;
+  handler : src:int -> 'a V.t -> unit;
+  buffers : 'a V.t array; (* per destination *)
+  mutable in_flight : Mpisim.Request.t list; (* synchronous-send handles *)
+}
+
+let create ?(threshold = 256) ?(tag = 0xa99) comm dt ~handler =
+  if threshold <= 0 then Mpisim.Errors.usage "Aggregator.create: threshold must be positive";
+  {
+    comm;
+    dt;
+    threshold;
+    tag;
+    handler;
+    buffers = Array.init (Kamping.Comm.size comm) (fun _ -> V.create ());
+    in_flight = [];
+  }
+
+let pending_items t = Array.fold_left (fun acc b -> acc + V.length b) 0 t.buffers
+
+(* Deliver everything currently available, without blocking. *)
+let poll t =
+  let raw = Kamping.Comm.raw t.comm in
+  let rec drain () =
+    match Mpisim.P2p.iprobe raw ~src:Mpisim.P2p.any_source ~tag:t.tag with
+    | Some st ->
+        let fill =
+          match D.default_elt t.dt with
+          | Some d -> d
+          | None -> Mpisim.Errors.usage "Aggregator: datatype %s needs ~default" (D.name t.dt)
+        in
+        let buf = Array.make (max 1 st.Mpisim.Request.count) fill in
+        let st =
+          Mpisim.P2p.recv raw t.dt buf ~count:st.Mpisim.Request.count
+            ~src:st.Mpisim.Request.source ~tag:t.tag
+        in
+        t.handler ~src:st.Mpisim.Request.source
+          (V.unsafe_of_array buf st.Mpisim.Request.count);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  t.in_flight <- List.filter (fun req -> not (Mpisim.Request.is_complete req)) t.in_flight
+
+let ship t dst =
+  let block = t.buffers.(dst) in
+  if not (V.is_empty block) then begin
+    let raw = Kamping.Comm.raw t.comm in
+    let req =
+      Mpisim.P2p.issend raw t.dt (V.unsafe_data block) ~count:(V.length block) ~dst ~tag:t.tag
+    in
+    t.in_flight <- req :: t.in_flight;
+    t.buffers.(dst) <- V.create ()
+  end
+
+let send t ~dst item =
+  if dst < 0 || dst >= Kamping.Comm.size t.comm then
+    Mpisim.Errors.usage "Aggregator.send: bad destination %d" dst;
+  V.push t.buffers.(dst) item;
+  if V.length t.buffers.(dst) >= t.threshold then begin
+    ship t dst;
+    poll t
+  end
+
+(* NBX-style termination: once this rank's blocks are all matched, enter a
+   non-blocking barrier; when it completes, every block of the round has
+   been received (matching implies delivery here, since we receive in the
+   same loop). *)
+let finish t =
+  for dst = 0 to Array.length t.buffers - 1 do
+    ship t dst
+  done;
+  let barrier = ref None in
+  let finished = ref false in
+  while not !finished do
+    poll t;
+    (match !barrier with
+    | None ->
+        if t.in_flight = [] then barrier := Some (Mpisim.Collectives.ibarrier (Kamping.Comm.raw t.comm))
+    | Some req -> if Mpisim.Request.is_complete req then finished := true);
+    if not !finished then Kamping.Comm.compute t.comm 1.0e-6
+  done;
+  poll t

@@ -1,0 +1,44 @@
+(** Asynchronous message aggregation (paper Sec. VI: "we are currently
+    working on generalizing the indirection patterns ... while also
+    incorporating message aggregation.  This is applicable in ... algorithms
+    with highly-irregular communication without hard synchronization").
+
+    Small items addressed to individual ranks are buffered per destination
+    and shipped in blocks once a buffer reaches the threshold; incoming
+    blocks are handed to a user callback as they arrive, without any global
+    synchronization.  {!finish} ends a round with NBX-style termination
+    detection (all sent blocks matched + non-blocking barrier), after which
+    every item sent by any rank has been delivered to its handler. *)
+
+type 'a t
+
+(** [create comm dt ~handler] builds an aggregator.  [handler ~src block]
+    runs on the receiving rank for every arriving block; it must not call
+    back into the same aggregator.
+
+    @param threshold items buffered per destination before a block ships
+    (default 256)
+    @param tag plugin tag, in case several aggregators overlap *)
+val create :
+  ?threshold:int ->
+  ?tag:int ->
+  Kamping.Comm.t ->
+  'a Mpisim.Datatype.t ->
+  handler:(src:int -> 'a Ds.Vec.t -> unit) ->
+  'a t
+
+(** [send t ~dst item] buffers [item] for [dst], shipping a block if the
+    buffer is full.  Also opportunistically delivers any blocks that have
+    already arrived here. *)
+val send : 'a t -> dst:int -> 'a -> unit
+
+(** [pending_items t] counts locally buffered (unshipped) items. *)
+val pending_items : 'a t -> int
+
+(** [poll t] delivers whatever blocks have arrived (non-blocking). *)
+val poll : 'a t -> unit
+
+(** [finish t] is collective: flushes all buffers, keeps delivering until
+    global termination (every block sent by every rank in this round has
+    been handled), then returns.  The aggregator is reusable afterwards. *)
+val finish : 'a t -> unit

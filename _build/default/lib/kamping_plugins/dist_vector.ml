@@ -1,0 +1,58 @@
+module K = Kamping.Comm
+module V = Ds.Vec
+
+type 'a t = { comm : K.t; dt : 'a Mpisim.Datatype.t; data : 'a V.t }
+
+let create comm dt data = { comm; dt; data }
+let local v = v.data
+
+let global_size v =
+  K.allreduce_single v.comm Mpisim.Datatype.int Mpisim.Op.int_sum (V.length v.data)
+
+let map dt_out f v =
+  Kamping.Comm.compute v.comm (Kamping.Costs.linear (V.length v.data));
+  { comm = v.comm; dt = dt_out; data = V.map f v.data }
+
+let filter p v =
+  let kept = V.create () in
+  V.iter (fun x -> if p x then V.push kept x) v.data;
+  Kamping.Comm.compute v.comm (Kamping.Costs.linear (V.length v.data));
+  { v with data = kept }
+
+let reduce f v = Reproducible_reduce.reduce v.comm v.dt f ~send_buf:v.data
+
+let balance v =
+  let comm = v.comm in
+  let p = K.size comm and r = K.rank comm in
+  (* global layout: where my slice starts and how large the whole is *)
+  let count = V.length v.data in
+  let my_start = K.exscan_single ~init:0 comm Mpisim.Datatype.int Mpisim.Op.int_sum count in
+  let n = K.allreduce_single comm Mpisim.Datatype.int Mpisim.Op.int_sum count in
+  (* target block layout *)
+  let target_start t =
+    let base = n / p and extra = n mod p in
+    (t * base) + min t extra
+  in
+  let target_end t = target_start (t + 1) in
+  (* slice my elements by target owner: both sides can derive all counts *)
+  let send_counts = Array.make p 0 in
+  for t = 0 to p - 1 do
+    let lo = max my_start (target_start t) and hi = min (my_start + count) (target_end t) in
+    if hi > lo then send_counts.(t) <- hi - lo
+  done;
+  let recv_counts = Array.make p 0 in
+  let starts = Array.make p 0 in
+  ignore
+    (K.allgather ~recv_buf:(V.unsafe_of_array starts p) comm Mpisim.Datatype.int
+       ~send_buf:(V.of_list [ my_start ]));
+  for s = 0 to p - 1 do
+    let s_end = if s = p - 1 then n else starts.(s + 1) in
+    let lo = max starts.(s) (target_start r) and hi = min s_end (target_end r) in
+    if hi > lo then recv_counts.(s) <- hi - lo
+  done;
+  let res = K.alltoallv ~recv_counts comm v.dt ~send_buf:v.data ~send_counts in
+  { v with data = res.K.recv_buf }
+
+let sort ~cmp v = { v with data = Sorter.sort v.comm v.dt ~cmp v.data }
+
+let gather_all v = (K.allgatherv v.comm v.dt ~send_buf:v.data).K.recv_buf

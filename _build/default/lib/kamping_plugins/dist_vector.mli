@@ -1,0 +1,43 @@
+(** A distributed vector: first step towards the "distributed containers
+    for lightweight bulk parallel computation" the paper sketches as future
+    work (Sec. VI, MapReduce/Thrill-inspired — without locking users into a
+    framework: the local data is always accessible, and every operation is
+    an ordinary KaMPIng call underneath).
+
+    A ['a t] is a globally ordered sequence whose elements live block-wise
+    on the ranks of one communicator.  All operations are collective. *)
+
+type 'a t
+
+(** [create comm dt local] wraps this rank's slice (the global order is
+    rank order). *)
+val create : Kamping.Comm.t -> 'a Mpisim.Datatype.t -> 'a Ds.Vec.t -> 'a t
+
+(** [local v] is this rank's slice (shared, not copied). *)
+val local : 'a t -> 'a Ds.Vec.t
+
+(** [global_size v] is the total element count (collective). *)
+val global_size : 'a t -> int
+
+(** [map dt_out f v] applies [f] element-wise (embarrassingly parallel). *)
+val map : 'b Mpisim.Datatype.t -> ('a -> 'b) -> 'a t -> 'b t
+
+(** [filter p v] keeps matching elements (local lengths shrink; rebalance
+    with {!balance} if needed). *)
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** [reduce f v] combines all elements in the {e fixed global order} using
+    the reproducible-reduce plugin: the result is independent of the rank
+    count even for floating-point operations.
+    @raise Mpisim.Errors.Usage_error on an empty vector. *)
+val reduce : ('a -> 'a -> 'a) -> 'a t -> 'a
+
+(** [balance v] redistributes to an even block distribution (one
+    alltoallv), preserving the global order. *)
+val balance : 'a t -> 'a t
+
+(** [sort ~cmp v] globally sorts (the sorter plugin). *)
+val sort : cmp:('a -> 'a -> int) -> 'a t -> 'a t
+
+(** [gather_all v] replicates the whole sequence on every rank. *)
+val gather_all : 'a t -> 'a Ds.Vec.t

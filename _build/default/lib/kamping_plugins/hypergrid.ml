@@ -1,0 +1,163 @@
+module V = Ds.Vec
+module P = Mpisim.P2p
+module D = Mpisim.Datatype
+
+type t = {
+  comm : Kamping.Comm.t;
+  grid_dims : int array;
+  coords : int array;  (* my position *)
+  mutable seq : int;
+}
+
+(* row-major, last dimension fastest (as in Cart) *)
+let coords_of dims rank =
+  let nd = Array.length dims in
+  let out = Array.make nd 0 in
+  let rest = ref rank in
+  for d = nd - 1 downto 0 do
+    out.(d) <- !rest mod dims.(d);
+    rest := !rest / dims.(d)
+  done;
+  out
+
+let rank_of dims coords =
+  let rank = ref 0 in
+  Array.iteri (fun d c -> rank := (!rank * dims.(d)) + c) coords;
+  ignore dims;
+  !rank
+
+let create ?dims comm ~ndims =
+  let p = Kamping.Comm.size comm in
+  let grid_dims =
+    match dims with Some d -> Array.copy d | None -> Mpisim.Cart.dims_create ~nodes:p ~ndims
+  in
+  if Array.fold_left ( * ) 1 grid_dims <> p then
+    Mpisim.Errors.usage "Hypergrid.create: dims product does not equal the communicator size";
+  Kamping.Comm.barrier comm;
+  { comm; grid_dims; coords = coords_of grid_dims (Kamping.Comm.rank comm); seq = 0 }
+
+let dims t = Array.copy t.grid_dims
+let max_partners t = Array.fold_left (fun acc d -> acc + (d - 1)) 0 t.grid_dims
+
+(* partners of one phase: ranks differing from me only in dimension [dim] *)
+let phase_partners t ~dim =
+  Array.init t.grid_dims.(dim) (fun c ->
+      let coords = Array.copy t.coords in
+      coords.(dim) <- c;
+      rank_of t.grid_dims coords)
+
+(* counts-then-payload exchange with a fixed symmetric partner set *)
+let phase_exchange comm dt ~partners ~outgoing ~count_tag ~data_tag =
+  let raw = Kamping.Comm.raw comm in
+  let count_reqs =
+    Array.to_list partners
+    |> List.map (fun src ->
+           let buf = [| 0 |] in
+           (src, buf, P.irecv raw D.int buf ~src ~tag:count_tag))
+  in
+  Array.iter
+    (fun dst ->
+      let n = match outgoing dst with Some v -> V.length v | None -> 0 in
+      P.send raw D.int [| n |] ~dst ~tag:count_tag)
+    partners;
+  let incoming =
+    List.map
+      (fun (src, buf, req) ->
+        ignore (Mpisim.Request.wait req);
+        (src, buf.(0)))
+      count_reqs
+  in
+  let fill =
+    match D.default_elt dt with
+    | Some d -> d
+    | None -> Mpisim.Errors.usage "hypergrid: datatype %s needs ~default" (D.name dt)
+  in
+  let data_reqs =
+    incoming
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (src, n) ->
+           let buf = Array.make n fill in
+           (buf, P.irecv raw dt buf ~src ~tag:data_tag))
+  in
+  Array.iter
+    (fun dst ->
+      match outgoing dst with
+      | Some v when V.length v > 0 ->
+          P.send raw dt (V.unsafe_data v) ~count:(V.length v) ~dst ~tag:data_tag
+      | Some _ | None -> ())
+    partners;
+  List.map
+    (fun (buf, req) ->
+      ignore (Mpisim.Request.wait req);
+      buf)
+    data_reqs
+
+let alltoallv t dt ~send_buf ~send_counts =
+  let comm = t.comm in
+  let p = Kamping.Comm.size comm in
+  if Array.length send_counts <> p then
+    Mpisim.Errors.usage "hypergrid: send_counts must have one entry per rank";
+  t.seq <- t.seq + 1;
+  let nd = Array.length t.grid_dims in
+  let base = 0x680000 + (2 * nd * t.seq) in
+  (* envelope: (source, destination, element) *)
+  let dt_routed = D.pair (D.pair D.int D.int) dt in
+  let r = Kamping.Comm.rank comm in
+  (* initial holdings: my own outgoing messages *)
+  let current = ref (V.create ()) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun dst count ->
+      for k = 0 to count - 1 do
+        V.push !current ((r, dst), V.get send_buf (!pos + k))
+      done;
+      pos := !pos + count)
+    send_counts;
+  Kamping.Comm.compute comm (Kamping.Costs.linear (V.length send_buf));
+  (* d hops: fix destination coordinate [dim] at hop [dim] *)
+  for dim = 0 to nd - 1 do
+    let partners = phase_partners t ~dim in
+    let buckets : (int, ((int * int) * 'a) V.t) Hashtbl.t = Hashtbl.create 8 in
+    V.iter
+      (fun (((_, dst), _) as routed) ->
+        let dcoords = coords_of t.grid_dims dst in
+        let icoords = Array.copy t.coords in
+        for d = 0 to dim do
+          icoords.(d) <- dcoords.(d)
+        done;
+        let intermediate = rank_of t.grid_dims icoords in
+        match Hashtbl.find_opt buckets intermediate with
+        | Some b -> V.push b routed
+        | None -> Hashtbl.add buckets intermediate (V.of_list [ routed ]))
+      !current;
+    Kamping.Comm.compute comm (Kamping.Costs.linear (V.length !current));
+    let received =
+      phase_exchange comm dt_routed ~partners ~outgoing:(Hashtbl.find_opt buckets)
+        ~count_tag:(base + (2 * dim))
+        ~data_tag:(base + (2 * dim) + 1)
+    in
+    let next = V.create () in
+    List.iter (fun arr -> Array.iter (V.push next) arr) received;
+    current := next
+  done;
+  (* everything now lives at its destination: group by source *)
+  let per_src = Array.make p 0 in
+  V.iter (fun ((s, _), _) -> per_src.(s) <- per_src.(s) + 1) !current;
+  let displs = Array.make p 0 in
+  for i = 1 to p - 1 do
+    displs.(i) <- displs.(i - 1) + per_src.(i - 1)
+  done;
+  let fill =
+    match D.default_elt dt with
+    | Some d -> d
+    | None -> Mpisim.Errors.usage "hypergrid: datatype %s needs ~default" (D.name dt)
+  in
+  let out = V.make (V.length !current) fill in
+  let cursor = Array.copy displs in
+  V.iter
+    (fun ((s, _), x) ->
+      V.set out cursor.(s) x;
+      cursor.(s) <- cursor.(s) + 1)
+    !current;
+  Kamping.Comm.compute comm (Kamping.Costs.linear (2 * V.length !current));
+  (out, per_src)

@@ -1,0 +1,104 @@
+module V = Ds.Vec
+module D = Mpisim.Datatype
+module P = Mpisim.P2p
+
+let tag_base = 0x700000
+let combine_cost = 4.0e-9
+
+(* Split a range at the largest power of two strictly below its size —
+   a function of the range only, never of the rank layout. *)
+let split lo hi =
+  let m = hi - lo in
+  let rec p2 x = if 2 * x < m then p2 (2 * x) else x in
+  lo + p2 1
+
+let rec local_tree_reduce op elt lo hi =
+  if hi - lo = 1 then elt lo
+  else begin
+    let mid = split lo hi in
+    op (local_tree_reduce op elt lo mid) (local_tree_reduce op elt mid hi)
+  end
+
+let reduce t dt op ~send_buf =
+  let comm = Kamping.Comm.raw t in
+  let p = Kamping.Comm.size t in
+  let count = V.length send_buf in
+  (* Global layout: every rank learns all range starts. *)
+  let starts = Array.make p 0 in
+  Mpisim.Collectives.allgather comm D.int ~sendbuf:[| count |] ~recvbuf:starts ~count:1;
+  let counts = Array.copy starts in
+  let acc = ref 0 in
+  for i = 0 to p - 1 do
+    starts.(i) <- !acc;
+    acc := !acc + counts.(i)
+  done;
+  let n = !acc in
+  if n = 0 then Mpisim.Errors.usage "reproducible_reduce: empty global vector";
+  let r = Kamping.Comm.rank t in
+  let s = starts.(r) in
+  let e = s + count in
+  (* Owner of a global index: the last rank whose start is <= the index
+     (runs of equal starts end at the rank actually holding elements). *)
+  let owner j =
+    let lo = ref 0 and hi = ref (p - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if starts.(mid) <= j then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  let fill =
+    match D.default_elt dt with
+    | Some d -> d
+    | None ->
+        if count > 0 then V.get send_buf 0
+        else Mpisim.Errors.usage "reproducible_reduce: datatype %s needs ~default" (D.name dt)
+  in
+  let tag_of node_lo = tag_base + (node_lo land 0xFFFFF) in
+  (* Evaluate a tree node whose leftmost leaf this rank owns.  Subranges
+     starting beyond our range are received from their owners. *)
+  let rec value lo hi =
+    if hi <= e then begin
+      Kamping.Comm.compute t (combine_cost *. float_of_int (hi - lo - 1));
+      local_tree_reduce op (fun j -> V.get send_buf (j - s)) lo hi
+    end
+    else begin
+      let mid = split lo hi in
+      let left = value lo mid in
+      let right =
+        if mid < e then value mid hi
+        else begin
+          let buf = [| fill |] in
+          ignore (P.recv comm dt buf ~src:(owner mid) ~tag:(tag_of mid));
+          buf.(0)
+        end
+      in
+      Kamping.Comm.compute t combine_cost;
+      op left right
+    end
+  in
+  (* Enumerate this rank's boundary subtrees: right children whose parent
+     starts left of our range.  Their values travel to the parent owner. *)
+  let send_nodes = ref [] in
+  let rec walk lo hi =
+    if hi - lo >= 2 && lo < s && hi > s then begin
+      let mid = split lo hi in
+      if mid >= s then begin
+        if mid < e then send_nodes := (mid, hi, lo) :: !send_nodes;
+        walk lo mid
+      end
+      else walk mid hi
+    end
+  in
+  walk 0 n;
+  let ordered = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !send_nodes in
+  List.iter
+    (fun (lo, hi, parent_lo) ->
+      let v = value lo hi in
+      P.send comm dt [| v |] ~dst:(owner parent_lo) ~tag:(tag_of lo))
+    ordered;
+  let root_owner = owner 0 in
+  let result = if r = root_owner then value 0 n else fill in
+  let box = [| result |] in
+  Mpisim.Collectives.bcast comm dt box ~root:root_owner;
+  box.(0)

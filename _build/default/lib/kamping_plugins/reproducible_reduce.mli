@@ -1,0 +1,29 @@
+(** Reproducible reduction (paper Sec. V-C, Fig. 13; Stelz 2022, inspired
+    by Villa et al. 2009).
+
+    IEEE-754 addition is not associative, so an [MPI_Reduce] whose tree
+    shape depends on the number of ranks returns {e different} float sums
+    for different p.  This plugin fixes the reduction order once and for
+    all: a binary tree over the {e global element indices} [0..n), split at
+    the largest power of two.  Whatever the distribution across ranks, the
+    very same additions happen in the very same order, so the result is
+    bitwise identical for every p — while still running in parallel with
+    only O(log n) messages per rank (each rank forwards the values of its
+    maximal boundary subtrees to the rank owning the enclosing node).
+
+    Like normal KaMPIng reduce, the operation may be a built-in constant or
+    any OCaml closure. *)
+
+(** [reduce t dt op ~send_buf] reduces the distributed vector formed by
+    concatenating all ranks' [send_buf]s in rank order.  Returns the global
+    result on every rank (tree reduction to the owner of element 0, then a
+    broadcast).  The operation must be associative only {e semantically};
+    rounding is applied in the fixed tree order.
+    @raise Mpisim.Errors.Usage_error if the global vector is empty. *)
+val reduce :
+  Kamping.Comm.t -> 'a Mpisim.Datatype.t -> ('a -> 'a -> 'a) -> send_buf:'a Ds.Vec.t -> 'a
+
+(** [local_tree_reduce op values lo hi] is the fixed-order reduction of one
+    contiguous index range (exposed for testing: the distributed result
+    must equal the single-rank run of this function over [0..n)). *)
+val local_tree_reduce : ('a -> 'a -> 'a) -> (int -> 'a) -> int -> int -> 'a

@@ -1,0 +1,83 @@
+module K = Kamping.Comm
+module V = Ds.Vec
+
+type transport = Dense | Sparse
+
+(* Dense transport: bucket by owner, one alltoallv out, one back.  The
+   reply alltoallv's receive counts equal the request send counts, so the
+   return trip runs on the zero-overhead path. *)
+let dense_roundtrip comm kdt vdt ~lookup (buckets : (int, 'k V.t) Hashtbl.t) =
+  let p = K.size comm in
+  let flat = Kamping.Flatten.flatten ~comm_size:p buckets in
+  let requests =
+    K.alltoallv ~recv_counts_out:true ~recv_displs_out:true comm kdt
+      ~send_buf:flat.Kamping.Flatten.data ~send_counts:flat.Kamping.Flatten.send_counts
+  in
+  let rcounts = Option.get requests.K.recv_counts in
+  let answers = V.map lookup requests.K.recv_buf in
+  K.compute comm (Kamping.Costs.hash_ops (V.length answers));
+  let replies =
+    K.alltoallv ~recv_counts:flat.Kamping.Flatten.send_counts comm vdt ~send_buf:answers
+      ~send_counts:rcounts
+  in
+  replies.K.recv_buf
+
+(* Sparse transport: two NBX rounds with distinct tags. *)
+let sparse_roundtrip comm kdt vdt ~lookup (buckets : (int, 'k V.t) Hashtbl.t) =
+  let messages = Hashtbl.fold (fun dest keys acc -> (dest, keys) :: acc) buckets [] in
+  let incoming = Sparse_alltoall.exchange ~tag:0x5c1 comm kdt ~messages in
+  let outgoing_replies =
+    List.map
+      (fun (requester, keys) ->
+        K.compute comm (Kamping.Costs.hash_ops (V.length keys));
+        (requester, V.map lookup keys))
+      incoming
+  in
+  let replies = Sparse_alltoall.exchange ~tag:0x5c2 comm vdt ~messages:outgoing_replies in
+  (* reassemble in ascending owner order, as the dense path delivers *)
+  let out = V.create () in
+  List.iter (fun (_, values) -> V.append out values) replies;
+  out
+
+let read ?(transport = Dense) t kdt vdt ~owner ~lookup keys =
+  let p = K.size t in
+  let buckets : (int, 'k V.t) Hashtbl.t = Hashtbl.create 8 in
+  (* remember where each request came from so results return in order *)
+  let slots : (int, int V.t) Hashtbl.t = Hashtbl.create 8 in
+  V.iteri
+    (fun i key ->
+      let o = owner key in
+      if o < 0 || o >= p then Mpisim.Errors.usage "request_reply: owner %d out of range" o;
+      (match Hashtbl.find_opt buckets o with
+      | Some b -> V.push b key
+      | None -> Hashtbl.add buckets o (V.of_list [ key ]));
+      match Hashtbl.find_opt slots o with
+      | Some s -> V.push s i
+      | None -> Hashtbl.add slots o (V.of_list [ i ]))
+    keys;
+  let values =
+    match transport with
+    | Dense -> dense_roundtrip t kdt vdt ~lookup buckets
+    | Sparse -> sparse_roundtrip t kdt vdt ~lookup buckets
+  in
+  (* values arrive grouped by owner rank ascending, within a group in my
+     request order: scatter them back to the original positions *)
+  let n = V.length keys in
+  if V.length values <> n then
+    Mpisim.Errors.usage "request_reply: received %d values for %d requests" (V.length values) n;
+  if n = 0 then V.create ()
+  else begin
+    let out = V.init n (fun i -> (V.get keys i, V.get values 0)) in
+    let cursor = ref 0 in
+    for o = 0 to p - 1 do
+      match Hashtbl.find_opt slots o with
+      | Some s ->
+          V.iter
+            (fun original ->
+              V.set out original (V.get keys original, V.get values !cursor);
+              incr cursor)
+            s
+      | None -> ()
+    done;
+    out
+  end

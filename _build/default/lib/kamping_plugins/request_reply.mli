@@ -1,0 +1,27 @@
+(** Request-reply reads from globally distributed data (paper Sec. VI:
+    "applicable in request-reply patterns when reading from globally
+    distributed data").
+
+    Every rank asks for the values of some keys; each key has an owner
+    rank that can answer locally.  One collective call routes the requests
+    (densely, or sparsely via NBX when the partner set is small), lets the
+    owners answer, and routes the replies back — the generalized form of
+    the label-propagation ghost pull and the suffix-array rank fetch. *)
+
+(** How the two routing steps are performed. *)
+type transport =
+  | Dense  (** alltoallv: O(p) per call, best for many partners *)
+  | Sparse  (** NBX: proportional to actual partners *)
+
+(** [read t kdt vdt ~owner ~lookup keys] returns the [(key, value)] pairs
+    for all requested [keys], in request order.  [owner] must agree on all
+    ranks; [lookup] is evaluated on the owner.  Collective. *)
+val read :
+  ?transport:transport ->
+  Kamping.Comm.t ->
+  'k Mpisim.Datatype.t ->
+  'v Mpisim.Datatype.t ->
+  owner:('k -> int) ->
+  lookup:('k -> 'v) ->
+  'k Ds.Vec.t ->
+  ('k * 'v) Ds.Vec.t

@@ -1,0 +1,76 @@
+module V = Ds.Vec
+
+let default_oversampling p =
+  let logp = int_of_float (ceil (log (float_of_int (max 2 p)) /. log 2.0)) in
+  (16 * logp) + 1
+
+let sort ?oversampling ?(seed = 0x5ee) t dt ~cmp data =
+  let p = Kamping.Comm.size t and r = Kamping.Comm.rank t in
+  if p = 1 then begin
+    V.sort cmp data;
+    Kamping.Comm.compute t (Kamping.Costs.sort (V.length data));
+    data
+  end
+  else begin
+    let num_samples = match oversampling with Some s -> s | None -> default_oversampling p in
+    let n = V.length data in
+    (* Random local samples (with replacement; an empty rank contributes
+       nothing and relies on others' splitters). *)
+    let rng = Simnet.Rng.split (Simnet.Rng.create (Int64.of_int seed)) r in
+    let samples =
+      if n = 0 then V.create ()
+      else V.init num_samples (fun _ -> V.get data (Simnet.Rng.int rng n))
+    in
+    (* Everyone learns every sample; equally many per non-empty rank. *)
+    let gsamples = (Kamping.Comm.allgatherv t dt ~send_buf:samples).Kamping.Comm.recv_buf in
+    if V.is_empty gsamples then (* the global vector is empty *) data
+    else begin
+    V.sort cmp gsamples;
+    Kamping.Comm.compute t (Kamping.Costs.sort (V.length gsamples));
+    (* p-1 equidistant splitters. *)
+    let m = V.length gsamples in
+    let splitters = V.init (p - 1) (fun i -> V.get gsamples (min (m - 1) ((i + 1) * m / p))) in
+    (* Partition into buckets.  Sorting locally first makes the bucket
+       boundaries a merge-style scan. *)
+    V.sort cmp data;
+    Kamping.Comm.compute t (Kamping.Costs.sort n);
+    let send_counts = Array.make p 0 in
+    let bucket_of x =
+      (* first splitter >= x decides the bucket *)
+      let lo = ref 0 and hi = ref (p - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cmp (V.get splitters mid) x < 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    V.iter (fun x -> send_counts.(bucket_of x) <- send_counts.(bucket_of x) + 1) data;
+    Kamping.Comm.compute t (Kamping.Costs.linear n);
+    (* Locally sorted + stable bucketing means [data] is already laid out
+       bucket-by-bucket. *)
+    let result = Kamping.Comm.alltoallv t dt ~send_buf:data ~send_counts in
+    let mine = result.Kamping.Comm.recv_buf in
+    V.sort cmp mine;
+    Kamping.Comm.compute t (Kamping.Costs.sort (V.length mine));
+    mine
+    end
+  end
+
+let is_globally_sorted t dt ~cmp data =
+  let locally_sorted = ref true in
+  for i = 1 to V.length data - 1 do
+    if cmp (V.get data (i - 1)) (V.get data i) > 0 then locally_sorted := false
+  done;
+  (* Compare boundaries: gather (first, last, non-empty) of every rank. *)
+  let boundary =
+    if V.is_empty data then V.create ()
+    else V.of_list [ V.get data 0; V.get data (V.length data - 1) ]
+  in
+  let res = Kamping.Comm.allgatherv ~recv_counts_out:true t dt ~send_buf:boundary in
+  let all = res.Kamping.Comm.recv_buf in
+  let ordered = ref true in
+  for i = 1 to V.length all - 1 do
+    if cmp (V.get all (i - 1)) (V.get all i) > 0 then ordered := false
+  done;
+  let ok = !locally_sorted && !ordered in
+  Kamping.Comm.allreduce_single t Mpisim.Datatype.bool Mpisim.Op.bool_and ok

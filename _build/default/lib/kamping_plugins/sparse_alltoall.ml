@@ -1,0 +1,55 @@
+module V = Ds.Vec
+
+let plugin_tag = 0x5bc
+
+(* NBX: issend everything, poll (iprobe + receive), enter a non-blocking
+   barrier once the local sends completed (each issend completes only when
+   matched), finish when the barrier does — at that point every message
+   destined to us has been matched, i.e. received. *)
+let exchange ?(tag = plugin_tag) ?(poll_interval = 1.0e-6) t dt ~messages =
+  let comm = Kamping.Comm.raw t in
+  List.iter
+    (fun (dest, _) ->
+      if dest < 0 || dest >= Kamping.Comm.size t then
+        Mpisim.Errors.usage "sparse_alltoall: destination %d out of range" dest)
+    messages;
+  let sends =
+    List.map
+      (fun (dest, payload) ->
+        Mpisim.P2p.issend comm dt (V.unsafe_data payload) ~count:(V.length payload) ~dst:dest ~tag)
+      messages
+  in
+  let received : (int * 'a V.t) list ref = ref [] in
+  let barrier_req = ref None in
+  let finished = ref false in
+  while not !finished do
+    (* Drain every message currently available. *)
+    let rec drain () =
+      match Mpisim.P2p.iprobe comm ~src:Mpisim.P2p.any_source ~tag with
+      | Some st ->
+          let buf =
+            match Mpisim.Datatype.default_elt dt with
+            | Some d -> Array.make (max 1 st.Mpisim.Request.count) d
+            | None ->
+                Mpisim.Errors.usage
+                  "sparse_alltoall: datatype %s needs ~default to allocate receive buffers"
+                  (Mpisim.Datatype.name dt)
+          in
+          let st =
+            Mpisim.P2p.recv comm dt buf ~count:st.Mpisim.Request.count
+              ~src:st.Mpisim.Request.source ~tag
+          in
+          received :=
+            (st.Mpisim.Request.source, V.unsafe_of_array buf st.Mpisim.Request.count) :: !received;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    (match !barrier_req with
+    | None ->
+        if List.for_all Mpisim.Request.is_complete sends then
+          barrier_req := Some (Mpisim.Collectives.ibarrier comm)
+    | Some req -> if Mpisim.Request.is_complete req then finished := true);
+    if not !finished then Mpisim.Comm.compute comm poll_interval
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !received

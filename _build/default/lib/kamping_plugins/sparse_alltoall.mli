@@ -1,0 +1,27 @@
+(** Sparse all-to-all exchange via the NBX algorithm (paper Sec. V-A;
+    Hoefler, Siebert, Lumsdaine, PPoPP 2010).
+
+    [MPI_Alltoallv] needs a counts entry {e per rank}, making every exchange
+    Omega(p) even when each rank only talks to a handful of neighbors.  NBX
+    instead sends each message with a {e synchronous} send, polls for
+    incoming messages, and detects global termination with a non-blocking
+    barrier entered once all local sends completed: total work proportional
+    to the number of actual communication partners.
+
+    Unlike MPI's neighborhood collectives, no topology has to be declared
+    upfront — ideal for dynamically changing patterns like BFS frontiers. *)
+
+(** [exchange t dt ~messages] sends each [(dest, payload)] pair and returns
+    everything received this round as [(source, payload)] pairs, sorted by
+    source.  Every rank of [t] must call it (it is collective despite the
+    sparse pattern).
+
+    @param tag distinguishes concurrent exchanges (default a plugin tag)
+    @param poll_interval simulated seconds between progress polls *)
+val exchange :
+  ?tag:int ->
+  ?poll_interval:float ->
+  Kamping.Comm.t ->
+  'a Mpisim.Datatype.t ->
+  messages:(int * 'a Ds.Vec.t) list ->
+  (int * 'a Ds.Vec.t) list

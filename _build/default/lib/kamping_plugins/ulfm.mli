@@ -1,0 +1,33 @@
+(** Fault tolerance via ULFM, with idiomatic exceptions (paper Sec. V-B,
+    Fig. 12).
+
+    Failures surface as [Mpisim.Errors.Process_failed] exceptions from any
+    operation that depends on a dead peer.  Recovery follows the ULFM
+    recipe: catch, [revoke] the communicator so every other rank's pending
+    operations abort too, then [shrink] to a survivors-only communicator
+    and retry. *)
+
+(** [is_revoked t] tests the ULFM revocation flag. *)
+val is_revoked : Kamping.Comm.t -> bool
+
+(** [revoke t] interrupts all current and future operations on the
+    communicator everywhere. *)
+val revoke : Kamping.Comm.t -> unit
+
+(** [shrink t] builds the survivors-only communicator (collective over the
+    survivors). *)
+val shrink : Kamping.Comm.t -> Kamping.Comm.t
+
+(** [agree t v] reaches agreement on the bitwise AND of [v] across
+    survivors. *)
+val agree : Kamping.Comm.t -> int -> int
+
+(** [num_failed t] counts dead members of [t]. *)
+val num_failed : Kamping.Comm.t -> int
+
+(** [with_recovery t f] runs [f comm], and on a detected process failure
+    performs revoke + shrink and retries [f] on the shrunk communicator —
+    the Fig. 12 pattern packaged as a combinator.  Gives up when no rank is
+    left ([None]) or after [max_retries]. *)
+val with_recovery :
+  ?max_retries:int -> Kamping.Comm.t -> (Kamping.Comm.t -> 'a) -> ('a * Kamping.Comm.t) option

@@ -1,0 +1,1 @@
+lib/mpisim/cart.ml: Array Collectives Comm Errors List P2p Profiling Request World

@@ -1,0 +1,1 @@
+lib/mpisim/collectives.ml: Array Comm Datatype Errors Fun List Op P2p Profiling Request Simnet World

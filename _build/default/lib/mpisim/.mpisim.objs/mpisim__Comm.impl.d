@@ -1,0 +1,1 @@
+lib/mpisim/comm.ml: Array Errors Simnet World

@@ -1,0 +1,1 @@
+lib/mpisim/datatype.ml: Array Errors Float Format Hashtbl List Option Printf Type

@@ -1,0 +1,1 @@
+lib/mpisim/group.ml: Array Comm Datatype Errors Hashtbl List P2p Profiling Seq World

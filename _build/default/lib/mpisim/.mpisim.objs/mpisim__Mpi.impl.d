@@ -1,0 +1,1 @@
+lib/mpisim/mpi.ml: Array Comm Fun List Printf Profiling Simnet Ulfm World

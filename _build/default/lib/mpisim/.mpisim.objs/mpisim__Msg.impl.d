@@ -1,0 +1,1 @@
+lib/mpisim/msg.ml: Datatype Ds List

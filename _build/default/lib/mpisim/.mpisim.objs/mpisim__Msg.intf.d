@@ -1,0 +1,1 @@
+lib/mpisim/msg.mli: Datatype

@@ -1,0 +1,1 @@
+lib/mpisim/p2p.ml: Array Comm Datatype Errors Msg Option Profiling Request Simnet Type World

@@ -1,0 +1,1 @@
+lib/mpisim/p2p.mli: Comm Datatype Msg Request

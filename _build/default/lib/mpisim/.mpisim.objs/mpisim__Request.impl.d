@@ -1,0 +1,1 @@
+lib/mpisim/request.ml: Errors List Option Simnet

@@ -1,0 +1,1 @@
+lib/mpisim/topology.ml: Array Comm Datatype Errors List P2p Profiling Request World

@@ -1,0 +1,1 @@
+lib/mpisim/topology.mli: Comm Datatype

@@ -1,0 +1,1 @@
+lib/mpisim/ulfm.ml: Array Collectives Comm Errors Float Hashtbl List Profiling Simnet World

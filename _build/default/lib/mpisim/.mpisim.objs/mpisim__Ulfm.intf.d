@@ -1,0 +1,1 @@
+lib/mpisim/ulfm.mli: Comm World

@@ -1,0 +1,1 @@
+lib/mpisim/win.ml: Array Collectives Comm Datatype Ds Errors Op P2p Profiling Type World

@@ -1,0 +1,1 @@
+lib/mpisim/win.mli: Comm Datatype Op

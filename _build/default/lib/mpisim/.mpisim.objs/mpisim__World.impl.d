@@ -1,0 +1,1 @@
+lib/mpisim/world.ml: Array Ds Errors Hashtbl Msg Profiling Simnet

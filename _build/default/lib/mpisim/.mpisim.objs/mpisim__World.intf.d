@@ -1,0 +1,1 @@
+lib/mpisim/world.mli: Ds Hashtbl Msg Profiling Simnet

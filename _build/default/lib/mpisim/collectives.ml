@@ -1,0 +1,557 @@
+module Engine = Simnet.Engine
+
+let record comm name = Profiling.record_call (Comm.world comm).World.prof name
+
+let check_root comm root =
+  if root < 0 || root >= Comm.size comm then
+    Errors.usage "root %d out of range for communicator of size %d" root (Comm.size comm)
+
+let check_count what count =
+  if count < 0 then Errors.usage "%s: negative count %d" what count
+
+(* Combine [count] elements of [extra] into [acc] and charge the reduction
+   cost. *)
+let combine comm op acc extra count =
+  for i = 0 to count - 1 do
+    acc.(i) <- Op.apply op acc.(i) extra.(i)
+  done;
+  if count > 0 then Comm.compute comm (float_of_int count *. Op.cost_per_element op)
+
+(* ------------------------------------------------------------------ *)
+(* Internal algorithm bodies (not individually recorded).              *)
+(* ------------------------------------------------------------------ *)
+
+(* Dissemination barrier: round k talks to ranks +-2^k; all offsets are
+   distinct mod p, so one tag suffices. *)
+let dissemination comm tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  let token = [| 0 |] in
+  let k = ref 1 in
+  while !k < p do
+    let dst = (r + !k) mod p and src = (r - !k + p) mod p in
+    let req = P2p.isend ~ctx:Internal comm Datatype.int token ~dst ~tag in
+    ignore (P2p.recv ~ctx:Internal comm Datatype.int token ~src ~tag);
+    ignore (Request.wait req);
+    k := !k lsl 1
+  done
+
+(* Binomial-tree broadcast (MPICH-style). *)
+let bcast_ comm dt buf pos count ~root ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if p > 1 && count > 0 then begin
+    let rel = (r - root + p) mod p in
+    let mask = ref 1 in
+    while !mask < p && rel land !mask = 0 do
+      mask := !mask lsl 1
+    done;
+    if rel <> 0 then begin
+      let src = (rel - !mask + root) mod p in
+      ignore (P2p.recv ~ctx:Internal ~pos ~count comm dt buf ~src ~tag)
+    end;
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if rel + !mask < p then begin
+        let dst = (rel + !mask + root) mod p in
+        P2p.send ~ctx:Internal ~pos ~count comm dt buf ~dst ~tag
+      end;
+      mask := !mask lsr 1
+    done
+  end
+
+(* Binomial-tree reduction.  Reassociates (and, for the receive-combines,
+   commutes) the operation — the canonical source of float irreproducibility
+   across different p that Sec. V-C addresses. *)
+let reduce_ comm dt op ~sendbuf ~pos ~count ~root ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  let acc = Array.sub sendbuf pos count in
+  if p = 1 || count = 0 then acc
+  else begin
+    let tmp = Array.copy acc in
+    let rel = (r - root + p) mod p in
+    let mask = ref 1 in
+    let running = ref true in
+    while !running && !mask < p do
+      if rel land !mask = 0 then begin
+        let src_rel = rel lor !mask in
+        if src_rel < p then begin
+          let src = (src_rel + root) mod p in
+          ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src ~tag);
+          combine comm op acc tmp count
+        end
+      end
+      else begin
+        let dst = ((rel lxor !mask) + root) mod p in
+        P2p.send ~ctx:Internal ~count comm dt acc ~dst ~tag;
+        running := false
+      end;
+      mask := !mask lsl 1
+    done;
+    acc
+  end
+
+(* Bruck's allgather: logarithmic number of rounds for arbitrary p. *)
+let allgather_ comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    if p = 1 then begin
+      if my_block_buf != recvbuf || my_block_pos <> rpos then
+        Array.blit my_block_buf my_block_pos recvbuf rpos count
+    end
+    else begin
+      let temp = Array.make (p * count) my_block_buf.(my_block_pos) in
+      Array.blit my_block_buf my_block_pos temp 0 count;
+      let m = ref 1 in
+      while !m < p do
+        let s = min !m (p - !m) in
+        let dst = (r - !m + p) mod p and src = (r + !m) mod p in
+        let req = P2p.isend ~ctx:Internal ~count:(s * count) comm dt temp ~dst ~tag in
+        ignore (P2p.recv ~ctx:Internal ~pos:(!m * count) ~count:(s * count) comm dt temp ~src ~tag);
+        ignore (Request.wait req);
+        m := !m + s
+      done;
+      (* Undo the rotation: temp block i holds rank (r+i) mod p's data. *)
+      for i = 0 to p - 1 do
+        Array.blit temp (i * count) recvbuf (rpos + (((r + i) mod p) * count)) count
+      done
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let barrier comm =
+  Comm.check_active comm;
+  record comm "MPI_Barrier";
+  dissemination comm (Comm.next_collective_tag comm)
+
+let bcast ?(pos = 0) ?count comm dt buf ~root =
+  Comm.check_active comm;
+  record comm "MPI_Bcast";
+  check_root comm root;
+  let count = match count with Some c -> c | None -> Array.length buf - pos in
+  check_count "bcast" count;
+  bcast_ comm dt buf pos count ~root ~tag:(Comm.next_collective_tag comm)
+
+let reduce ?(pos = 0) ?recvbuf comm dt op ~sendbuf ~count ~root =
+  Comm.check_active comm;
+  record comm "MPI_Reduce";
+  check_root comm root;
+  check_count "reduce" count;
+  let tag = Comm.next_collective_tag comm in
+  let acc = reduce_ comm dt op ~sendbuf ~pos ~count ~root ~tag in
+  if Comm.rank comm = root then begin
+    match recvbuf with
+    | Some rb -> Array.blit acc 0 rb 0 count
+    | None -> Errors.usage "reduce: the root rank needs a receive buffer"
+  end
+
+let allreduce ?(pos = 0) comm dt op ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Allreduce";
+  check_count "allreduce" count;
+  let tag = Comm.next_collective_tag comm in
+  let acc = reduce_ comm dt op ~sendbuf ~pos ~count ~root:0 ~tag in
+  if Comm.rank comm = 0 then Array.blit acc 0 recvbuf 0 count;
+  bcast_ comm dt recvbuf 0 count ~root:0 ~tag:(Comm.next_collective_tag comm)
+
+let allgather ?(inplace = false) ?(spos = 0) ?(rpos = 0) comm dt ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Allgather";
+  check_count "allgather" count;
+  let tag = Comm.next_collective_tag comm in
+  let my_block_buf, my_block_pos =
+    if inplace then (recvbuf, rpos + (Comm.rank comm * count)) else (sendbuf, spos)
+  in
+  allgather_ comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf
+
+(* Ring allgatherv: in step s, pass along the block received in step s-1.
+   Successive messages between the same neighbours share a tag; the network
+   model preserves per-link FIFO order (injection rate >= wire rate). *)
+let allgatherv ?(inplace = false) ?(spos = 0) comm dt ~sendbuf ~scount ~recvbuf ~rcounts ~rdispls =
+  Comm.check_active comm;
+  record comm "MPI_Allgatherv";
+  check_count "allgatherv" scount;
+  let p = Comm.size comm and r = Comm.rank comm in
+  if Array.length rcounts <> p || Array.length rdispls <> p then
+    Errors.usage "allgatherv: rcounts/rdispls must have one entry per rank";
+  if scount <> rcounts.(r) then
+    Errors.usage "allgatherv: send count %d disagrees with rcounts.(%d) = %d" scount r rcounts.(r);
+  let tag = Comm.next_collective_tag comm in
+  if not inplace then Array.blit sendbuf spos recvbuf rdispls.(r) scount;
+  if p > 1 then begin
+    let dst = (r + 1) mod p and src = (r - 1 + p) mod p in
+    for step = 1 to p - 1 do
+      let send_block = (r - step + 1 + p) mod p in
+      let recv_block = (r - step + p) mod p in
+      let req =
+        P2p.isend ~ctx:Internal ~pos:rdispls.(send_block) ~count:rcounts.(send_block) comm dt
+          recvbuf ~dst ~tag
+      in
+      ignore
+        (P2p.recv ~ctx:Internal ~pos:rdispls.(recv_block) ~count:rcounts.(recv_block) comm dt
+           recvbuf ~src ~tag);
+      ignore (Request.wait req)
+    done
+  end
+
+let gather ?(spos = 0) ?(rpos = 0) ?recvbuf comm dt ~sendbuf ~count ~root =
+  Comm.check_active comm;
+  record comm "MPI_Gather";
+  check_root comm root;
+  check_count "gather" count;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  if r = root then begin
+    let recvbuf =
+      match recvbuf with
+      | Some rb -> rb
+      | None -> Errors.usage "gather: the root rank needs a receive buffer"
+    in
+    Array.blit sendbuf spos recvbuf (rpos + (r * count)) count;
+    for src = 0 to p - 1 do
+      if src <> root then
+        ignore (P2p.recv ~ctx:Internal ~pos:(rpos + (src * count)) ~count comm dt recvbuf ~src ~tag)
+    done
+  end
+  else P2p.send ~ctx:Internal ~pos:spos ~count comm dt sendbuf ~dst:root ~tag
+
+let gatherv ?(spos = 0) ?recvbuf ?rcounts ?rdispls comm dt ~sendbuf ~scount ~root =
+  Comm.check_active comm;
+  record comm "MPI_Gatherv";
+  check_root comm root;
+  check_count "gatherv" scount;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  if r = root then begin
+    let recvbuf, rcounts, rdispls =
+      match (recvbuf, rcounts, rdispls) with
+      | Some rb, Some rc, Some rd -> (rb, rc, rd)
+      | _ -> Errors.usage "gatherv: the root rank needs recvbuf, rcounts and rdispls"
+    in
+    Array.blit sendbuf spos recvbuf rdispls.(r) scount;
+    for src = 0 to p - 1 do
+      if src <> root then
+        ignore
+          (P2p.recv ~ctx:Internal ~pos:rdispls.(src) ~count:rcounts.(src) comm dt recvbuf ~src ~tag)
+    done
+  end
+  else P2p.send ~ctx:Internal ~pos:spos ~count:scount comm dt sendbuf ~dst:root ~tag
+
+let scatter ?(spos = 0) ?(rpos = 0) ?sendbuf comm dt ~recvbuf ~count ~root =
+  Comm.check_active comm;
+  record comm "MPI_Scatter";
+  check_root comm root;
+  check_count "scatter" count;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  if r = root then begin
+    let sendbuf =
+      match sendbuf with
+      | Some sb -> sb
+      | None -> Errors.usage "scatter: the root rank needs a send buffer"
+    in
+    Array.blit sendbuf (spos + (r * count)) recvbuf rpos count;
+    for dst = 0 to p - 1 do
+      if dst <> root then
+        P2p.send ~ctx:Internal ~pos:(spos + (dst * count)) ~count comm dt sendbuf ~dst ~tag
+    done
+  end
+  else ignore (P2p.recv ~ctx:Internal ~pos:rpos ~count comm dt recvbuf ~src:root ~tag)
+
+let scatterv ?(rpos = 0) ?sendbuf ?scounts ?sdispls comm dt ~recvbuf ~rcount ~root =
+  Comm.check_active comm;
+  record comm "MPI_Scatterv";
+  check_root comm root;
+  check_count "scatterv" rcount;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  if r = root then begin
+    let sendbuf, scounts, sdispls =
+      match (sendbuf, scounts, sdispls) with
+      | Some sb, Some sc, Some sd -> (sb, sc, sd)
+      | _ -> Errors.usage "scatterv: the root rank needs sendbuf, scounts and sdispls"
+    in
+    Array.blit sendbuf sdispls.(r) recvbuf rpos scounts.(r);
+    for dst = 0 to p - 1 do
+      if dst <> root then
+        P2p.send ~ctx:Internal ~pos:sdispls.(dst) ~count:scounts.(dst) comm dt sendbuf ~dst ~tag
+    done
+  end
+  else ignore (P2p.recv ~ctx:Internal ~pos:rpos ~count:rcount comm dt recvbuf ~src:root ~tag)
+
+(* Irregular exchanges post every request up front and wait for all of
+   them (the linear algorithm real implementations use): latency is hidden
+   by overlap, but each of the p-1 peers still costs a message start-up —
+   including zero-count pairs, which is exactly why Alltoall(v) has
+   Omega(p) complexity per call (paper Sec. V-A). *)
+let post_all_exchange comm dt ~tag ~scount_of ~spos_of ~rcount_of ~rpos_of ~sendbuf ~recvbuf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  Array.blit sendbuf (spos_of r) recvbuf (rpos_of r) (scount_of r);
+  let recv_reqs =
+    List.init (p - 1) (fun i ->
+        let src = (r - 1 - i + p) mod p in
+        P2p.irecv ~ctx:Internal ~pos:(rpos_of src) ~count:(rcount_of src) comm dt recvbuf ~src ~tag)
+  in
+  let send_reqs =
+    List.init (p - 1) (fun i ->
+        let dst = (r + 1 + i) mod p in
+        P2p.isend ~ctx:Internal ~pos:(spos_of dst) ~count:(scount_of dst) comm dt sendbuf ~dst ~tag)
+  in
+  ignore (Request.wait_all recv_reqs);
+  ignore (Request.wait_all send_reqs)
+
+let alltoall comm dt ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Alltoall";
+  check_count "alltoall" count;
+  let tag = Comm.next_collective_tag comm in
+  post_all_exchange comm dt ~tag
+    ~scount_of:(fun _ -> count)
+    ~spos_of:(fun d -> d * count)
+    ~rcount_of:(fun _ -> count)
+    ~rpos_of:(fun s -> s * count)
+    ~sendbuf ~recvbuf
+
+let check_v_arrays what comm scounts sdispls rcounts rdispls =
+  let p = Comm.size comm in
+  if
+    Array.length scounts <> p || Array.length sdispls <> p || Array.length rcounts <> p
+    || Array.length rdispls <> p
+  then Errors.usage "%s: counts/displacements must have one entry per rank" what
+
+let alltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
+  Comm.check_active comm;
+  record comm "MPI_Alltoallv";
+  check_v_arrays "alltoallv" comm scounts sdispls rcounts rdispls;
+  let tag = Comm.next_collective_tag comm in
+  post_all_exchange comm dt ~tag
+    ~scount_of:(fun d -> scounts.(d))
+    ~spos_of:(fun d -> sdispls.(d))
+    ~rcount_of:(fun s -> rcounts.(s))
+    ~rpos_of:(fun s -> rdispls.(s))
+    ~sendbuf ~recvbuf
+
+(* The Alltoallw fallback (MPL's path): same linear posting as alltoallv,
+   plus a derived-datatype setup per peer and the generic datatype engine
+   on every message — the overheads that make MPL's variable collectives
+   measurably slower and less scalable (Ghosh et al., paper Sec. II). *)
+let alltoallw_style comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
+  Comm.check_active comm;
+  record comm "MPI_Alltoallw";
+  check_v_arrays "alltoallw" comm scounts sdispls rcounts rdispls;
+  let p = Comm.size comm in
+  let tag = Comm.next_collective_tag comm in
+  let type_setup_cost = 0.3e-6 in
+  let datatype_engine_cost = 0.4e-6 (* per message, send and receive side *) in
+  Comm.compute comm (float_of_int (2 * p) *. (type_setup_cost +. datatype_engine_cost));
+  post_all_exchange comm dt ~tag
+    ~scount_of:(fun d -> scounts.(d))
+    ~spos_of:(fun d -> sdispls.(d))
+    ~rcount_of:(fun s -> rcounts.(s))
+    ~rpos_of:(fun s -> rdispls.(s))
+    ~sendbuf ~recvbuf
+
+(* Reduce-scatter with equal block sizes: reduce to root, then scatter the
+   blocks (the simple algorithm; tuned implementations exist but the cost
+   shape — full reduction volume plus a scatter — is the same). *)
+let reduce_scatter_block comm dt op ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Reduce_scatter_block";
+  check_count "reduce_scatter_block" count;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let total = p * count in
+  let tag = Comm.next_collective_tag comm in
+  let acc = reduce_ comm dt op ~sendbuf ~pos:0 ~count:total ~root:0 ~tag in
+  let stag = Comm.next_collective_tag comm in
+  if r = 0 then begin
+    Array.blit acc 0 recvbuf 0 count;
+    for dst = 1 to p - 1 do
+      P2p.send ~ctx:Internal ~pos:(dst * count) ~count comm dt acc ~dst ~tag:stag
+    done
+  end
+  else ignore (P2p.recv ~ctx:Internal ~count comm dt recvbuf ~src:0 ~tag:stag)
+
+(* Recursive-doubling inclusive scan. *)
+let scan comm dt op ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Scan";
+  check_count "scan" count;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  Array.blit sendbuf 0 recvbuf 0 count;
+  if p > 1 && count > 0 then begin
+    let partial = Array.sub sendbuf 0 count in
+    let tmp = Array.copy partial in
+    let mask = ref 1 in
+    while !mask < p do
+      let dst = r + !mask and src = r - !mask in
+      let req =
+        if dst < p then Some (P2p.isend ~ctx:Internal ~count comm dt partial ~dst ~tag) else None
+      in
+      if src >= 0 then begin
+        ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src ~tag);
+        (* tmp covers ranks below src inclusive: combine on the left. *)
+        for i = 0 to count - 1 do
+          partial.(i) <- Op.apply op tmp.(i) partial.(i);
+          recvbuf.(i) <- Op.apply op tmp.(i) recvbuf.(i)
+        done;
+        Comm.compute comm (2.0 *. float_of_int count *. Op.cost_per_element op)
+      end;
+      (match req with Some req -> ignore (Request.wait req) | None -> ());
+      mask := !mask lsl 1
+    done
+  end
+
+let exscan comm dt op ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Exscan";
+  check_count "exscan" count;
+  let p = Comm.size comm and r = Comm.rank comm in
+  let tag = Comm.next_collective_tag comm in
+  if p > 1 && count > 0 then begin
+    let partial = Array.sub sendbuf 0 count in
+    let tmp = Array.copy partial in
+    let have_result = ref false in
+    let mask = ref 1 in
+    while !mask < p do
+      let dst = r + !mask and src = r - !mask in
+      let req =
+        if dst < p then Some (P2p.isend ~ctx:Internal ~count comm dt partial ~dst ~tag) else None
+      in
+      if src >= 0 then begin
+        ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src ~tag);
+        for i = 0 to count - 1 do
+          partial.(i) <- Op.apply op tmp.(i) partial.(i);
+          recvbuf.(i) <- (if !have_result then Op.apply op tmp.(i) recvbuf.(i) else tmp.(i))
+        done;
+        have_result := true;
+        Comm.compute comm (2.0 *. float_of_int count *. Op.cost_per_element op)
+      end;
+      (match req with Some req -> ignore (Request.wait req) | None -> ());
+      mask := !mask lsl 1
+    done
+  end
+
+(* Non-blocking collectives: a helper fiber (standing in for an MPI
+   progress thread) runs the blocking algorithm and completes the request.
+   Internal tags are allocated at call time so they line up across ranks
+   regardless of how the helper fibers interleave. *)
+let spawn_collective comm ~label body =
+  let w = Comm.world comm in
+  let req = Request.create w.World.engine in
+  let _ : Engine.fiber =
+    Engine.spawn w.World.engine ~label (fun () ->
+        body ();
+        Request.complete req { source = -1; tag = 0; count = 0 })
+  in
+  req
+
+let ibarrier comm =
+  Comm.check_active comm;
+  record comm "MPI_Ibarrier";
+  let tag = Comm.next_collective_tag comm in
+  spawn_collective comm ~label:"ibarrier" (fun () -> dissemination comm tag)
+
+let ibcast ?(pos = 0) ?count comm dt buf ~root =
+  Comm.check_active comm;
+  record comm "MPI_Ibcast";
+  check_root comm root;
+  let count = match count with Some c -> c | None -> Array.length buf - pos in
+  check_count "ibcast" count;
+  let tag = Comm.next_collective_tag comm in
+  spawn_collective comm ~label:"ibcast" (fun () -> bcast_ comm dt buf pos count ~root ~tag)
+
+let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
+  Comm.check_active comm;
+  record comm "MPI_Iallreduce";
+  check_count "iallreduce" count;
+  let reduce_tag = Comm.next_collective_tag comm in
+  let bcast_tag = Comm.next_collective_tag comm in
+  spawn_collective comm ~label:"iallreduce" (fun () ->
+      let acc = reduce_ comm dt op ~sendbuf ~pos:0 ~count ~root:0 ~tag:reduce_tag in
+      if Comm.rank comm = 0 then Array.blit acc 0 recvbuf 0 count;
+      bcast_ comm dt recvbuf 0 count ~root:0 ~tag:bcast_tag)
+
+let ialltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
+  Comm.check_active comm;
+  record comm "MPI_Ialltoallv";
+  check_v_arrays "ialltoallv" comm scounts sdispls rcounts rdispls;
+  let tag = Comm.next_collective_tag comm in
+  spawn_collective comm ~label:"ialltoallv" (fun () ->
+      post_all_exchange comm dt ~tag
+        ~scount_of:(fun d -> scounts.(d))
+        ~spos_of:(fun d -> sdispls.(d))
+        ~rcount_of:(fun s -> rcounts.(s))
+        ~rpos_of:(fun s -> rdispls.(s))
+        ~sendbuf ~recvbuf)
+
+(* ------------------------------------------------------------------ *)
+(* Communicator management.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Communicator handles travel between ranks as ordinary (tiny) messages;
+   a dedicated opaque datatype keeps that honest in the cost model. *)
+let dt_comm : World.comm_shared Datatype.t = Datatype.custom ~name:"MPI_Comm" ~extent:16 ()
+
+(* The leader creates the new shared state and distributes it to the other
+   members over the parent communicator. *)
+let distribute_shared comm ~members ~tag make_shared =
+  let r = Comm.rank comm in
+  let leader = members.(0) in
+  if r = leader then begin
+    let shared = make_shared () in
+    let box = [| shared |] in
+    Array.iter
+      (fun m -> if m <> leader then P2p.send ~ctx:Internal comm dt_comm box ~dst:m ~tag)
+      members;
+    shared
+  end
+  else begin
+    let box = [| Comm.shared comm |] in
+    ignore (P2p.recv ~ctx:Internal comm dt_comm box ~src:leader ~tag);
+    box.(0)
+  end
+
+let position a x =
+  let n = Array.length a in
+  let rec go i = if i >= n then Errors.usage "internal: rank not in group" else if a.(i) = x then i else go (i + 1) in
+  go 0
+
+let dup comm =
+  Comm.check_active comm;
+  record comm "MPI_Comm_dup";
+  let w = Comm.world comm in
+  let tag = Comm.next_collective_tag comm in
+  let members = Array.init (Comm.size comm) Fun.id in
+  let shared =
+    distribute_shared comm ~members ~tag (fun () -> World.fresh_comm w (Array.copy (Comm.group comm)))
+  in
+  Comm.make w shared ~rank:(Comm.rank comm)
+
+let split comm ~color ~key =
+  Comm.check_active comm;
+  record comm "MPI_Comm_split";
+  let w = Comm.world comm in
+  let p = Comm.size comm and r = Comm.rank comm in
+  let dt = Datatype.triple Datatype.int Datatype.int Datatype.int in
+  let entries = Array.make p (0, 0, 0) in
+  let tag = Comm.next_collective_tag comm in
+  allgather_ comm dt ~recvbuf:entries ~rpos:0 ~count:1 ~tag ~my_block_pos:0
+    ~my_block_buf:[| (color, key, r) |];
+  let dist_tag = Comm.next_collective_tag comm in
+  if color < 0 then None
+  else begin
+    let members =
+      entries |> Array.to_list
+      |> List.filter (fun (c, _, _) -> c = color)
+      |> List.sort (fun (_, k1, r1) (_, k2, r2) -> compare (k1, r1) (k2, r2))
+      |> List.map (fun (_, _, rank) -> rank)
+      |> Array.of_list
+    in
+    let shared =
+      distribute_shared comm ~members ~tag:dist_tag (fun () ->
+          World.fresh_comm w (Array.map (Comm.world_rank_of comm) members))
+    in
+    Some (Comm.make w shared ~rank:(position members r))
+  end

@@ -1,0 +1,228 @@
+(** Blocking collective operations, implemented on point-to-point messaging
+    with the textbook algorithms (Sanders et al., "Sequential and Parallel
+    Algorithms and Data Structures"):
+
+    - barrier: dissemination, [ceil(log2 p)] rounds;
+    - bcast / reduce: binomial trees;
+    - allgather: Bruck's algorithm (logarithmic startups for any [p]);
+    - allgatherv: ring (linear rounds, optimal volume);
+    - alltoall(v): pairwise exchange;
+    - alltoallw-style: the linear fan-out fallback real MPI implementations
+      use for [MPI_Alltoallw] — every peer gets a message even for zero
+      counts, plus per-peer datatype setup; this is the path MPL's
+      variable-size collectives take, and why they scale poorly (Sec. II);
+    - scan / exscan: recursive doubling;
+    - gather(v) / scatter(v): linear at the root (as in practice for the
+      irregular variants).
+
+    Every call counts once in the profiling layer under its MPI name.
+    Reduction trees reassociate user operations (the usual reason floating
+    point results depend on [p] — see the reproducible-reduce plugin). *)
+
+val barrier : Comm.t -> unit
+
+val bcast : ?pos:int -> ?count:int -> Comm.t -> 'a Datatype.t -> 'a array -> root:int -> unit
+
+(** [reduce comm dt op ~sendbuf ~recvbuf ~count ~root] element-wise reduces
+    [count] elements.  [recvbuf] is required at the root and ignored
+    elsewhere.  [sendbuf] and [recvbuf] may alias (in-place). *)
+val reduce :
+  ?pos:int ->
+  ?recvbuf:'a array ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  count:int ->
+  root:int ->
+  unit
+
+val allreduce :
+  ?pos:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  unit
+
+(** [allgather comm dt ~sendbuf ~recvbuf ~count] concatenates each rank's
+    [count]-element block into [recvbuf] (size [p*count]) on every rank.
+    With [~inplace:true] the caller's block must already sit at
+    [recvbuf.(rank*count)] and [sendbuf] is ignored (MPI_IN_PLACE). *)
+val allgather :
+  ?inplace:bool ->
+  ?spos:int ->
+  ?rpos:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  unit
+
+(** [allgatherv comm dt ~sendbuf ~scount ~recvbuf ~rcounts ~rdispls]
+    concatenates variable-size blocks. *)
+val allgatherv :
+  ?inplace:bool ->
+  ?spos:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  scount:int ->
+  recvbuf:'a array ->
+  rcounts:int array ->
+  rdispls:int array ->
+  unit
+
+val gather :
+  ?spos:int ->
+  ?rpos:int ->
+  ?recvbuf:'a array ->
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  count:int ->
+  root:int ->
+  unit
+
+val gatherv :
+  ?spos:int ->
+  ?recvbuf:'a array ->
+  ?rcounts:int array ->
+  ?rdispls:int array ->
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  scount:int ->
+  root:int ->
+  unit
+
+val scatter :
+  ?spos:int ->
+  ?rpos:int ->
+  ?sendbuf:'a array ->
+  Comm.t ->
+  'a Datatype.t ->
+  recvbuf:'a array ->
+  count:int ->
+  root:int ->
+  unit
+
+val scatterv :
+  ?rpos:int ->
+  ?sendbuf:'a array ->
+  ?scounts:int array ->
+  ?sdispls:int array ->
+  Comm.t ->
+  'a Datatype.t ->
+  recvbuf:'a array ->
+  rcount:int ->
+  root:int ->
+  unit
+
+val alltoall :
+  Comm.t -> 'a Datatype.t -> sendbuf:'a array -> recvbuf:'a array -> count:int -> unit
+
+val alltoallv :
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  scounts:int array ->
+  sdispls:int array ->
+  recvbuf:'a array ->
+  rcounts:int array ->
+  rdispls:int array ->
+  unit
+
+(** The [MPI_Alltoallw]-equivalent path: same result as {!alltoallv} but
+    with linear message fan-out (p-1 messages even for empty pairs) and
+    per-peer datatype setup cost. *)
+val alltoallw_style :
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  scounts:int array ->
+  sdispls:int array ->
+  recvbuf:'a array ->
+  rcounts:int array ->
+  rdispls:int array ->
+  unit
+
+(** [reduce_scatter_block comm dt op ~sendbuf ~recvbuf ~count] element-wise
+    reduces [p * count] elements and scatters block [i] (of [count]
+    elements) to rank [i]. *)
+val reduce_scatter_block :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  unit
+
+(** [scan comm dt op ~sendbuf ~recvbuf ~count] computes the inclusive prefix
+    reduction over ranks. *)
+val scan :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  unit
+
+(** [exscan comm dt op ~sendbuf ~recvbuf ~count] computes the exclusive
+    prefix reduction; rank 0's receive buffer is left untouched (as in
+    MPI). *)
+val exscan :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  unit
+
+(** [ibarrier comm] starts a non-blocking barrier; progress happens
+    asynchronously (a helper fiber models an MPI progress thread).  The
+    building block of the NBX sparse all-to-all. *)
+val ibarrier : Comm.t -> Request.t
+
+(** [ibcast comm dt buf ~root] is the non-blocking broadcast; the buffer
+    must not be touched until the request completes. *)
+val ibcast : ?pos:int -> ?count:int -> Comm.t -> 'a Datatype.t -> 'a array -> root:int -> Request.t
+
+(** [iallreduce comm dt op ~sendbuf ~recvbuf ~count] is the non-blocking
+    allreduce. *)
+val iallreduce :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  Request.t
+
+(** [ialltoallv comm dt ...] is the non-blocking irregular exchange. *)
+val ialltoallv :
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  scounts:int array ->
+  sdispls:int array ->
+  recvbuf:'a array ->
+  rcounts:int array ->
+  rdispls:int array ->
+  Request.t
+
+(** {1 Communicator management} *)
+
+(** [dup comm] duplicates the communicator (collective). *)
+val dup : Comm.t -> Comm.t
+
+(** [split comm ~color ~key] partitions ranks by [color], ordering each new
+    communicator by [(key, rank)].  A negative color returns [None]
+    (MPI_UNDEFINED). *)
+val split : Comm.t -> color:int -> key:int -> Comm.t option

@@ -1,0 +1,184 @@
+type kind =
+  | Basic
+  | Contiguous_bytes
+  | Struct of { fields : int; payload_bytes : int; padding_bytes : int }
+  | Serialized
+
+type 'a t = {
+  id : 'a Type.Id.t;
+  name : string;
+  extent : int;
+  pack_factor : float;
+  kind : kind;
+  default : 'a option;
+  mutable committed : bool;
+}
+
+let name dt = dt.name
+let extent dt = dt.extent
+let kind dt = dt.kind
+let pack_factor dt = dt.pack_factor
+let bytes dt count = count * dt.extent
+let equal_witness a b = Type.Id.provably_equal a.id b.id
+let pp fmt dt = Format.pp_print_string fmt dt.name
+
+let committed_count = ref 0
+
+let make ?default ~name ~extent ~pack_factor ~kind () =
+  { id = Type.Id.make (); name; extent; pack_factor; kind; default; committed = false }
+
+let basic name extent default =
+  make ~default ~name ~extent ~pack_factor:1.0 ~kind:Basic ()
+
+let int = basic "int" 8 0
+let float = basic "double" 8 0.0
+let char = basic "char" 1 '\000'
+let bool = basic "bool" 1 false
+let int32 = basic "int32" 4 0l
+let int64 = basic "int64" 8 0L
+let byte = basic "byte" 1 '\000'
+
+let default_elt dt = dt.default
+
+(* Global type pool for memoized derived types.  Looking an entry up
+   recovers the type witness by comparing the stored component ids, so the
+   stored datatype can be returned at its original type. *)
+
+type pooled =
+  | Pooled_pair : 'a t * 'b t * ('a * 'b) t -> pooled
+  | Pooled_triple : 'a t * 'b t * 'c t * ('a * 'b * 'c) t -> pooled
+  | Pooled_contig : 'a t * int * 'a array t -> pooled
+
+let pool : (string, pooled) Hashtbl.t = Hashtbl.create 64
+
+let pool_key_pair a b = Printf.sprintf "p:%d:%d" (Type.Id.uid a.id) (Type.Id.uid b.id)
+
+let pool_key_triple a b c =
+  Printf.sprintf "t:%d:%d:%d" (Type.Id.uid a.id) (Type.Id.uid b.id) (Type.Id.uid c.id)
+
+let pool_key_contig a n = Printf.sprintf "c:%d:%d" (Type.Id.uid a.id) n
+
+let pair (type a b) (a : a t) (b : b t) : (a * b) t =
+  let key = pool_key_pair a b in
+  let build () =
+    let default =
+      match (a.default, b.default) with Some x, Some y -> Some (x, y) | _ -> None
+    in
+    let dt =
+      make ?default
+        ~name:(Printf.sprintf "(%s * %s)" a.name b.name)
+        ~extent:(a.extent + b.extent)
+        ~pack_factor:(Float.max a.pack_factor b.pack_factor)
+        ~kind:Contiguous_bytes ()
+    in
+    Hashtbl.replace pool key (Pooled_pair (a, b, dt));
+    dt
+  in
+  match Hashtbl.find_opt pool key with
+  | Some (Pooled_pair (a', b', dt)) -> begin
+      match (Type.Id.provably_equal a.id a'.id, Type.Id.provably_equal b.id b'.id) with
+      | Some Type.Equal, Some Type.Equal -> dt
+      | _ -> build ()
+    end
+  | Some _ | None -> build ()
+
+let triple (type a b c) (a : a t) (b : b t) (c : c t) : (a * b * c) t =
+  let key = pool_key_triple a b c in
+  let build () =
+    let default =
+      match (a.default, b.default, c.default) with
+      | Some x, Some y, Some z -> Some (x, y, z)
+      | _ -> None
+    in
+    let dt =
+      make ?default
+        ~name:(Printf.sprintf "(%s * %s * %s)" a.name b.name c.name)
+        ~extent:(a.extent + b.extent + c.extent)
+        ~pack_factor:(Float.max a.pack_factor (Float.max b.pack_factor c.pack_factor))
+        ~kind:Contiguous_bytes ()
+    in
+    Hashtbl.replace pool key (Pooled_triple (a, b, c, dt));
+    dt
+  in
+  match Hashtbl.find_opt pool key with
+  | Some (Pooled_triple (a', b', c', dt)) -> begin
+      match
+        ( Type.Id.provably_equal a.id a'.id,
+          Type.Id.provably_equal b.id b'.id,
+          Type.Id.provably_equal c.id c'.id )
+      with
+      | Some Type.Equal, Some Type.Equal, Some Type.Equal -> dt
+      | _ -> build ()
+    end
+  | Some _ | None -> build ()
+
+let contiguous (type a) (a : a t) n : a array t =
+  if n <= 0 then Errors.usage "Datatype.contiguous: block length %d must be positive" n;
+  let key = pool_key_contig a n in
+  let build () =
+    let default = Option.map (fun d -> Array.make n d) a.default in
+    let dt =
+      make ?default
+        ~name:(Printf.sprintf "%s[%d]" a.name n)
+        ~extent:(n * a.extent)
+        ~pack_factor:a.pack_factor
+        ~kind:Contiguous_bytes ()
+    in
+    Hashtbl.replace pool key (Pooled_contig (a, n, dt));
+    dt
+  in
+  match Hashtbl.find_opt pool key with
+  | Some (Pooled_contig (a', n', dt)) -> begin
+      match Type.Id.provably_equal a.id a'.id with
+      | Some Type.Equal when n = n' -> dt
+      | _ -> build ()
+    end
+  | Some _ | None -> build ()
+
+let custom ?default ~name ~extent () =
+  if extent <= 0 then Errors.usage "Datatype.custom: extent %d must be positive" extent;
+  make ?default ~name ~extent ~pack_factor:1.0 ~kind:Contiguous_bytes ()
+
+(* Struct layout computation, C-style: each field is aligned to its
+   alignment requirement, and the total extent is padded to the maximum
+   alignment.  The wire only carries the payload bytes (MPI does not
+   transfer gaps) but the pack penalty grows with the fraction of padding,
+   modelling the non-contiguous memory accesses of Sec. III-D4. *)
+let struct_type ?default ~name fields =
+  if fields = [] then Errors.usage "Datatype.struct_type: empty field list";
+  let offset = ref 0 in
+  let max_align = ref 1 in
+  let payload = ref 0 in
+  List.iter
+    (fun (fname, size, align) ->
+      if size <= 0 || align <= 0 then
+        Errors.usage "Datatype.struct_type: field %s has invalid size/alignment" fname;
+      max_align := max !max_align align;
+      let misalign = !offset mod align in
+      if misalign <> 0 then offset := !offset + (align - misalign);
+      offset := !offset + size;
+      payload := !payload + size)
+    fields;
+  let tail = !offset mod !max_align in
+  let extent = if tail = 0 then !offset else !offset + (!max_align - tail) in
+  let padding = extent - !payload in
+  (* Gapped layouts pay for strided copies; a fully packed struct costs the
+     same as contiguous bytes. *)
+  let pack_factor = 1.0 +. (1.5 *. float_of_int padding /. float_of_int extent) in
+  make ?default ~name
+    ~extent:!payload (* only payload bytes travel *)
+    ~pack_factor
+    ~kind:(Struct { fields = List.length fields; payload_bytes = !payload; padding_bytes = padding })
+    ()
+
+let serialized = make ~default:'\000' ~name:"serialized" ~extent:1 ~pack_factor:1.0 ~kind:Serialized ()
+
+let committed dt = dt.committed
+
+let mark_committed dt =
+  if not dt.committed then begin
+    dt.committed <- true;
+    incr committed_count
+  end
+
+let live_committed_types () = !committed_count

@@ -1,0 +1,7 @@
+exception Usage_error of string
+exception Type_mismatch of { sent : string; expected : string }
+exception Truncated of { sent : int; capacity : int }
+exception Process_failed of { world_rank : int }
+exception Comm_revoked
+
+let usage fmt = Format.kasprintf (fun s -> raise (Usage_error s)) fmt

@@ -1,0 +1,28 @@
+(** Error conditions of the simulated MPI runtime.
+
+    Mirroring the paper's taxonomy (Sec. III-G): {e usage errors} (invalid
+    parameters, type mismatches, truncation) are programming bugs and raise
+    {!Usage_error}-family exceptions; {e failures} (process faults, revoked
+    communicators) are runtime conditions that fault-tolerant programs may
+    catch and recover from. *)
+
+(** Invalid parameters passed to an MPI call (counts out of range, bad rank,
+    tag misuse, ...). *)
+exception Usage_error of string
+
+(** Sender and receiver datatypes do not match.  Carries both type names. *)
+exception Type_mismatch of { sent : string; expected : string }
+
+(** The matched message carries more elements than the receive buffer can
+    hold. *)
+exception Truncated of { sent : int; capacity : int }
+
+(** A peer process involved in the operation has failed (ULFM).  Carries the
+    world rank of (one of) the failed process(es). *)
+exception Process_failed of { world_rank : int }
+
+(** The communicator was revoked (ULFM). *)
+exception Comm_revoked
+
+(** [usage fmt ...] raises {!Usage_error} with a formatted message. *)
+val usage : ('a, Format.formatter, unit, 'b) format4 -> 'a

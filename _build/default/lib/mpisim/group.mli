@@ -1,0 +1,45 @@
+(** Process groups (the MPI_Group family).
+
+    A group is an ordered set of processes, identified here by their world
+    ranks.  Groups are local objects (no communication); they become
+    communicators through {!comm_create_group}. *)
+
+type t
+
+(** [of_comm comm] is the group of [comm]'s members, in rank order. *)
+val of_comm : Comm.t -> t
+
+(** [size g] is the number of members. *)
+val size : t -> int
+
+(** [incl g ranks] keeps the listed positions, in the given order
+    (MPI_Group_incl).  @raise Errors.Usage_error on bad or duplicate
+    positions. *)
+val incl : t -> int array -> t
+
+(** [excl g ranks] removes the listed positions (MPI_Group_excl). *)
+val excl : t -> int array -> t
+
+(** [union a b] is [a] followed by the members of [b] not already in [a]. *)
+val union : t -> t -> t
+
+(** [intersection a b] keeps [a]'s members also present in [b], in [a]'s
+    order. *)
+val intersection : t -> t -> t
+
+(** [difference a b] keeps [a]'s members not present in [b]. *)
+val difference : t -> t -> t
+
+(** [translate_ranks ga ranks gb] maps positions in [ga] to positions in
+    [gb] ([None] where the process is not a member — MPI_UNDEFINED). *)
+val translate_ranks : t -> int array -> t -> int option array
+
+(** [rank_in g comm_member] is this process's position in [g] given any
+    communicator it belongs to, or [None]. *)
+val rank_in : t -> Comm.t -> int option
+
+(** [comm_create_group comm g ~tag] builds a communicator containing
+    exactly [g]'s members (collective {e over the group members only},
+    like MPI_Comm_create_group).  Non-members must not call.  Returns the
+    caller's handle. *)
+val comm_create_group : Comm.t -> t -> tag:int -> Comm.t

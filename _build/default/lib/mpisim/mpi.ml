@@ -1,0 +1,38 @@
+module Engine = Simnet.Engine
+module Netmodel = Simnet.Netmodel
+
+exception Rank_died
+
+type 'a run_result = {
+  results : ('a, exn) result array;
+  sim_time : float;
+  profile : Profiling.snapshot;
+  events : int;
+}
+
+let run ?(net = Netmodel.default) ?node ?(failures = []) ~ranks f =
+  let w = World.create ?node ~net_params:net ~size:ranks () in
+  let shared = World.fresh_comm w (Array.init ranks Fun.id) in
+  let results = Array.make ranks (Error Rank_died) in
+  let fibers =
+    Array.init ranks (fun r ->
+        Engine.spawn w.World.engine ~label:(Printf.sprintf "rank%d" r) (fun () ->
+            let comm = Comm.make w shared ~rank:r in
+            match f comm with
+            | v -> results.(r) <- Ok v
+            | exception e -> results.(r) <- Error e))
+  in
+  w.World.fibers <- fibers;
+  List.iter (fun (at, rank) -> Ulfm.schedule_failure w ~at ~world_rank:rank) failures;
+  Engine.run w.World.engine;
+  {
+    results;
+    sim_time = Engine.now w.World.engine;
+    profile = Profiling.snapshot w.World.prof;
+    events = Engine.events_processed w.World.engine;
+  }
+
+let results_exn r =
+  Array.map (function Ok v -> v | Error e -> raise e) r.results
+
+let run_exn ?net ~ranks f = results_exn (run ?net ~ranks f)

@@ -1,0 +1,39 @@
+(** SPMD entry point: run one program on every rank of a simulated machine.
+
+    [run ~ranks f] spawns [ranks] fibers, each executing [f comm] with its
+    own view of the world communicator, runs the discrete-event simulation
+    to completion, and reports per-rank results, the total simulated time,
+    and the PMPI-style profile of every MPI call issued. *)
+
+(** Raised in a result slot when the rank's fiber never finished (e.g. it
+    was killed by failure injection before producing a value). *)
+exception Rank_died
+
+type 'a run_result = {
+  results : ('a, exn) result array;  (** per-rank outcome *)
+  sim_time : float;  (** simulated seconds until the last event *)
+  profile : Profiling.snapshot;  (** all MPI calls, messages and bytes *)
+  events : int;  (** discrete events processed (determinism diagnostic) *)
+}
+
+(** [run ?net ?node ?failures ~ranks f] executes the SPMD program.
+
+    @param net network cost-model parameters (default {!Simnet.Netmodel.default})
+    @param node [(intra-node params, node size)] switches to a hierarchical
+    fabric (e.g. [(Simnet.Netmodel.intra_node, 8)])
+    @param failures [(time, world_rank)] process failures to inject
+    @raise Simnet.Engine.Deadlock if the program hangs *)
+val run :
+  ?net:Simnet.Netmodel.params ->
+  ?node:Simnet.Netmodel.params * int ->
+  ?failures:(float * int) list ->
+  ranks:int ->
+  (Comm.t -> 'a) ->
+  'a run_result
+
+(** [run_exn ?net ~ranks f] is {!run} but unwraps the per-rank results,
+    re-raising the first rank failure. *)
+val run_exn : ?net:Simnet.Netmodel.params -> ranks:int -> (Comm.t -> 'a) -> 'a array
+
+(** [results_exn r] unwraps [r.results], re-raising the first failure. *)
+val results_exn : 'a run_result -> 'a array

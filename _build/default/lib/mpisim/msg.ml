@@ -1,0 +1,170 @@
+let any_source = -1
+let any_tag = -1
+
+type ctx = User | Internal
+type packed = Packed : 'a Datatype.t * 'a array -> packed
+
+type envelope = {
+  src : int;
+  tag : int;
+  comm_id : int;
+  ctx : ctx;
+  count : int;
+  bytes : int;
+  payload : packed;
+  on_matched : (unit -> unit) option;
+}
+
+type pending_recv = {
+  want_src : int;
+  want_tag : int;
+  want_comm : int;
+  want_ctx : ctx;
+  src_world : int;
+  comm_group : int array;
+  deliver : envelope -> unit;
+  on_fail : exn -> unit;
+  owner_world : int;
+  mutable live : bool;
+}
+
+type probe_waiter = {
+  p_src : int;
+  p_tag : int;
+  p_comm : int;
+  p_ctx : ctx;
+  p_src_world : int;
+  p_group : int array;
+  notify : envelope -> unit;
+  p_on_fail : exn -> unit;
+  mutable p_live : bool;
+}
+
+type mailbox = {
+  unexpected : envelope Ds.Vec.t;
+  mutable posted : pending_recv list;
+  mutable probes : probe_waiter list;
+}
+
+let create () = { unexpected = Ds.Vec.create (); posted = []; probes = [] }
+
+let matches pr env =
+  pr.want_comm = env.comm_id
+  && pr.want_ctx = env.ctx
+  && (pr.want_src = any_source || pr.want_src = env.src)
+  && (pr.want_tag = any_tag || pr.want_tag = env.tag)
+
+let pattern_matches ~src ~tag ~comm ~ctx env =
+  comm = env.comm_id
+  && ctx = env.ctx
+  && (src = any_source || src = env.src)
+  && (tag = any_tag || tag = env.tag)
+
+let probe_matches pw env =
+  pw.p_comm = env.comm_id
+  && pw.p_ctx = env.ctx
+  && (pw.p_src = any_source || pw.p_src = env.src)
+  && (pw.p_tag = any_tag || pw.p_tag = env.tag)
+
+let arrive mb env =
+  (* Probe waiters observe the message without consuming it. *)
+  let notified, waiting = List.partition (fun pw -> pw.p_live && probe_matches pw env) mb.probes in
+  mb.probes <- waiting;
+  List.iter
+    (fun pw ->
+      pw.p_live <- false;
+      pw.notify env)
+    notified;
+  let rec find_posted acc = function
+    | [] -> None
+    | pr :: rest when pr.live && matches pr env ->
+        mb.posted <- List.rev_append acc rest;
+        Some pr
+    | pr :: rest -> find_posted (pr :: acc) rest
+  in
+  match find_posted [] mb.posted with
+  | Some pr ->
+      pr.live <- false;
+      (match env.on_matched with Some hook -> hook () | None -> ());
+      pr.deliver env
+  | None -> Ds.Vec.push mb.unexpected env
+
+let find_unexpected mb ~src ~tag ~comm ~ctx =
+  let n = Ds.Vec.length mb.unexpected in
+  let rec go i =
+    if i >= n then None
+    else if pattern_matches ~src ~tag ~comm ~ctx (Ds.Vec.get mb.unexpected i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let remove_unexpected mb i =
+  let env = Ds.Vec.get mb.unexpected i in
+  let n = Ds.Vec.length mb.unexpected in
+  (* Preserve arrival order: shift the tail left. *)
+  for j = i to n - 2 do
+    Ds.Vec.set mb.unexpected j (Ds.Vec.get mb.unexpected (j + 1))
+  done;
+  ignore (Ds.Vec.pop mb.unexpected);
+  env
+
+let take_unexpected mb ~src ~tag ~comm ~ctx =
+  match find_unexpected mb ~src ~tag ~comm ~ctx with
+  | Some i ->
+      let env = remove_unexpected mb i in
+      (match env.on_matched with Some hook -> hook () | None -> ());
+      Some env
+  | None -> None
+
+let peek_unexpected mb ~src ~tag ~comm ~ctx =
+  match find_unexpected mb ~src ~tag ~comm ~ctx with
+  | Some i -> Some (Ds.Vec.get mb.unexpected i)
+  | None -> None
+
+let post mb pr = mb.posted <- mb.posted @ [ pr ]
+let post_probe mb pw = mb.probes <- mb.probes @ [ pw ]
+
+let fail_matching mb ~pred ~exn =
+  let failing, keep = List.partition (fun pr -> pr.live && pred pr) mb.posted in
+  mb.posted <- keep;
+  List.iter
+    (fun pr ->
+      pr.live <- false;
+      pr.on_fail exn)
+    failing;
+  let probe_pred pw =
+    pred
+      {
+        want_src = pw.p_src;
+        want_tag = pw.p_tag;
+        want_comm = pw.p_comm;
+        want_ctx = pw.p_ctx;
+        src_world = pw.p_src_world;
+        comm_group = pw.p_group;
+        deliver = ignore;
+        on_fail = ignore;
+        owner_world = -1;
+        live = true;
+      }
+  in
+  let failing_probes, waiting = List.partition (fun pw -> pw.p_live && probe_pred pw) mb.probes in
+  mb.probes <- waiting;
+  List.iter
+    (fun pw ->
+      pw.p_live <- false;
+      pw.p_on_fail exn)
+    failing_probes
+
+let drop_owned mb ~world_rank =
+  mb.posted <-
+    List.filter
+      (fun pr ->
+        if pr.owner_world = world_rank then begin
+          pr.live <- false;
+          false
+        end
+        else true)
+      mb.posted
+
+let pending_count mb = List.length (List.filter (fun pr -> pr.live) mb.posted)
+let unexpected_count mb = Ds.Vec.length mb.unexpected

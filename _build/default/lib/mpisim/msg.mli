@@ -1,0 +1,99 @@
+(** Message envelopes and per-rank mailboxes.
+
+    Matching follows MPI semantics: a posted receive matches an incoming
+    envelope when communicator, context (user vs. library-internal), source
+    and tag agree, where source/tag may be wildcards.  Unexpected messages
+    queue in arrival order; posted receives match in post order. *)
+
+(** Wildcard constants (match any source / any tag). *)
+val any_source : int
+
+val any_tag : int
+
+(** Matching context: user-level traffic and library-internal collective
+    traffic live in separate matching spaces (real MPI uses separate context
+    ids for this). *)
+type ctx = User | Internal
+
+(** A message in flight, carrying a dense copy of the sent elements together
+    with its datatype (the witness lets the receiver copy type-safely). *)
+type packed = Packed : 'a Datatype.t * 'a array -> packed
+
+type envelope = {
+  src : int;  (** sender's rank in the communicator *)
+  tag : int;
+  comm_id : int;
+  ctx : ctx;
+  count : int;
+  bytes : int;
+  payload : packed;
+  on_matched : (unit -> unit) option;  (** synchronous-send completion hook *)
+}
+
+(** A posted (pending) receive. *)
+type pending_recv = {
+  want_src : int;  (** comm rank or {!any_source} *)
+  want_tag : int;  (** tag or {!any_tag} *)
+  want_comm : int;
+  want_ctx : ctx;
+  src_world : int;  (** world rank of [want_src], [-1] for wildcard *)
+  comm_group : int array;  (** comm rank -> world rank, for failure checks *)
+  deliver : envelope -> unit;
+  on_fail : exn -> unit;
+  owner_world : int;  (** the receiving rank *)
+  mutable live : bool;
+}
+
+(** A parked blocking probe: notified (without consuming) when a matching
+    message arrives. *)
+type probe_waiter = {
+  p_src : int;
+  p_tag : int;
+  p_comm : int;
+  p_ctx : ctx;
+  p_src_world : int;
+  p_group : int array;
+  notify : envelope -> unit;
+  p_on_fail : exn -> unit;
+  mutable p_live : bool;
+}
+
+type mailbox
+
+(** [create ()] is an empty mailbox. *)
+val create : unit -> mailbox
+
+(** [matches pr env] is the matching predicate. *)
+val matches : pending_recv -> envelope -> bool
+
+(** [arrive mb env] delivers an envelope: hands it to the first live
+    matching posted receive, else queues it as unexpected. *)
+val arrive : mailbox -> envelope -> unit
+
+(** [take_unexpected mb ~src ~tag ~comm ~ctx] removes and returns the first
+    queued envelope matching the given (possibly wildcard) pattern. *)
+val take_unexpected : mailbox -> src:int -> tag:int -> comm:int -> ctx:ctx -> envelope option
+
+(** [peek_unexpected mb ~src ~tag ~comm ~ctx] is like {!take_unexpected}
+    without removing (probe). *)
+val peek_unexpected : mailbox -> src:int -> tag:int -> comm:int -> ctx:ctx -> envelope option
+
+(** [post mb pr] appends a pending receive. *)
+val post : mailbox -> pending_recv -> unit
+
+(** [post_probe mb pw] parks a blocking probe. *)
+val post_probe : mailbox -> probe_waiter -> unit
+
+(** [fail_matching mb ~pred ~exn] fails (and removes) every live posted
+    receive satisfying [pred] — used for failure injection and revocation. *)
+val fail_matching : mailbox -> pred:(pending_recv -> bool) -> exn:exn -> unit
+
+(** [drop_owned mb ~world_rank] deactivates posted receives owned by a dead
+    rank. *)
+val drop_owned : mailbox -> world_rank:int -> unit
+
+(** [pending_count mb] is the number of live posted receives (diagnostics). *)
+val pending_count : mailbox -> int
+
+(** [unexpected_count mb] is the number of queued unexpected messages. *)
+val unexpected_count : mailbox -> int

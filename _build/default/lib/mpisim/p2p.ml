@@ -1,0 +1,250 @@
+module Engine = Simnet.Engine
+module Netmodel = Simnet.Netmodel
+
+let any_source = Msg.any_source
+let any_tag = Msg.any_tag
+
+let check_tag ~ctx tag =
+  match (ctx : Msg.ctx) with
+  | User -> if tag < 0 then Errors.usage "user message tags must be non-negative (got %d)" tag
+  | Internal -> ()
+
+(* Receive-side patterns may use the wildcard. *)
+let check_recv_tag ~ctx tag = if tag <> any_tag then check_tag ~ctx tag
+
+let window_bounds ~what buf pos count =
+  let len = Array.length buf in
+  let count = match count with Some c -> c | None -> len - pos in
+  if pos < 0 || count < 0 || pos + count > len then
+    Errors.usage "%s: window [%d, %d) exceeds buffer of length %d" what pos (pos + count) len;
+  count
+
+let record w name = Profiling.record_call w.World.prof name
+
+(* Book the message into the network and schedule its arrival.  Returns the
+   injection-complete time (when the sender's buffer is reusable). *)
+let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let count = window_bounds ~what:"send" buf pos count in
+  let w = Comm.world comm in
+  let src_world = Comm.world_rank_of comm (Comm.rank comm) in
+  let dst_world = Comm.world_rank_of comm dst in
+  let bytes = Datatype.bytes dt count in
+  Profiling.record_message w.World.prof ~bytes;
+  let now = World.now w in
+  let injected, arrival =
+    Netmodel.transfer w.World.net ~now ~src:src_world ~dst:dst_world ~bytes
+      ~pack_factor:(Datatype.pack_factor dt)
+  in
+  if World.is_alive w dst_world then begin
+    let env =
+      {
+        Msg.src = Comm.rank comm;
+        tag;
+        comm_id = Comm.id comm;
+        ctx;
+        count;
+        bytes;
+        payload = Msg.Packed (dt, Array.sub buf pos count);
+        on_matched;
+      }
+    in
+    Engine.schedule w.World.engine
+      ~delay:(arrival -. now)
+      (fun () -> Msg.arrive w.World.mailboxes.(dst_world) env)
+  end;
+  injected
+
+let send ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Send";
+  let injected = inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched:None in
+  Engine.delay w.World.engine (injected -. World.now w)
+
+let isend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Isend";
+  let req = Request.create w.World.engine in
+  let count' = window_bounds ~what:"isend" buf pos count in
+  let injected = inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched:None in
+  Engine.schedule w.World.engine
+    ~delay:(injected -. World.now w)
+    (fun () -> Request.complete req { source = dst; tag; count = count' });
+  req
+
+let issend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Issend";
+  let req = Request.create w.World.engine in
+  let count' = window_bounds ~what:"issend" buf pos count in
+  let latency = (Netmodel.params w.World.net).latency in
+  let on_matched =
+    Some
+      (fun () ->
+        (* The acknowledgment travels back to the sender. *)
+        Engine.schedule w.World.engine ~delay:latency (fun () ->
+            Request.complete req { source = dst; tag; count = count' }))
+  in
+  ignore (inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched);
+  req
+
+(* Copy a matched envelope into the receive window, enforcing MPI's type
+   and size rules. *)
+let copy_payload (type a) (env : Msg.envelope) (rdt : a Datatype.t) (buf : a array) pos capacity :
+    (Request.status, exn) result =
+  let (Msg.Packed (sdt, data)) = env.payload in
+  match Datatype.equal_witness sdt rdt with
+  | None ->
+      Error (Errors.Type_mismatch { sent = Datatype.name sdt; expected = Datatype.name rdt })
+  | Some Type.Equal ->
+      let n = Array.length data in
+      if n > capacity then Error (Errors.Truncated { sent = n; capacity })
+      else begin
+        Array.blit data 0 buf pos n;
+        Ok { Request.source = env.src; tag = env.tag; count = n }
+      end
+
+(* Detect whether a receive from [src] can never be satisfied because the
+   peer (or, for wildcards, some group member) has failed. *)
+let dead_peer comm ~src =
+  let w = Comm.world comm in
+  if src = any_source then World.any_dead w (Comm.group comm)
+  else begin
+    let sw = Comm.world_rank_of comm src in
+    if World.is_alive w sw then None else Some sw
+  end
+
+let make_pending comm ~src ~tag ~ctx ~deliver ~on_fail : Msg.pending_recv =
+  {
+    Msg.want_src = src;
+    want_tag = tag;
+    want_comm = Comm.id comm;
+    want_ctx = ctx;
+    src_world = (if src = any_source then -1 else Comm.world_rank_of comm src);
+    comm_group = Comm.group comm;
+    deliver;
+    on_fail;
+    owner_world = Comm.world_rank_of comm (Comm.rank comm);
+    live = true;
+  }
+
+let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
+  Comm.check_active comm;
+  check_recv_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let capacity = window_bounds ~what:"recv" buf pos count in
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Recv";
+  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
+  | Some env -> begin
+      match copy_payload env dt buf pos capacity with Ok st -> st | Error e -> raise e
+    end
+  | None -> begin
+      match dead_peer comm ~src with
+      | Some wr ->
+          Engine.delay w.World.engine w.World.detection_delay;
+          raise (Errors.Process_failed { world_rank = wr })
+      | None ->
+          Engine.suspend w.World.engine (fun resumer ->
+              let deliver env =
+                match copy_payload env dt buf pos capacity with
+                | Ok st -> Engine.resume resumer st
+                | Error e -> Engine.fail resumer e
+              in
+              let on_fail e = Engine.fail resumer e in
+              Msg.post mb (make_pending comm ~src ~tag ~ctx ~deliver ~on_fail))
+    end
+
+let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
+  Comm.check_active comm;
+  check_recv_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let capacity = window_bounds ~what:"irecv" buf pos count in
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Irecv";
+  let req = Request.create w.World.engine in
+  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  (match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
+  | Some env -> begin
+      match copy_payload env dt buf pos capacity with
+      | Ok st -> Request.complete req st
+      | Error e -> Request.abort req e
+    end
+  | None -> begin
+      match dead_peer comm ~src with
+      | Some wr ->
+          Engine.schedule w.World.engine ~delay:w.World.detection_delay (fun () ->
+              Request.abort req (Errors.Process_failed { world_rank = wr }))
+      | None ->
+          let deliver env =
+            match copy_payload env dt buf pos capacity with
+            | Ok st -> Request.complete req st
+            | Error e -> Request.abort req e
+          in
+          let on_fail e = Request.abort req e in
+          Msg.post mb (make_pending comm ~src ~tag ~ctx ~deliver ~on_fail)
+    end);
+  req
+
+let probe ?(ctx = Msg.User) comm ~src ~tag =
+  Comm.check_active comm;
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Probe";
+  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  match Msg.peek_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
+  | Some env -> { Request.source = env.Msg.src; tag = env.Msg.tag; count = env.Msg.count }
+  | None -> begin
+      match dead_peer comm ~src with
+      | Some wr ->
+          Engine.delay w.World.engine w.World.detection_delay;
+          raise (Errors.Process_failed { world_rank = wr })
+      | None ->
+          Engine.suspend w.World.engine (fun resumer ->
+              let notify (env : Msg.envelope) =
+                Engine.resume resumer
+                  { Request.source = env.src; tag = env.tag; count = env.count }
+              in
+              Msg.post_probe mb
+                {
+                  Msg.p_src = src;
+                  p_tag = tag;
+                  p_comm = Comm.id comm;
+                  p_ctx = ctx;
+                  p_src_world = (if src = any_source then -1 else Comm.world_rank_of comm src);
+                  p_group = Comm.group comm;
+                  notify;
+                  p_on_fail = (fun e -> Engine.fail resumer e);
+                  p_live = true;
+                })
+    end
+
+let iprobe ?(ctx = Msg.User) comm ~src ~tag =
+  Comm.check_active comm;
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Iprobe";
+  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  Msg.peek_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx
+  |> Option.map (fun (env : Msg.envelope) ->
+         { Request.source = env.src; tag = env.tag; count = env.count })
+
+let sendrecv ?(ctx = Msg.User) comm dt ~send:sbuf ?(send_pos = 0) ?send_count ~dst ~stag ~recv:rbuf
+    ?(recv_pos = 0) ?recv_count ~src ~rtag () =
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Sendrecv";
+  let sreq = isend ~ctx ~pos:send_pos ?count:send_count comm dt sbuf ~dst ~tag:stag in
+  let status = recv ~ctx ~pos:recv_pos ?count:recv_count comm dt rbuf ~src ~tag:rtag in
+  ignore (Request.wait sreq);
+  status
+
+let sendrecv_replace ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~stag ~src ~rtag =
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Sendrecv_replace";
+  (* the outgoing data is snapshotted at injection time (the runtime copies
+     payloads eagerly), so receiving into the same window is safe *)
+  let sreq = isend ~ctx ~pos ?count comm dt buf ~dst ~tag:stag in
+  let status = recv ~ctx ~pos ?count comm dt buf ~src ~tag:rtag in
+  ignore (Request.wait sreq);
+  status

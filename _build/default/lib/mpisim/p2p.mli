@@ -1,0 +1,129 @@
+(** Point-to-point communication (blocking and non-blocking).
+
+    Buffers are plain OCaml arrays with an optional [pos]/[count] window,
+    mirroring MPI's (pointer, count, datatype) triples.  All functions
+    must be called from inside a rank fiber.
+
+    The optional [ctx] argument separates user traffic from
+    library-internal collective traffic; it defaults to user context and is
+    only set to [Internal] by the collective algorithms. *)
+
+(** Match any sender. *)
+val any_source : int
+
+(** Match any tag. *)
+val any_tag : int
+
+(** [send comm dt buf ~dst ~tag] blocks until the message is injected into
+    the network (standard-mode send: local completion). *)
+val send :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  tag:int ->
+  unit
+
+(** [isend comm dt buf ~dst ~tag] is the non-blocking send; the request
+    completes at injection time.  The runtime copies the payload eagerly, so
+    the simulation itself is race-free — the ownership discipline that makes
+    this safe in real MPI is enforced by the {e KaMPIng layer} on top. *)
+val isend :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  tag:int ->
+  Request.t
+
+(** [issend comm dt buf ~dst ~tag] is the non-blocking {e synchronous} send:
+    the request completes only once the receiver has matched the message
+    (the building block of the NBX sparse all-to-all algorithm). *)
+val issend :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  tag:int ->
+  Request.t
+
+(** [recv comm dt buf ~src ~tag] blocks until a matching message arrives and
+    is copied into [buf] starting at [pos]; [count] bounds the capacity.
+    @raise Errors.Type_mismatch on datatype disagreement
+    @raise Errors.Truncated if the message does not fit
+    @raise Errors.Process_failed if the awaited peer has failed *)
+val recv :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  src:int ->
+  tag:int ->
+  Request.status
+
+(** [irecv comm dt buf ~src ~tag] posts a non-blocking receive. *)
+val irecv :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  src:int ->
+  tag:int ->
+  Request.t
+
+(** [probe comm ~src ~tag] blocks until a matching message is available
+    (without receiving it) and returns its status — the way to learn a
+    message's size before allocating the receive buffer. *)
+val probe : ?ctx:Msg.ctx -> Comm.t -> src:int -> tag:int -> Request.status
+
+(** [iprobe comm ~src ~tag] checks for a matching unexpected message without
+    receiving it. *)
+val iprobe : ?ctx:Msg.ctx -> Comm.t -> src:int -> tag:int -> Request.status option
+
+(** [sendrecv comm dt ~send ~dst ~stag ~recv ~src ~rtag] exchanges messages
+    with two (possibly different) peers without deadlocking. *)
+val sendrecv :
+  ?ctx:Msg.ctx ->
+  Comm.t ->
+  'a Datatype.t ->
+  send:'a array ->
+  ?send_pos:int ->
+  ?send_count:int ->
+  dst:int ->
+  stag:int ->
+  recv:'a array ->
+  ?recv_pos:int ->
+  ?recv_count:int ->
+  src:int ->
+  rtag:int ->
+  unit ->
+  Request.status
+
+(** [sendrecv_replace comm dt buf ~dst ~stag ~src ~rtag] sends the buffer's
+    contents and receives the reply into the same buffer
+    (MPI_Sendrecv_replace). *)
+val sendrecv_replace :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  stag:int ->
+  src:int ->
+  rtag:int ->
+  Request.status

@@ -1,0 +1,45 @@
+type t = { table : (string, int ref) Hashtbl.t; mutable msg_count : int; mutable byte_count : int }
+type snapshot = { calls : (string * int) list; messages : int; bytes : int }
+
+let create () = { table = Hashtbl.create 32; msg_count = 0; byte_count = 0 }
+
+let record_call t name =
+  match Hashtbl.find_opt t.table name with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.table name (ref 1)
+
+let record_message t ~bytes =
+  t.msg_count <- t.msg_count + 1;
+  t.byte_count <- t.byte_count + bytes
+
+let snapshot t =
+  let calls =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { calls; messages = t.msg_count; bytes = t.byte_count }
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.msg_count <- 0;
+  t.byte_count <- 0
+
+let calls_of name s = match List.assoc_opt name s.calls with Some n -> n | None -> 0
+
+let diff ~before ~after =
+  let names =
+    List.sort_uniq String.compare (List.map fst before.calls @ List.map fst after.calls)
+  in
+  let calls =
+    List.filter_map
+      (fun name ->
+        let d = calls_of name after - calls_of name before in
+        if d = 0 then None else Some (name, d))
+      names
+  in
+  { calls; messages = after.messages - before.messages; bytes = after.bytes - before.bytes }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>messages=%d bytes=%d" s.messages s.bytes;
+  List.iter (fun (name, n) -> Format.fprintf fmt "@,%s: %d" name n) s.calls;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,74 @@
+module Engine = Simnet.Engine
+
+type status = { source : int; tag : int; count : int }
+type state = Pending | Complete of status | Failed of exn
+
+type t = {
+  engine : Engine.t;
+  mutable state : state;
+  mutable waiter : status Engine.resumer option;
+}
+
+let create engine = { engine; state = Pending; waiter = None }
+let completed_now engine status = { engine; state = Complete status; waiter = None }
+
+let notify r =
+  match r.waiter with
+  | None -> ()
+  | Some w -> (
+      r.waiter <- None;
+      match r.state with
+      | Complete status -> Engine.resume w status
+      | Failed e -> Engine.fail w e
+      | Pending -> assert false)
+
+let complete r status =
+  (match r.state with
+  | Pending -> r.state <- Complete status
+  | Complete _ | Failed _ -> Errors.usage "Request.complete: request already completed");
+  notify r
+
+let abort r e =
+  match r.state with
+  | Pending ->
+      r.state <- Failed e;
+      notify r
+  | Complete _ | Failed _ -> () (* completion won the race; failure is moot *)
+
+let is_complete r = match r.state with Pending -> false | Complete _ | Failed _ -> true
+
+let wait r =
+  match r.state with
+  | Complete status -> status
+  | Failed e -> raise e
+  | Pending -> Engine.suspend r.engine (fun resumer -> r.waiter <- Some resumer)
+
+let test r =
+  match r.state with Complete status -> Some status | Failed e -> raise e | Pending -> None
+
+let wait_all rs = List.map wait rs
+
+let wait_any rs =
+  if rs = [] then Errors.usage "Request.wait_any: empty request list";
+  let find_ready () =
+    List.find_index is_complete rs
+    |> Option.map (fun i ->
+           match (List.nth rs i).state with
+           | Complete status -> (i, status)
+           | Failed e -> raise e
+           | Pending -> assert false)
+  in
+  match find_ready () with
+  | Some res -> res
+  | None ->
+      let engine = (List.hd rs).engine in
+      (* Park once; the engine's resumer is one-shot, so later completions
+         of the other requests are recorded in their state but do not wake
+         us twice. *)
+      let _ = Engine.suspend engine (fun resumer -> List.iter (fun r -> r.waiter <- Some resumer) rs)
+      in
+      List.iter (fun r -> r.waiter <- None) rs;
+      (match find_ready () with Some res -> res | None -> assert false)
+
+let test_all rs =
+  if List.for_all is_complete rs then Some (List.map (fun r -> wait r) rs) else None

@@ -1,0 +1,49 @@
+(** Non-blocking operation handles.
+
+    A request completes with a {!status} (like [MPI_Status]) or fails with
+    an exception (ULFM failures surface here).  [wait] parks the calling
+    fiber until completion; [test] polls without blocking. *)
+
+(** Completion information of a receive (senders get a synthetic status). *)
+type status = {
+  source : int;  (** rank of the peer, in the communicator the call used *)
+  tag : int;
+  count : int;  (** number of elements actually transferred *)
+}
+
+type t
+
+(** [create engine] is a fresh pending request. *)
+val create : Simnet.Engine.t -> t
+
+(** [completed_now engine status] is an already-complete request (used for
+    self-messages and empty transfers). *)
+val completed_now : Simnet.Engine.t -> status -> t
+
+(** [complete r status] transitions a pending request to complete and wakes
+    the waiter, if any.  Idempotence is a usage error. *)
+val complete : t -> status -> unit
+
+(** [abort r exn] fails a pending request; [wait]/[test] will re-raise. *)
+val abort : t -> exn -> unit
+
+(** [is_complete r] is true once completed (successfully or not). *)
+val is_complete : t -> bool
+
+(** [wait r] blocks the calling fiber until completion.
+    @raise the request's failure exception if it was aborted. *)
+val wait : t -> status
+
+(** [test r] is [Some status] if complete, [None] otherwise.
+    @raise the failure exception if the request was aborted. *)
+val test : t -> status option
+
+(** [wait_all rs] waits for every request, returning statuses in order. *)
+val wait_all : t list -> status list
+
+(** [wait_any rs] blocks until at least one request in the (non-empty) list
+    is complete and returns its index and status. *)
+val wait_any : t list -> int * status
+
+(** [test_all rs] is [Some statuses] if all complete, else [None]. *)
+val test_all : t list -> status list option

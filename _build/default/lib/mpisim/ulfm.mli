@@ -1,0 +1,30 @@
+(** User-Level Failure Mitigation primitives (MPI 5 / ULFM proposal).
+
+    Failure injection kills a rank's fiber; operations that depend on the
+    dead rank raise {!Errors.Process_failed} after a detection delay.
+    Recovery follows the ULFM recipe the paper shows in Fig. 12:
+    [revoke] to interrupt ongoing communication everywhere, then [shrink]
+    to build a new communicator of survivors. *)
+
+(** [schedule_failure world ~at ~world_rank] injects a process failure at
+    simulated time [at]. *)
+val schedule_failure : World.t -> at:float -> world_rank:int -> unit
+
+(** [revoke comm] marks the communicator revoked on all ranks; pending and
+    future operations on it raise {!Errors.Comm_revoked}. *)
+val revoke : Comm.t -> unit
+
+(** [is_revoked comm] tests the revocation flag. *)
+val is_revoked : Comm.t -> bool
+
+(** [num_failed comm] counts dead members. *)
+val num_failed : Comm.t -> int
+
+(** [shrink comm] is collective over the survivors: returns a fresh
+    (non-revoked) communicator containing exactly the live members of
+    [comm], in their original relative order. *)
+val shrink : Comm.t -> Comm.t
+
+(** [agree comm v] reaches agreement on the bitwise AND of [v] over all
+    surviving members (collective over survivors). *)
+val agree : Comm.t -> int -> int

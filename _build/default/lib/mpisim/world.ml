@@ -1,0 +1,94 @@
+module Engine = Simnet.Engine
+module Netmodel = Simnet.Netmodel
+
+type comm_shared = { cid : int; group : int array; mutable revoked : bool }
+
+type t = {
+  engine : Engine.t;
+  net : Netmodel.t;
+  size : int;
+  mailboxes : Msg.mailbox array;
+  prof : Profiling.t;
+  mutable next_comm_id : int;
+  alive : Ds.Bitset.t;
+  mutable fibers : Engine.fiber array;
+  detection_delay : float;
+  shrink_memo : (int * int, comm_shared) Hashtbl.t;
+  agree_memo : (int * int, agree_cell) Hashtbl.t;
+}
+
+and agree_cell = {
+  mutable acc : int;
+  mutable remaining : int;
+  mutable agree_waiters : int Engine.resumer list;
+}
+
+let create ?node ~net_params ~size () =
+  if size <= 0 then Errors.usage "World.create: size %d must be positive" size;
+  let alive = Ds.Bitset.create size in
+  Ds.Bitset.fill alive;
+  let net =
+    match node with
+    | Some (intra, node_size) ->
+        Netmodel.create_hierarchical ~inter:net_params ~intra ~node_size ~ranks:size
+    | None -> Netmodel.create net_params ~ranks:size
+  in
+  {
+    engine = Engine.create ();
+    net;
+    size;
+    mailboxes = Array.init size (fun _ -> Msg.create ());
+    prof = Profiling.create ();
+    next_comm_id = 0;
+    alive;
+    fibers = [||];
+    detection_delay = 10.0e-6;
+    shrink_memo = Hashtbl.create 8;
+    agree_memo = Hashtbl.create 8;
+  }
+
+let now w = Engine.now w.engine
+
+let fresh_comm w group =
+  let cid = w.next_comm_id in
+  w.next_comm_id <- w.next_comm_id + 1;
+  { cid; group; revoked = false }
+
+let is_alive w r = Ds.Bitset.mem w.alive r
+
+let any_dead w group =
+  let n = Array.length group in
+  let rec go i = if i >= n then None else if is_alive w group.(i) then go (i + 1) else Some group.(i)
+  in
+  go 0
+
+let kill w r =
+  if is_alive w r then begin
+    Ds.Bitset.clear w.alive r;
+    if r < Array.length w.fibers then Engine.kill w.engine w.fibers.(r);
+    (* The dead rank's own posted receives will never be resumed. *)
+    Array.iter (fun mb -> Msg.drop_owned mb ~world_rank:r) w.mailboxes;
+    (* Receives expecting data from [r] fail after the detection delay. *)
+    let expects_dead (pr : Msg.pending_recv) =
+      pr.src_world = r || (pr.src_world = -1 && Array.exists (fun g -> g = r) pr.comm_group)
+    in
+    Engine.schedule w.engine ~delay:w.detection_delay (fun () ->
+        Array.iter
+          (fun mb ->
+            Msg.fail_matching mb ~pred:expects_dead ~exn:(Errors.Process_failed { world_rank = r }))
+          w.mailboxes)
+  end
+
+let revoke w shared =
+  if not shared.revoked then begin
+    shared.revoked <- true;
+    (* Revocation propagates asynchronously; a small delay models the
+       revoke-propagation messages. *)
+    Engine.schedule w.engine ~delay:(2.0 *. (Netmodel.params w.net).latency) (fun () ->
+        Array.iter
+          (fun mb ->
+            Msg.fail_matching mb
+              ~pred:(fun pr -> pr.want_comm = shared.cid)
+              ~exn:Errors.Comm_revoked)
+          w.mailboxes)
+  end

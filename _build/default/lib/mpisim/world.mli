@@ -1,0 +1,67 @@
+(** Global state of one simulated machine: the event engine, the network
+    model, one mailbox per rank, liveness for failure injection, and the
+    profiling counters.
+
+    Communicator {e shared state} ([comm_shared]) lives here: one value per
+    communicator shared by all member ranks — it is what ULFM's [revoke]
+    flips and what the group mapping reads. *)
+
+type comm_shared = {
+  cid : int;
+  group : int array;  (** comm rank -> world rank *)
+  mutable revoked : bool;
+}
+
+type t = {
+  engine : Simnet.Engine.t;
+  net : Simnet.Netmodel.t;
+  size : int;
+  mailboxes : Msg.mailbox array;
+  prof : Profiling.t;
+  mutable next_comm_id : int;
+  alive : Ds.Bitset.t;
+  mutable fibers : Simnet.Engine.fiber array;
+  detection_delay : float;  (** simulated failure-detection latency *)
+  shrink_memo : (int * int, comm_shared) Hashtbl.t;
+      (** (parent cid, epoch) -> shrunk communicator state *)
+  agree_memo : (int * int, agree_cell) Hashtbl.t;
+      (** (cid, epoch) -> in-progress agreement *)
+}
+
+(** State of one in-progress ULFM agreement: survivors deposit their
+    contribution and park until the last one completes the round. *)
+and agree_cell = {
+  mutable acc : int;
+  mutable remaining : int;
+  mutable agree_waiters : int Simnet.Engine.resumer list;
+}
+
+(** [create ~net_params ~size ()] builds a world of [size] ranks, all
+    alive; [node] switches to a hierarchical fabric of
+    [(intra-node params, node size)]. *)
+val create :
+  ?node:Simnet.Netmodel.params * int -> net_params:Simnet.Netmodel.params -> size:int -> unit -> t
+
+(** [now w] is the simulated clock. *)
+val now : t -> float
+
+(** [fresh_comm ~world group] registers a new communicator over the given
+    world ranks. *)
+val fresh_comm : t -> int array -> comm_shared
+
+(** [is_alive w r] is rank [r]'s liveness. *)
+val is_alive : t -> int -> bool
+
+(** [any_dead w group] is the world rank of a dead member, if any. *)
+val any_dead : t -> int array -> int option
+
+(** [kill w r] fails world rank [r] {e now}: its fiber dies on next
+    resumption, its posted receives vanish, and every posted receive
+    anywhere that expects a message from [r] (directly or via wildcard over
+    a group containing [r]) fails with [Process_failed] after the detection
+    delay. *)
+val kill : t -> int -> unit
+
+(** [revoke w shared] marks the communicator revoked and fails every posted
+    receive on it with [Comm_revoked]. *)
+val revoke : t -> comm_shared -> unit

@@ -1,0 +1,1 @@
+lib/serde/archive.ml: Buffer Bytes Char Int64 Printf String Sys

@@ -1,0 +1,1 @@
+lib/serde/archive.mli: Bytes

@@ -1,0 +1,1 @@
+lib/serde/codec.ml: Archive Array Ds Hashtbl Int64 Json Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/serde/codec.mli: Archive Bytes Ds Hashtbl Json

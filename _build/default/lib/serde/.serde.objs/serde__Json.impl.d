@@ -1,0 +1,1 @@
+lib/serde/json.ml: Buffer Char Float List Printf String

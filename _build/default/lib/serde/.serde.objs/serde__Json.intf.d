@@ -1,0 +1,1 @@
+lib/serde/json.mli:

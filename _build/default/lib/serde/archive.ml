@@ -1,0 +1,87 @@
+exception Corrupt of string
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 64
+let contents w = Buffer.to_bytes w
+let size w = Buffer.length w
+
+(* Zig-zag maps small negative ints to small unsigned codes. *)
+let zigzag i = (i lsl 1) lxor (i asr (Sys.int_size - 1))
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let write_varint w i =
+  let u = ref (zigzag i) in
+  let continue = ref true in
+  while !continue do
+    let b = !u land 0x7F in
+    u := !u lsr 7;
+    if !u = 0 then begin
+      Buffer.add_char w (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char w (Char.chr (b lor 0x80))
+  done
+
+let write_int64 w i =
+  for shift = 0 to 7 do
+    Buffer.add_char w (Char.chr (Int64.to_int (Int64.shift_right_logical i (8 * shift)) land 0xFF))
+  done
+
+let write_float w f = write_int64 w (Int64.bits_of_float f)
+let write_byte w c = Buffer.add_char w c
+let write_bool w b = Buffer.add_char w (if b then '\001' else '\000')
+
+let write_string w s =
+  write_varint w (String.length s);
+  Buffer.add_string w s
+
+let write_bytes w b =
+  write_varint w (Bytes.length b);
+  Buffer.add_bytes w b
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let remaining r = Bytes.length r.data - r.pos
+let at_end r = remaining r = 0
+
+let need r n = if remaining r < n then raise (Corrupt (Printf.sprintf "need %d bytes, have %d" n (remaining r)))
+
+let read_byte r =
+  need r 1;
+  let c = Bytes.get r.data r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > Sys.int_size then raise (Corrupt "varint too long");
+    let b = Char.code (read_byte r) in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  unzigzag (go 0 0)
+
+let read_int64 r =
+  need r 8;
+  let v = ref 0L in
+  for shift = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get r.data (r.pos + shift))))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let read_float r = Int64.float_of_bits (read_int64 r)
+let read_bool r = read_byte r <> '\000'
+
+let read_string r =
+  let n = read_varint r in
+  if n < 0 then raise (Corrupt "negative string length");
+  need r n;
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_bytes r = Bytes.of_string (read_string r)

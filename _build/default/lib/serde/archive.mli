@@ -1,0 +1,50 @@
+(** Low-level binary archives: a growing byte sink for serialization and a
+    cursor-based source for deserialization.
+
+    Integers use zig-zag varint coding; floats are raw IEEE-754 bits.  The
+    format is self-contained and endianness-independent. *)
+
+(** Raised by readers on malformed or truncated input. *)
+exception Corrupt of string
+
+(** {1 Writing} *)
+
+type writer
+
+(** [writer ()] is an empty sink. *)
+val writer : unit -> writer
+
+(** [contents w] is everything written so far. *)
+val contents : writer -> Bytes.t
+
+(** [size w] is the number of bytes written so far. *)
+val size : writer -> int
+
+val write_varint : writer -> int -> unit
+val write_int64 : writer -> int64 -> unit
+val write_float : writer -> float -> unit
+val write_byte : writer -> char -> unit
+val write_bool : writer -> bool -> unit
+val write_string : writer -> string -> unit
+val write_bytes : writer -> Bytes.t -> unit
+
+(** {1 Reading} *)
+
+type reader
+
+(** [reader b] starts a cursor at the beginning of [b]. *)
+val reader : Bytes.t -> reader
+
+(** [remaining r] is the number of unread bytes. *)
+val remaining : reader -> int
+
+(** [at_end r] is [remaining r = 0]. *)
+val at_end : reader -> bool
+
+val read_varint : reader -> int
+val read_int64 : reader -> int64
+val read_float : reader -> float
+val read_byte : reader -> char
+val read_bool : reader -> bool
+val read_string : reader -> string
+val read_bytes : reader -> Bytes.t

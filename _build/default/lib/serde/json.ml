@@ -1,0 +1,220 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number_to_string f)
+    | Str s -> escape buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* Recursive-descent parser. *)
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some _ | None -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st (Printf.sprintf "expected %c, found %c" c c')
+  | None -> error st (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+            (* \uXXXX: decode the code point as a raw byte when < 256,
+               '?' otherwise (we never emit multi-byte escapes). *)
+            if st.pos + 4 >= String.length st.src then error st "bad \\u escape";
+            let hex = String.sub st.src (st.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with Failure _ -> error st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            Buffer.add_char buf (if code < 256 then Char.chr code else '?')
+        | Some c -> error st (Printf.sprintf "bad escape \\%c" c)
+        | None -> error st "unterminated escape");
+        advance st;
+        go ()
+      end
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected number";
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> error st (Printf.sprintf "bad number %s" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string_body st)
+  | Some '[' -> begin
+      advance st;
+      skip_ws st;
+      match peek st with
+      | Some ']' ->
+          advance st;
+          List []
+      | _ ->
+          let rec items acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                items (v :: acc)
+            | Some ']' ->
+                advance st;
+                List (List.rev (v :: acc))
+            | _ -> error st "expected , or ]"
+          in
+          items []
+    end
+  | Some '{' -> begin
+      advance st;
+      skip_ws st;
+      match peek st with
+      | Some '}' ->
+          advance st;
+          Obj []
+      | _ ->
+          let rec fields acc =
+            skip_ws st;
+            let k = parse_string_body st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance st;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> error st "expected , or }"
+          in
+          fields []
+    end
+  | Some _ -> Num (parse_number st)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) xs ys
+  | (Null | Bool _ | Num _ | Str _ | List _ | Obj _), _ -> false
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None

@@ -1,0 +1,1 @@
+lib/simnet/pqueue.ml: Array

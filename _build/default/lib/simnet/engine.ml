@@ -1,0 +1,120 @@
+open Effect
+open Effect.Deep
+
+exception Killed
+exception Deadlock of string list
+
+type fiber_state = Running | Parked | Done | Dead
+
+type fiber = { flabel : string; mutable state : fiber_state }
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Pqueue.t;
+  mutable seq : int;
+  mutable events : int;
+  mutable next_fid : int;
+  mutable fibers : fiber list; (* for deadlock diagnostics *)
+}
+
+type 'a resumer = { deliver : ('a, exn) result -> unit }
+
+(* Effects performed by fiber code.  The engine value travels inside the
+   effect payload so that one handler definition serves every engine. *)
+type _ Effect.t +=
+  | Delay : t * float -> unit Effect.t
+  | Suspend : t * ('a resumer -> unit) -> 'a Effect.t
+
+let create () =
+  { clock = 0.0; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0; fibers = [] }
+
+let now t = t.clock
+let events_processed t = t.events
+
+let push t ~at f =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.queue ~time:at ~seq:t.seq f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  push t ~at:(t.clock +. delay) f
+
+let alive fiber = fiber.state = Running || fiber.state = Parked
+let label fiber = fiber.flabel
+
+let kill _t fiber = if alive fiber then fiber.state <- Dead
+
+let spawn t ?(label = "fiber") f =
+  t.next_fid <- t.next_fid + 1;
+  let fiber = { flabel = Printf.sprintf "%s#%d" label t.next_fid; state = Running } in
+  t.fibers <- fiber :: t.fibers;
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> if fiber.state <> Dead then fiber.state <- Done);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> fiber.state <- Dead
+          | e ->
+              fiber.state <- Dead;
+              raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t, d) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  fiber.state <- Parked;
+                  push t ~at:(t.clock +. d) (fun () ->
+                      if fiber.state = Dead then discontinue k Killed
+                      else begin
+                        fiber.state <- Running;
+                        continue k ()
+                      end))
+          | Suspend (t, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  fiber.state <- Parked;
+                  let used = ref false in
+                  let deliver result =
+                    if not !used then begin
+                      used := true;
+                      push t ~at:t.clock (fun () ->
+                          if fiber.state = Dead then discontinue k Killed
+                          else begin
+                            fiber.state <- Running;
+                            match result with
+                            | Ok v -> continue k v
+                            | Error e -> discontinue k e
+                          end)
+                    end
+                  in
+                  register { deliver })
+          | _ -> None);
+    }
+  in
+  push t ~at:t.clock (fun () -> match_with f () handler);
+  fiber
+
+let delay t dt =
+  if dt < 0.0 then invalid_arg "Engine.delay: negative delay";
+  perform (Delay (t, dt))
+
+let yield t = perform (Delay (t, 0.0))
+let suspend t register = perform (Suspend (t, register))
+let resume r v = r.deliver (Ok v)
+let fail r e = r.deliver (Error e)
+
+let run t =
+  let rec loop () =
+    match Pqueue.pop_min t.queue with
+    | Some (time, _, f) ->
+        t.clock <- time;
+        t.events <- t.events + 1;
+        f ();
+        loop ()
+    | None ->
+        let parked = List.filter (fun f -> f.state = Parked) t.fibers in
+        if parked <> [] then raise (Deadlock (List.rev_map label parked))
+  in
+  loop ()

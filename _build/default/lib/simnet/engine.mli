@@ -1,0 +1,86 @@
+(** Discrete-event simulation engine with cooperative fibers.
+
+    Every simulated MPI rank runs as a fiber (an effects-based cooperative
+    thread).  Fibers advance a shared simulated clock by issuing {!delay}
+    (modelling local computation or transfer costs) and block on external
+    events with {!suspend} (modelling a blocking receive).  Events scheduled
+    for the same simulated time fire in scheduling order, so a run is fully
+    deterministic.
+
+    If the event queue drains while fibers are still parked, {!run} raises
+    {!Deadlock} listing the parked fibers — the simulator's equivalent of a
+    hung MPI job, and a debugging aid the paper lists as a desired feature
+    ("a strong debug mode"). *)
+
+type t
+type fiber
+
+(** Raised inside a fiber that was killed via {!kill} (used for failure
+    injection by the ULFM layer). *)
+exception Killed
+
+(** Raised by {!run} when no event is pending but fibers are parked.
+    Carries the labels of the parked fibers. *)
+exception Deadlock of string list
+
+(** [create ()] is a fresh engine with clock 0. *)
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [events_processed t] counts events executed so far (a determinism and
+    progress diagnostic). *)
+val events_processed : t -> int
+
+(** [schedule t ~delay f] runs callback [f] at time [now t +. delay].
+    Unlike a fiber, a callback must not block. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [spawn t ~label f] creates a fiber executing [f], starting at the
+    current simulated time.  An exception escaping [f] (other than {!Killed})
+    propagates out of {!run}. *)
+val spawn : t -> ?label:string -> (unit -> unit) -> fiber
+
+(** [kill t fiber] marks [fiber] dead: its next resumption raises {!Killed}
+    inside it.  A parked fiber stays parked until something resumes it (the
+    MPI layer fails parked operations explicitly on failure injection). *)
+val kill : t -> fiber -> unit
+
+(** [alive fiber] is false once the fiber finished or was killed. *)
+val alive : fiber -> bool
+
+(** [label fiber] is the label given at spawn time. *)
+val label : fiber -> string
+
+(** [run t] executes events until the queue is empty.
+    @raise Deadlock if fibers remain parked with no pending event. *)
+val run : t -> unit
+
+(** {1 Fiber-side operations}
+
+    These must be called from inside a fiber spawned on the engine. *)
+
+(** [delay t dt] advances this fiber's time by [dt] simulated seconds,
+    yielding to other events in between. *)
+val delay : t -> float -> unit
+
+(** [yield t] lets all other events scheduled for the current time run. *)
+val yield : t -> unit
+
+(** A one-shot handle used to wake a suspended fiber. *)
+type 'a resumer
+
+(** [suspend t register] parks the calling fiber and passes a {!resumer} to
+    [register]; the fiber resumes when {!resume} or {!fail} is invoked on
+    it.  The registered resumer must be triggered at most once; later
+    triggers are ignored. *)
+val suspend : t -> ('a resumer -> unit) -> 'a
+
+(** [resume r v] wakes the suspended fiber with value [v] at the current
+    simulated time. *)
+val resume : 'a resumer -> 'a -> unit
+
+(** [fail r exn] wakes the suspended fiber by raising [exn] at its suspension
+    point. *)
+val fail : 'a resumer -> exn -> unit

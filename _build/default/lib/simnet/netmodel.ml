@@ -1,0 +1,74 @@
+type params = {
+  latency : float;
+  byte_time : float;
+  injection_byte_time : float;
+  send_overhead : float;
+  recv_overhead : float;
+  memcpy_byte_time : float;
+}
+
+let default =
+  {
+    latency = 2.0e-6;
+    byte_time = 8.0e-11 (* 12.5 GB/s *);
+    injection_byte_time = 8.0e-11;
+    send_overhead = 0.5e-6;
+    recv_overhead = 0.5e-6;
+    memcpy_byte_time = 1.0e-10;
+  }
+
+let low_latency = { default with latency = 0.5e-6; send_overhead = 0.2e-6; recv_overhead = 0.2e-6 }
+
+let intra_node =
+  {
+    latency = 0.3e-6;
+    byte_time = 2.5e-11 (* 40 GB/s shared memory *);
+    injection_byte_time = 2.5e-11;
+    send_overhead = 0.2e-6;
+    recv_overhead = 0.2e-6;
+    memcpy_byte_time = 1.0e-10;
+  }
+
+type t = {
+  p : params;
+  intra : (params * int) option;  (* (intra-node params, node size) *)
+  egress_free : float array;
+  ingress_free : float array;
+}
+
+let create p ~ranks =
+  if ranks <= 0 then invalid_arg "Netmodel.create: ranks must be positive";
+  { p; intra = None; egress_free = Array.make ranks 0.0; ingress_free = Array.make ranks 0.0 }
+
+let create_hierarchical ~inter ~intra ~node_size ~ranks =
+  if node_size <= 0 then invalid_arg "Netmodel.create_hierarchical: node_size must be positive";
+  let t = create inter ~ranks in
+  { t with intra = Some (intra, node_size) }
+
+let params t = t.p
+
+let params_between t ~src ~dst =
+  match t.intra with
+  | Some (intra, node_size) when src / node_size = dst / node_size -> intra
+  | Some _ | None -> t.p
+
+let local_compute_cost t ~bytes = float_of_int bytes *. t.p.memcpy_byte_time
+
+let transfer t ~now ~src ~dst ~bytes ~pack_factor =
+  let p = params_between t ~src ~dst in
+  let fbytes = float_of_int bytes *. pack_factor in
+  if src = dst then begin
+    (* Local delivery: a single memcpy, no port involvement. *)
+    let done_at = now +. p.send_overhead +. (fbytes *. p.memcpy_byte_time) in
+    (done_at, done_at)
+  end
+  else begin
+    let start = Float.max now t.egress_free.(src) in
+    let injected = start +. p.send_overhead +. (fbytes *. p.injection_byte_time) in
+    t.egress_free.(src) <- injected;
+    let wire_arrival = injected +. p.latency +. (fbytes *. p.byte_time) in
+    let drain_start = Float.max wire_arrival t.ingress_free.(dst) in
+    let available = drain_start +. p.recv_overhead in
+    t.ingress_free.(dst) <- available;
+    (injected, available)
+  end

@@ -1,0 +1,60 @@
+(** Single-port LogGP-style network cost model.
+
+    A message of [bytes] from [src] to [dst] experiences:
+    - sender-side injection: the sender's egress port is occupied for
+      [send_overhead + bytes * injection_byte_time]; messages from one rank
+      serialize on its port (the effect that makes one-sided fan-out
+      expensive and motivates the paper's grid all-to-all);
+    - wire time: [latency + bytes * byte_time];
+    - receiver-side drain: the receiver's ingress port is occupied for
+      [recv_overhead + bytes * injection_byte_time].
+
+    Self-messages only pay a memory-copy cost.  Non-contiguous datatypes pay
+    a pack/unpack multiplier supplied by the caller (see
+    {!Mpisim.Datatype.pack_factor}). *)
+
+type params = {
+  latency : float;  (** wire latency per message, seconds *)
+  byte_time : float;  (** wire time per byte, seconds *)
+  injection_byte_time : float;  (** port occupancy per byte, seconds *)
+  send_overhead : float;  (** fixed CPU cost to post a send *)
+  recv_overhead : float;  (** fixed CPU cost to complete a receive *)
+  memcpy_byte_time : float;  (** local copy cost per byte (self messages) *)
+}
+
+(** Parameters loosely modelled after a 100 Gbit/s OmniPath-class fabric:
+    2 us latency, 12.5 GB/s wire bandwidth, 0.5 us send/recv overhead. *)
+val default : params
+
+(** A sharper network (lower latency) to explore crossovers. *)
+val low_latency : params
+
+(** Shared-memory-class parameters for communication within a node. *)
+val intra_node : params
+
+type t
+
+(** [create params ~ranks] allocates per-rank port state (a flat fabric:
+    every pair communicates with the same parameters). *)
+val create : params -> ranks:int -> t
+
+(** [create_hierarchical ~inter ~intra ~node_size ~ranks] models a cluster
+    of nodes with [node_size] ranks each: pairs within a node (same
+    [rank / node_size]) use [intra], all others [inter]. *)
+val create_hierarchical : inter:params -> intra:params -> node_size:int -> ranks:int -> t
+
+(** [params t] returns the inter-node (or flat) model parameters. *)
+val params : t -> params
+
+(** [params_between t ~src ~dst] is the parameter set governing one pair. *)
+val params_between : t -> src:int -> dst:int -> params
+
+(** [transfer t ~now ~src ~dst ~bytes ~pack_factor] books a message into the
+    port schedule and returns [(send_complete, arrival)]: the simulated time
+    at which the sender's buffer is free (local send completion), and the
+    time at which the message is fully available at the receiver. *)
+val transfer :
+  t -> now:float -> src:int -> dst:int -> bytes:int -> pack_factor:float -> float * float
+
+(** [local_compute_cost t ~bytes] is the memcpy cost for [bytes]. *)
+val local_compute_cost : t -> bytes:int -> float

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 = mix
+let create seed = { state = mix seed }
+
+let split t i =
+  create (Int64.add (mix t.state) (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep the top two bits clear so the value fits OCaml's 63-bit int *)
+  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  x mod bound
+
+let float t =
+  let x = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L

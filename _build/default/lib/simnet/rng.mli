@@ -1,0 +1,32 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every rank of the simulated machine owns an independent stream derived
+    from [(seed, rank)], so experiment results are reproducible regardless of
+    event interleaving — the property the paper's reproducible-reduce plugin
+    is about on the numerical side, applied here to workload generation. *)
+
+type t
+
+(** [create seed] is a fresh generator stream. *)
+val create : int64 -> t
+
+(** [split t i] is an independent stream derived from [t]'s seed and index
+    [i] (used for per-rank and per-cell streams). *)
+val split : t -> int -> t
+
+(** [int64 t] is the next raw 64-bit output. *)
+val int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [hash64 x] is the SplitMix64 finalizer applied to [x]: a stateless
+    mixing function used for communication-free graph generation. *)
+val hash64 : int64 -> int64

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Char Ds Float Graphgen Kamping List Mpisim Printf QCheck2 Queue Simnet String Tutil

@@ -1,0 +1,1 @@
+test/test_bindings.ml: Alcotest Array Bindings Mpisim Serde Tutil

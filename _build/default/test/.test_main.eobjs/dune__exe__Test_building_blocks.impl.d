@@ -1,0 +1,1 @@
+test/test_building_blocks.ml: Alcotest Array Comm Ds Kamping Kamping_plugins List Mpisim Printf QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_cart.ml: Alcotest Array Cart Collectives Comm Datatype Errors Mpisim Op P2p Printf Tutil

@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Bitset Ds List QCheck2 Tutil Vec

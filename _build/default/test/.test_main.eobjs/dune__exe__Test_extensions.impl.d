@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Comm Ds Format Fun Int64 Kamping Kamping_plugins List Measurement Mpisim Nb_result Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_graphgen.ml: Alcotest Array Ds Graphgen Hashtbl List Printf QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Array Collectives Comm Datatype Ds Errors Group Kamping Mpisim Op P2p Printf Simnet Tutil

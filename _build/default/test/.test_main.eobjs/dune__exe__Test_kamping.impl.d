@@ -1,0 +1,1 @@
+test/test_kamping.ml: Alcotest Array Assertions Comm Ds Flatten Format Fun Hashtbl Kamping List Mpisim Nb_result Option Printf Request_pool Resize_policy Serde String Tutil Type_traits

@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Array Collectives Comm Datatype Ds Errors Fun List Mpisim Op P2p Printf Profiling QCheck2 Request Simnet Tutil

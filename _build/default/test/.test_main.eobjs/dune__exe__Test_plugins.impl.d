@@ -1,0 +1,1 @@
+test/test_plugins.ml: Alcotest Array Comm Ds Float Format Int64 Kamping Kamping_plugins List Mpisim Option Printf QCheck2 Simnet Tutil

@@ -1,0 +1,1 @@
+test/test_properties.ml: Apps Array Comm Ds Fun Hashtbl Int64 Kamping Kamping_plugins List Mpisim QCheck2 Serde Tutil

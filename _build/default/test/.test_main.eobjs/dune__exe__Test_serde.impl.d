@@ -1,0 +1,1 @@
+test/test_serde.ml: Alcotest Archive Bytes Codec Hashtbl Int64 Json List Printf QCheck2 Serde Tutil

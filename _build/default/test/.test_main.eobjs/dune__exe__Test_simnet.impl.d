@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Engine List Netmodel Option Pqueue QCheck2 Rng Simnet String Tutil

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Apps Array Collectives Comm Datatype Ds Errors Kamping Kamping_plugins Mpisim Op Option P2p Request String Tutil

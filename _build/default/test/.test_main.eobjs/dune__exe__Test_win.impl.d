@@ -1,0 +1,1 @@
+test/test_win.ml: Alcotest Array Comm Datatype Errors Mpisim Op Tutil Win

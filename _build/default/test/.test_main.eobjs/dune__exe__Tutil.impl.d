@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Mpisim Printf QCheck2 QCheck_alcotest

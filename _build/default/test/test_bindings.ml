@@ -1,0 +1,167 @@
+(* Direct unit tests for the competing-binding emulation layers (they are
+   also exercised end-to-end through the application variants). *)
+
+module D = Mpisim.Datatype
+module B = Bindings.Boost_mpi
+module M = Bindings.Mpl
+module R = Bindings.Rwth_mpi
+
+let run = Tutil.run
+
+(* ---------- Boost.MPI style ---------- *)
+
+let test_boost_all_gather () =
+  ignore
+    (run ~ranks:4 (fun raw ->
+         let comm = B.wrap raw in
+         let got = B.all_gather comm D.int (B.rank comm * 3) in
+         Alcotest.(check Tutil.int_array) "single values" [| 0; 3; 6; 9 |] got;
+         let blocks = B.all_gather_block comm D.int [| B.rank comm; -1 |] in
+         Alcotest.(check Tutil.int_array) "blocks" [| 0; -1; 1; -1; 2; -1; 3; -1 |] blocks))
+
+let test_boost_all_gatherv_needs_user_counts () =
+  (* the design trait: Boost computes displacements but the user must have
+     exchanged the counts *)
+  ignore
+    (run ~ranks:3 (fun raw ->
+         let comm = B.wrap raw in
+         let r = B.rank comm in
+         let sizes = B.all_gather comm D.int (r + 1) in
+         let got = B.all_gatherv comm D.int (Array.make (r + 1) r) sizes in
+         Alcotest.(check Tutil.int_array) "concatenated" [| 0; 1; 1; 2; 2; 2 |] got))
+
+let test_boost_container_send_resizes () =
+  (* Boost's hidden allocation: the receiver learns the size from a header *)
+  ignore
+    (run ~ranks:2 (fun raw ->
+         let comm = B.wrap raw in
+         if B.rank comm = 0 then B.send comm D.int [| 9; 8; 7 |] ~dst:1 ~tag:3
+         else begin
+           let got = B.recv comm D.int ~src:0 ~tag:3 in
+           Alcotest.(check Tutil.int_array) "auto-sized" [| 9; 8; 7 |] got
+         end))
+
+let test_boost_implicit_serialization () =
+  ignore
+    (run ~ranks:2 (fun raw ->
+         let comm = B.wrap raw in
+         let codec = Serde.Codec.(list string) in
+         if B.rank comm = 0 then B.send_serialized comm codec [ "a"; "bb" ] ~dst:1 ~tag:0
+         else
+           Alcotest.(check (list string)) "serialized payload" [ "a"; "bb" ]
+             (B.recv_serialized comm codec ~src:0 ~tag:0)))
+
+let test_boost_scatter_gather () =
+  ignore
+    (run ~ranks:3 (fun raw ->
+         let comm = B.wrap raw in
+         let r = B.rank comm in
+         let mine = B.scatter comm D.int (if r = 1 then Some [| 10; 11; 12 |] else None) 1 in
+         Alcotest.(check int) "scattered" (10 + r) mine;
+         let all = B.gather comm D.int (mine * 2) 0 in
+         if r = 0 then Alcotest.(check Tutil.int_array) "gathered" [| 20; 22; 24 |] all))
+
+(* ---------- MPL style ---------- *)
+
+let test_mpl_layouts () =
+  let l = M.contiguous_layout ~displ:3 ~count:5 () in
+  Alcotest.(check int) "count" 5 (M.layout_count l);
+  Alcotest.(check int) "displ" 3 (M.layout_displ l);
+  Alcotest.(check int) "empty" 0 (M.layout_count M.empty_layout)
+
+let test_mpl_alltoallv_uses_alltoallw () =
+  (* the defining behavior: MPL's v-collectives take the Alltoallw path *)
+  let res =
+    Tutil.run_full ~ranks:3 (fun raw ->
+        let comm = M.wrap raw in
+        let p = M.size comm in
+        let send_layouts = Array.init p (fun d -> M.contiguous_layout ~displ:d ~count:1 ()) in
+        let recv_layouts = Array.init p (fun s -> M.contiguous_layout ~displ:s ~count:1 ()) in
+        let sendbuf = Array.init p (fun d -> (M.rank comm * 10) + d) in
+        let recvbuf = Array.make p (-1) in
+        M.alltoallv comm D.int sendbuf send_layouts recvbuf recv_layouts;
+        recvbuf)
+  in
+  Array.iteri
+    (fun r row ->
+      match row with
+      | Ok row ->
+          Alcotest.(check Tutil.int_array) "transport correct" (Array.init 3 (fun s -> (s * 10) + r)) row
+      | Error e -> raise e)
+    res.Mpisim.Mpi.results;
+  Alcotest.(check int) "Alltoallw on the wire" 3
+    (Mpisim.Profiling.calls_of "MPI_Alltoallw" res.Mpisim.Mpi.profile);
+  Alcotest.(check int) "no Alltoallv issued" 0
+    (Mpisim.Profiling.calls_of "MPI_Alltoallv" res.Mpisim.Mpi.profile)
+
+let test_mpl_allgatherv_via_alltoallw () =
+  let res =
+    Tutil.run_full ~ranks:4 (fun raw ->
+        let comm = M.wrap raw in
+        let r = M.rank comm in
+        let displs = [| 0; 1; 3; 6 |] in
+        let recv_layouts =
+          Array.init 4 (fun s -> M.contiguous_layout ~displ:displs.(s) ~count:(s + 1) ())
+        in
+        let recvbuf = Array.make 10 (-1) in
+        M.allgatherv comm D.int (Array.make (r + 1) r)
+          (M.contiguous_layout ~count:(r + 1) ())
+          recvbuf recv_layouts;
+        recvbuf)
+  in
+  let expected = [| 0; 1; 1; 2; 2; 2; 3; 3; 3; 3 |] in
+  Array.iter
+    (function
+      | Ok row -> Alcotest.(check Tutil.int_array) "gathered" expected row
+      | Error e -> raise e)
+    res.Mpisim.Mpi.results;
+  Alcotest.(check int) "rides Alltoallw" 4
+    (Mpisim.Profiling.calls_of "MPI_Alltoallw" res.Mpisim.Mpi.profile)
+
+(* ---------- RWTH style ---------- *)
+
+let test_rwth_allgather_resizes () =
+  ignore
+    (run ~ranks:3 (fun raw ->
+         let comm = R.wrap raw in
+         let got = R.allgather comm D.int [| R.rank comm |] in
+         Alcotest.(check Tutil.int_array) "resized result" [| 0; 1; 2 |] got))
+
+let test_rwth_inplace_autocounts () =
+  (* the only overload with internal count gathering (paper footnote 2) *)
+  ignore
+    (run ~ranks:3 (fun raw ->
+         let comm = R.wrap raw in
+         let r = R.rank comm in
+         (* data must already sit at the right offset *)
+         let displs = [| 0; 1; 3 |] in
+         let buf = Array.make 6 (-1) in
+         for i = 0 to r do
+           buf.(displs.(r) + i) <- r
+         done;
+         R.allgatherv_inplace comm D.int buf ~my_count:(r + 1);
+         Alcotest.(check Tutil.int_array) "in-place gathered" [| 0; 1; 1; 2; 2; 2 |] buf))
+
+let test_rwth_allgatherv_user_counts () =
+  ignore
+    (run ~ranks:3 (fun raw ->
+         let comm = R.wrap raw in
+         let r = R.rank comm in
+         let got = R.allgatherv comm D.int (Array.make (r + 1) (r * 5)) ~rcounts:[| 1; 2; 3 |] in
+         Alcotest.(check Tutil.int_array) "gathered" [| 0; 5; 5; 10; 10; 10 |] got))
+
+let suite =
+  [
+    Alcotest.test_case "boost: all_gather" `Quick test_boost_all_gather;
+    Alcotest.test_case "boost: all_gatherv needs user counts" `Quick
+      test_boost_all_gatherv_needs_user_counts;
+    Alcotest.test_case "boost: container send auto-resizes" `Quick test_boost_container_send_resizes;
+    Alcotest.test_case "boost: implicit serialization" `Quick test_boost_implicit_serialization;
+    Alcotest.test_case "boost: scatter/gather" `Quick test_boost_scatter_gather;
+    Alcotest.test_case "mpl: layouts" `Quick test_mpl_layouts;
+    Alcotest.test_case "mpl: alltoallv rides Alltoallw" `Quick test_mpl_alltoallv_uses_alltoallw;
+    Alcotest.test_case "mpl: allgatherv rides Alltoallw" `Quick test_mpl_allgatherv_via_alltoallw;
+    Alcotest.test_case "rwth: allgather resizes" `Quick test_rwth_allgather_resizes;
+    Alcotest.test_case "rwth: in-place auto counts" `Quick test_rwth_inplace_autocounts;
+    Alcotest.test_case "rwth: allgatherv user counts" `Quick test_rwth_allgatherv_user_counts;
+  ]

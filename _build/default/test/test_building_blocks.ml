@@ -1,0 +1,167 @@
+(* Tests for the Sec. VI building blocks: request-reply reads over
+   distributed data and the asynchronous message aggregator. *)
+
+open Kamping
+module D = Mpisim.Datatype
+module V = Ds.Vec
+module RR = Kamping_plugins.Request_reply
+module Agg = Kamping_plugins.Aggregator
+
+let wrapped ~ranks f = Tutil.run ~ranks (fun raw -> f (Comm.wrap raw))
+
+(* ---------- request-reply ---------- *)
+
+let rr_scenario transport ~ranks =
+  wrapped ~ranks (fun comm ->
+      let r = Comm.rank comm and p = Comm.size comm in
+      (* a distributed table: owner of key k is k mod p; value is 1000k + owner *)
+      let owner k = k mod p in
+      let lookup k =
+        assert (owner k = r);
+        (1000 * k) + r
+      in
+      (* every rank asks for an interleaved slice of keys *)
+      let keys = V.init 20 (fun i -> (i * 7) + r) in
+      let got = RR.read ~transport comm D.int D.int ~owner ~lookup keys in
+      (V.to_list keys, V.to_list got))
+
+let check_rr transport ~ranks =
+  let results = rr_scenario transport ~ranks in
+  Array.iter
+    (fun (keys, got) ->
+      let expected = List.map (fun k -> (k, (1000 * k) + (k mod ranks))) keys in
+      Alcotest.(check (list (pair int (pair int int)))) "values in request order"
+        (List.mapi (fun i kv -> (i, kv)) expected)
+        (List.mapi (fun i kv -> (i, kv)) got))
+    results
+
+let test_rr_dense () = List.iter (fun p -> check_rr RR.Dense ~ranks:p) [ 1; 3; 6 ]
+let test_rr_sparse () = List.iter (fun p -> check_rr RR.Sparse ~ranks:p) [ 1; 3; 6 ]
+
+let test_rr_empty_requests () =
+  (* some ranks ask nothing; owners still answer others *)
+  ignore
+    (wrapped ~ranks:4 (fun comm ->
+         let r = Comm.rank comm in
+         let keys = if r = 2 then V.of_list [ 0; 1; 2; 3 ] else V.create () in
+         let got = RR.read comm D.int D.int ~owner:(fun k -> k mod 4) ~lookup:(fun k -> -k) keys in
+         if r = 2 then
+           Alcotest.(check (list (pair int int))) "answers" [ (0, 0); (1, -1); (2, -2); (3, -3) ]
+             (V.to_list got)
+         else Alcotest.(check int) "nothing" 0 (V.length got)))
+
+let test_rr_duplicate_keys () =
+  ignore
+    (wrapped ~ranks:3 (fun comm ->
+         let keys = V.of_list [ 5; 5; 5 ] in
+         let got = RR.read comm D.int D.int ~owner:(fun k -> k mod 3) ~lookup:(fun k -> k * k) keys in
+         Alcotest.(check (list (pair int int))) "duplicates answered"
+           [ (5, 25); (5, 25); (5, 25) ]
+           (V.to_list got)))
+
+let prop_rr_transports_agree =
+  Tutil.qtest ~count:15 "request-reply: dense and sparse agree"
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_bound 30) (int_bound 100)))
+    (fun (p, pool) ->
+      let run transport =
+        Tutil.run ~ranks:p (fun raw ->
+            let comm = Comm.wrap raw in
+            let keys =
+              V.of_list (List.filteri (fun i _ -> i mod p = Comm.rank comm) pool)
+            in
+            V.to_list
+              (RR.read ~transport comm D.int D.int ~owner:(fun k -> k mod p)
+                 ~lookup:(fun k -> (2 * k) + 1)
+                 keys))
+      in
+      run RR.Dense = run RR.Sparse)
+
+(* ---------- aggregator ---------- *)
+
+let test_aggregator_delivers_everything () =
+  List.iter
+    (fun threshold ->
+      let ranks = 5 in
+      let results =
+        wrapped ~ranks (fun comm ->
+            let r = Comm.rank comm and p = Comm.size comm in
+            let received = Array.make p 0 in
+            let sum = ref 0 in
+            let agg =
+              Agg.create ~threshold comm D.int ~handler:(fun ~src block ->
+                  received.(src) <- received.(src) + V.length block;
+                  V.iter (fun x -> sum := !sum + x) block)
+            in
+            (* every rank sends 30 items to each other rank *)
+            for dst = 0 to p - 1 do
+              if dst <> r then
+                for i = 1 to 30 do
+                  Agg.send agg ~dst ((r * 1000) + i)
+                done
+            done;
+            Agg.finish agg;
+            (Array.copy received, !sum))
+      in
+      Array.iteri
+        (fun r (received, sum) ->
+          let expected_sum = ref 0 in
+          for s = 0 to ranks - 1 do
+            if s <> r then begin
+              Alcotest.(check int)
+                (Printf.sprintf "thr=%d: 30 items from %d" threshold s)
+                30 received.(s);
+              for i = 1 to 30 do
+                expected_sum := !expected_sum + (s * 1000) + i
+              done
+            end
+          done;
+          Alcotest.(check int) (Printf.sprintf "thr=%d: payload sum" threshold) !expected_sum sum)
+        results)
+    [ 1; 7; 1000 ]
+
+let test_aggregator_rounds () =
+  (* finish acts as a round boundary; the aggregator is reusable *)
+  ignore
+    (wrapped ~ranks:3 (fun comm ->
+         let r = Comm.rank comm and p = Comm.size comm in
+         let this_round = ref 0 in
+         let agg =
+           Agg.create ~threshold:4 comm D.int ~handler:(fun ~src:_ block ->
+               this_round := !this_round + V.length block)
+         in
+         for round = 1 to 3 do
+           this_round := 0;
+           let k = round * 2 in
+           for _ = 1 to k do
+             Agg.send agg ~dst:((r + 1) mod p) 1
+           done;
+           Agg.finish agg;
+           Alcotest.(check int) (Printf.sprintf "round %d" round) k !this_round
+         done))
+
+let test_aggregator_threshold_ships_early () =
+  ignore
+    (wrapped ~ranks:2 (fun comm ->
+         let r = Comm.rank comm in
+         let agg = Agg.create ~threshold:5 comm D.int ~handler:(fun ~src:_ _ -> ()) in
+         if r = 0 then begin
+           for i = 1 to 4 do
+             Agg.send agg ~dst:1 i
+           done;
+           Alcotest.(check int) "still buffered" 4 (Agg.pending_items agg);
+           Agg.send agg ~dst:1 5;
+           Alcotest.(check int) "shipped at threshold" 0 (Agg.pending_items agg)
+         end;
+         Agg.finish agg))
+
+let suite =
+  [
+    Alcotest.test_case "request-reply dense" `Quick test_rr_dense;
+    Alcotest.test_case "request-reply sparse (NBX)" `Quick test_rr_sparse;
+    Alcotest.test_case "request-reply empty requests" `Quick test_rr_empty_requests;
+    Alcotest.test_case "request-reply duplicate keys" `Quick test_rr_duplicate_keys;
+    prop_rr_transports_agree;
+    Alcotest.test_case "aggregator delivers everything" `Quick test_aggregator_delivers_everything;
+    Alcotest.test_case "aggregator round boundaries" `Quick test_aggregator_rounds;
+    Alcotest.test_case "aggregator threshold" `Quick test_aggregator_threshold_ships_early;
+  ]

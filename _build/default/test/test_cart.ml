@@ -1,0 +1,141 @@
+(* Tests for Cartesian topologies, halo exchange, reduce_scatter_block and
+   sendrecv_replace. *)
+
+open Mpisim
+
+let run = Tutil.run
+
+let test_dims_create () =
+  Alcotest.(check Tutil.int_array) "12 in 2d" [| 4; 3 |] (Cart.dims_create ~nodes:12 ~ndims:2);
+  Alcotest.(check Tutil.int_array) "8 in 3d" [| 2; 2; 2 |] (Cart.dims_create ~nodes:8 ~ndims:3);
+  Alcotest.(check Tutil.int_array) "7 in 2d" [| 7; 1 |] (Cart.dims_create ~nodes:7 ~ndims:2);
+  Alcotest.(check Tutil.int_array) "1 in 1d" [| 1 |] (Cart.dims_create ~nodes:1 ~ndims:1);
+  let d = Cart.dims_create ~nodes:36 ~ndims:2 in
+  Alcotest.(check int) "36 product" 36 (d.(0) * d.(1))
+
+let test_coords_roundtrip () =
+  ignore
+    (run ~ranks:12 (fun comm ->
+         let cart = Cart.create comm ~dims:[| 3; 4 |] ~periodic:[| false; false |] in
+         for rank = 0 to 11 do
+           let c = Cart.coords cart rank in
+           Alcotest.(check int) "roundtrip" rank (Cart.rank_of cart c);
+           Alcotest.(check bool) "in range" true (c.(0) < 3 && c.(1) < 4)
+         done;
+         (* row-major: rank = x * 4 + y *)
+         Alcotest.(check Tutil.int_array) "rank 7 coords" [| 1; 3 |] (Cart.coords cart 7)))
+
+let test_shift () =
+  ignore
+    (run ~ranks:6 (fun comm ->
+         let cart = Cart.create comm ~dims:[| 2; 3 |] ~periodic:[| false; true |] in
+         if Comm.rank comm = 0 then begin
+           (* non-periodic dim 0 at the boundary *)
+           let src, dst = Cart.shift cart ~dim:0 ~disp:1 in
+           Alcotest.(check (option int)) "no source below" None src;
+           Alcotest.(check (option int)) "dest is rank 3" (Some 3) dst;
+           (* periodic dim 1 wraps *)
+           let src, dst = Cart.shift cart ~dim:1 ~disp:1 in
+           Alcotest.(check (option int)) "wrapped source" (Some 2) src;
+           Alcotest.(check (option int)) "dest" (Some 1) dst
+         end))
+
+let test_create_validation () =
+  ignore
+    (run ~ranks:4 (fun comm ->
+         Alcotest.(check bool) "bad dims rejected" true
+           (match Cart.create comm ~dims:[| 3; 2 |] ~periodic:[| false; false |] with
+           | (_ : Cart.t) -> false
+           | exception Errors.Usage_error _ -> true)))
+
+let test_halo_exchange_ring () =
+  (* 1D periodic ring: each rank's halos are exactly the neighbors' data *)
+  ignore
+    (run ~ranks:5 (fun comm ->
+         let r = Comm.rank comm and p = Comm.size comm in
+         let cart = Cart.create comm ~dims:[| 5 |] ~periodic:[| true |] in
+         let send_low = [| r * 10 |] and send_high = [| (r * 10) + 1 |] in
+         let recv_low = [| -1 |] and recv_high = [| -1 |] in
+         let n = Cart.halo_exchange cart Datatype.int ~dim:0 ~send_low ~send_high ~recv_low ~recv_high in
+         Alcotest.(check int) "two neighbors" 2 n;
+         Alcotest.(check int) "low halo = left neighbor's high" ((((r - 1 + p) mod p) * 10) + 1)
+           recv_low.(0);
+         Alcotest.(check int) "high halo = right neighbor's low" (((r + 1) mod p) * 10) recv_high.(0)))
+
+let test_halo_exchange_boundary () =
+  (* non-periodic: edges have only one neighbor, buffers stay untouched *)
+  ignore
+    (run ~ranks:4 (fun comm ->
+         let r = Comm.rank comm in
+         let cart = Cart.create comm ~dims:[| 4 |] ~periodic:[| false |] in
+         let recv_low = [| -7 |] and recv_high = [| -7 |] in
+         let n =
+           Cart.halo_exchange cart Datatype.int ~dim:0 ~send_low:[| r |] ~send_high:[| r |]
+             ~recv_low ~recv_high
+         in
+         let expected_neighbors = if r = 0 || r = 3 then 1 else 2 in
+         Alcotest.(check int) "neighbor count" expected_neighbors n;
+         if r = 0 then Alcotest.(check int) "no low neighbor" (-7) recv_low.(0)
+         else Alcotest.(check int) "low halo" (r - 1) recv_low.(0);
+         if r = 3 then Alcotest.(check int) "no high neighbor" (-7) recv_high.(0)
+         else Alcotest.(check int) "high halo" (r + 1) recv_high.(0)))
+
+let test_halo_2d_grid () =
+  (* halos along both dimensions of a 2x3 grid *)
+  ignore
+    (run ~ranks:6 (fun comm ->
+         let cart = Cart.create comm ~dims:[| 2; 3 |] ~periodic:[| false; false |] in
+         let r = Comm.rank comm in
+         let rl = [| -1 |] and rh = [| -1 |] in
+         ignore (Cart.halo_exchange cart Datatype.int ~dim:1 ~send_low:[| r |] ~send_high:[| r |]
+                   ~recv_low:rl ~recv_high:rh);
+         let c = Cart.coords cart r in
+         if c.(1) > 0 then Alcotest.(check int) "left neighbor" (r - 1) rl.(0);
+         if c.(1) < 2 then Alcotest.(check int) "right neighbor" (r + 1) rh.(0)))
+
+let test_reduce_scatter_block () =
+  let p = 4 in
+  let results =
+    run ~ranks:p (fun comm ->
+        let r = Comm.rank comm in
+        (* each rank contributes [r, r, ...]: block i sums to p*(p-1)/2 + i pattern *)
+        let sendbuf = Array.init (2 * p) (fun j -> (r * 100) + j) in
+        let recvbuf = Array.make 2 0 in
+        Collectives.reduce_scatter_block comm Datatype.int Op.int_sum ~sendbuf ~recvbuf ~count:2;
+        recvbuf)
+  in
+  (* sum over r of (r*100 + j) = 100*6 + 4j *)
+  Array.iteri
+    (fun r got ->
+      let expected = Array.init 2 (fun k -> 600 + (4 * ((2 * r) + k))) in
+      Alcotest.(check Tutil.int_array) (Printf.sprintf "block@%d" r) expected got)
+    results
+
+let test_sendrecv_replace () =
+  let results =
+    run ~ranks:4 (fun comm ->
+        let r = Comm.rank comm and p = Comm.size comm in
+        let buf = [| r; r * 2 |] in
+        ignore
+          (P2p.sendrecv_replace comm Datatype.int buf ~dst:((r + 1) mod p) ~stag:1
+             ~src:((r - 1 + p) mod p) ~rtag:1);
+        buf)
+  in
+  Array.iteri
+    (fun r got ->
+      let prev = (r + 3) mod 4 in
+      Alcotest.(check Tutil.int_array) "rotated" [| prev; prev * 2 |] got)
+    results
+
+let suite =
+  [
+    Alcotest.test_case "dims_create" `Quick test_dims_create;
+    Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+    Alcotest.test_case "shift with periodicity" `Quick test_shift;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "halo exchange on a ring" `Quick test_halo_exchange_ring;
+    Alcotest.test_case "halo exchange at boundaries" `Quick test_halo_exchange_boundary;
+    Alcotest.test_case "halo exchange on a 2d grid" `Quick test_halo_2d_grid;
+    Alcotest.test_case "reduce_scatter_block" `Quick test_reduce_scatter_block;
+    Alcotest.test_case "sendrecv_replace" `Quick test_sendrecv_replace;
+  ]

@@ -1,0 +1,224 @@
+(* Tests for the extension surface: non-blocking collectives, the
+   measurement/timer module, and the distributed-vector plugin. *)
+
+open Kamping
+module C = Mpisim.Collectives
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let run = Tutil.run
+let wrapped ~ranks f = run ~ranks (fun raw -> f (Comm.wrap raw))
+let vec_int = Alcotest.testable (Ds.Vec.pp Format.pp_print_int) (Ds.Vec.equal ( = ))
+
+(* ---------- non-blocking collectives (mpisim) ---------- *)
+
+let test_ibcast () =
+  ignore
+    (run ~ranks:5 (fun comm ->
+         let buf = if Mpisim.Comm.rank comm = 1 then [| 4; 5; 6 |] else Array.make 3 0 in
+         let req = C.ibcast comm D.int buf ~root:1 in
+         (* overlap with local work *)
+         Mpisim.Comm.compute comm 3.0e-6;
+         ignore (Mpisim.Request.wait req);
+         Alcotest.(check Tutil.int_array) "ibcast payload" [| 4; 5; 6 |] buf))
+
+let test_iallreduce () =
+  ignore
+    (run ~ranks:6 (fun comm ->
+         let r = Mpisim.Comm.rank comm in
+         let out = Array.make 2 0 in
+         let req = C.iallreduce comm D.int Mpisim.Op.int_sum ~sendbuf:[| r; 1 |] ~recvbuf:out ~count:2 in
+         ignore (Mpisim.Request.wait req);
+         Alcotest.(check Tutil.int_array) "iallreduce" [| 15; 6 |] out))
+
+let test_ialltoallv () =
+  ignore
+    (run ~ranks:4 (fun comm ->
+         let r = Mpisim.Comm.rank comm and p = Mpisim.Comm.size comm in
+         let scounts = Array.make p 1 in
+         let sdispls = Array.init p Fun.id in
+         let sendbuf = Array.init p (fun d -> (r * 10) + d) in
+         let recvbuf = Array.make p (-1) in
+         let req =
+           C.ialltoallv comm D.int ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts:scounts
+             ~rdispls:sdispls
+         in
+         ignore (Mpisim.Request.wait req);
+         Alcotest.(check Tutil.int_array) "ialltoallv" (Array.init p (fun s -> (s * 10) + r)) recvbuf))
+
+let test_overlapping_nonblocking_collectives () =
+  (* two in-flight collectives on the same communicator must not
+     cross-match *)
+  ignore
+    (run ~ranks:4 (fun comm ->
+         let r = Mpisim.Comm.rank comm in
+         let a = if r = 0 then [| 1 |] else [| 0 |] in
+         let b = if r = 0 then [| 2 |] else [| 0 |] in
+         let ra = C.ibcast comm D.int a ~root:0 in
+         let rb = C.ibcast comm D.int b ~root:0 in
+         ignore (Mpisim.Request.wait rb);
+         ignore (Mpisim.Request.wait ra);
+         Alcotest.(check int) "first bcast" 1 a.(0);
+         Alcotest.(check int) "second bcast" 2 b.(0)))
+
+(* ---------- kamping non-blocking wrappers ---------- *)
+
+let test_kamping_ibcast_ownership () =
+  ignore
+    (wrapped ~ranks:3 (fun comm ->
+         let buf = if Comm.rank comm = 0 then V.of_list [ 7; 8 ] else V.make 2 0 in
+         let pending = Comm.ibcast comm D.int ~send_recv_buf:buf in
+         let back = Nb_result.wait pending in
+         Alcotest.(check bool) "buffer returned" true (back == buf);
+         Alcotest.check vec_int "payload" (V.of_list [ 7; 8 ]) back))
+
+let test_kamping_iallreduce () =
+  ignore
+    (wrapped ~ranks:4 (fun comm ->
+         let pending = Comm.iallreduce comm D.int Mpisim.Op.int_max ~send_buf:(V.make 1 (Comm.rank comm)) in
+         let v = Nb_result.wait pending in
+         Alcotest.check vec_int "max" (V.of_list [ 3 ]) v))
+
+let test_kamping_ialltoallv () =
+  ignore
+    (wrapped ~ranks:3 (fun comm ->
+         let p = Comm.size comm and r = Comm.rank comm in
+         let counts = Array.make p 1 in
+         let pending =
+           Comm.ialltoallv comm D.int
+             ~send_buf:(V.init p (fun d -> (r * 100) + d))
+             ~send_counts:counts ~recv_counts:counts
+         in
+         let v = Nb_result.wait pending in
+         Alcotest.check vec_int "exchange" (V.init p (fun s -> (s * 100) + r)) v))
+
+(* ---------- measurement ---------- *)
+
+let test_measurement_phases () =
+  ignore
+    (wrapped ~ranks:4 (fun comm ->
+         let timer = Measurement.create comm in
+         Measurement.time timer "compute" (fun () -> Comm.compute comm 10.0e-6);
+         Measurement.time timer "communicate" (fun () -> Comm.barrier comm);
+         (* the phase accumulates over repeated sections *)
+         Measurement.time timer "compute" (fun () -> Comm.compute comm 5.0e-6);
+         Alcotest.(check (float 1e-9)) "accumulated compute" 15.0e-6
+           (Measurement.local timer "compute");
+         Alcotest.(check (list string)) "phases" [ "communicate"; "compute" ]
+           (Measurement.phases timer);
+         let stats = Measurement.aggregate timer in
+         let compute = List.find (fun s -> s.Measurement.phase = "compute") stats in
+         Alcotest.(check (float 1e-9)) "min = max = mean (uniform work)" compute.Measurement.min
+           compute.Measurement.max))
+
+let test_measurement_skew () =
+  ignore
+    (wrapped ~ranks:4 (fun comm ->
+         let timer = Measurement.create comm in
+         Measurement.time timer "phase" (fun () ->
+             Comm.compute comm (float_of_int (Comm.rank comm) *. 1.0e-6));
+         let stats = List.hd (Measurement.aggregate timer) in
+         Alcotest.(check (float 1e-12)) "min" 0.0 stats.Measurement.min;
+         Alcotest.(check (float 1e-12)) "max" 3.0e-6 stats.Measurement.max;
+         Alcotest.(check (float 1e-12)) "mean" 1.5e-6 stats.Measurement.mean))
+
+let test_measurement_misuse () =
+  ignore
+    (wrapped ~ranks:1 (fun comm ->
+         let timer = Measurement.create comm in
+         Alcotest.(check bool) "stop before start" true
+           (match Measurement.stop timer "x" with
+           | () -> false
+           | exception Mpisim.Errors.Usage_error _ -> true);
+         Measurement.start timer "x";
+         Alcotest.(check bool) "double start" true
+           (match Measurement.start timer "x" with
+           | () -> false
+           | exception Mpisim.Errors.Usage_error _ -> true)))
+
+(* ---------- distributed vector ---------- *)
+
+module DV = Kamping_plugins.Dist_vector
+
+let test_dist_vector_pipeline () =
+  let results =
+    wrapped ~ranks:4 (fun comm ->
+        let r = Comm.rank comm in
+        (* uneven initial distribution *)
+        let v = DV.create comm D.int (V.init (r * 2) (fun i -> (r * 100) + i)) in
+        Alcotest.(check int) "global size" 12 (DV.global_size v);
+        let doubled = DV.map D.int (fun x -> 2 * x) v in
+        let big = DV.filter (fun x -> x >= 400) doubled in
+        Alcotest.(check int) "filtered size" 10 (DV.global_size big);
+        let total = DV.reduce ( + ) doubled in
+        (V.to_list (DV.gather_all big), total))
+  in
+  let expected_big = [ 400; 402; 404; 406; 600; 602; 604; 606; 608; 610 ] in
+  Array.iter
+    (fun (big, total) ->
+      Alcotest.(check (list int)) "gathered filtered" expected_big big;
+      (* sum of doubled elements *)
+      let all = List.concat (List.init 4 (fun r -> List.init (r * 2) (fun i -> 2 * ((r * 100) + i)))) in
+      Alcotest.(check int) "reduce" (List.fold_left ( + ) 0 all) total)
+    results
+
+let test_dist_vector_balance () =
+  ignore
+    (wrapped ~ranks:4 (fun comm ->
+         let r = Comm.rank comm in
+         (* everything starts on rank 0 *)
+         let v = DV.create comm D.int (if r = 0 then V.init 10 Fun.id else V.create ()) in
+         let balanced = DV.balance v in
+         let expected_len = if r < 2 then 3 else 2 in
+         Alcotest.(check int) "balanced length" expected_len (V.length (DV.local balanced));
+         (* global order preserved *)
+         Alcotest.check vec_int "order preserved" (V.init 10 Fun.id) (DV.gather_all balanced)))
+
+let test_dist_vector_sort () =
+  ignore
+    (wrapped ~ranks:3 (fun comm ->
+         let rng = Simnet.Rng.split (Simnet.Rng.create 5L) (Comm.rank comm) in
+         let v = DV.create comm D.int (V.init 40 (fun _ -> Simnet.Rng.int rng 1000)) in
+         let sorted = DV.sort ~cmp:compare v in
+         let all = DV.gather_all sorted in
+         let l = V.to_list all in
+         Alcotest.(check bool) "sorted" true (l = List.sort compare l);
+         Alcotest.(check int) "size preserved" 120 (V.length all)))
+
+let test_dist_vector_reduce_reproducible () =
+  (* float reduction through the container is p-independent *)
+  let data = Array.init 100 (fun i -> (10.0 ** float_of_int ((i * 5 mod 21) - 10)) *. 1.3) in
+  let sum_with ranks =
+    (run ~ranks (fun raw ->
+         let comm = Comm.wrap raw in
+         let base = Array.length data / ranks and extra = Array.length data mod ranks in
+         let r = Comm.rank comm in
+         let count = base + (if r < extra then 1 else 0) in
+         let start = (r * base) + min r extra in
+         let v = DV.create comm D.float (V.init count (fun i -> data.(start + i))) in
+         DV.reduce ( +. ) v)).(0)
+  in
+  let s1 = sum_with 1 and s5 = sum_with 5 and s9 = sum_with 9 in
+  Alcotest.(check bool) "bitwise stable" true
+    (Int64.equal (Int64.bits_of_float s1) (Int64.bits_of_float s5)
+    && Int64.equal (Int64.bits_of_float s5) (Int64.bits_of_float s9))
+
+let suite =
+  [
+    Alcotest.test_case "ibcast" `Quick test_ibcast;
+    Alcotest.test_case "iallreduce" `Quick test_iallreduce;
+    Alcotest.test_case "ialltoallv" `Quick test_ialltoallv;
+    Alcotest.test_case "overlapping nonblocking collectives" `Quick
+      test_overlapping_nonblocking_collectives;
+    Alcotest.test_case "kamping ibcast ownership" `Quick test_kamping_ibcast_ownership;
+    Alcotest.test_case "kamping iallreduce" `Quick test_kamping_iallreduce;
+    Alcotest.test_case "kamping ialltoallv" `Quick test_kamping_ialltoallv;
+    Alcotest.test_case "measurement phases" `Quick test_measurement_phases;
+    Alcotest.test_case "measurement skew aggregation" `Quick test_measurement_skew;
+    Alcotest.test_case "measurement misuse" `Quick test_measurement_misuse;
+    Alcotest.test_case "dist_vector map/filter/reduce" `Quick test_dist_vector_pipeline;
+    Alcotest.test_case "dist_vector balance" `Quick test_dist_vector_balance;
+    Alcotest.test_case "dist_vector sort" `Quick test_dist_vector_sort;
+    Alcotest.test_case "dist_vector reproducible float reduce" `Quick
+      test_dist_vector_reduce_reproducible;
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the distributed graph substrate and the generator families. *)
+
+module G = Graphgen.Distgraph
+module Gen = Graphgen.Generators
+
+let test_block_range_partition () =
+  List.iter
+    (fun (n, p) ->
+      let total = ref 0 in
+      let prev_end = ref 0 in
+      for r = 0 to p - 1 do
+        let first, count = G.block_range ~global_n:n ~comm_size:p r in
+        Alcotest.(check int) "contiguous" !prev_end first;
+        prev_end := first + count;
+        total := !total + count
+      done;
+      Alcotest.(check int) (Printf.sprintf "covers n=%d p=%d" n p) n !total)
+    [ (10, 3); (7, 7); (5, 8); (100, 1); (0, 4) ]
+
+let build_whole family ~p ~n ~d =
+  List.init p (fun rank -> Gen.generate family ~rank ~comm_size:p ~global_n:n ~avg_degree:d ~seed:5)
+
+let edge_set g =
+  let acc = ref [] in
+  for i = 0 to g.G.local_n - 1 do
+    G.iter_neighbors g i (fun u -> acc := (G.global_of_local g i, u) :: !acc)
+  done;
+  !acc
+
+let global_edges parts = List.concat_map edge_set parts |> List.sort compare
+
+let test_generators_independent_of_p () =
+  List.iter
+    (fun family ->
+      let e1 = global_edges (build_whole family ~p:1 ~n:60 ~d:4) in
+      let e3 = global_edges (build_whole family ~p:3 ~n:60 ~d:4) in
+      let e7 = global_edges (build_whole family ~p:7 ~n:60 ~d:4) in
+      Alcotest.(check bool) (Gen.family_name family ^ " p=1 vs p=3") true (e1 = e3);
+      Alcotest.(check bool) (Gen.family_name family ^ " p=3 vs p=7") true (e3 = e7))
+    [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ]
+
+let test_generator_determinism () =
+  List.iter
+    (fun family ->
+      let a = global_edges (build_whole family ~p:4 ~n:40 ~d:3) in
+      let b = global_edges (build_whole family ~p:4 ~n:40 ~d:3) in
+      Alcotest.(check bool) (Gen.family_name family ^ " deterministic") true (a = b))
+    [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ]
+
+let test_er_degree () =
+  let parts = build_whole Gen.Erdos_renyi ~p:2 ~n:100 ~d:5 in
+  List.iter
+    (fun g ->
+      for i = 0 to g.G.local_n - 1 do
+        Alcotest.(check int) "uniform out-degree" 5 (G.degree g i)
+      done)
+    parts
+
+let test_rgg_symmetric () =
+  let edges = global_edges (build_whole Gen.Rgg2d ~p:3 ~n:120 ~d:8) in
+  let set = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace set e ()) edges;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d) has reverse" u v)
+        true
+        (Hashtbl.mem set (v, u)))
+    edges
+
+let test_rgg_locality_beats_er () =
+  (* fraction of cut edges must be far lower for RGG than for ER *)
+  let cut_fraction family =
+    let p = 8 and n = 400 and d = 6 in
+    let parts = build_whole family ~p ~n ~d in
+    let total = ref 0 and cut = ref 0 in
+    List.iter
+      (fun g ->
+        for i = 0 to g.G.local_n - 1 do
+          G.iter_neighbors g i (fun u ->
+              incr total;
+              if not (G.is_local g u) then incr cut)
+        done)
+      parts;
+    float_of_int !cut /. float_of_int (max 1 !total)
+  in
+  let er = cut_fraction Gen.Erdos_renyi and rgg = cut_fraction Gen.Rgg2d in
+  Alcotest.(check bool)
+    (Printf.sprintf "rgg cut %.2f well below er cut %.2f" rgg er)
+    true
+    (rgg < 0.6 *. er)
+
+let test_rhg_skew () =
+  (* power-law targets produce hub vertices: max in-degree far above the
+     average *)
+  let parts = build_whole Gen.Rhg ~p:4 ~n:500 ~d:8 in
+  let indeg = Array.make 500 0 in
+  List.iter
+    (fun g ->
+      for i = 0 to g.G.local_n - 1 do
+        G.iter_neighbors g i (fun u -> indeg.(u) <- indeg.(u) + 1)
+      done)
+    parts;
+  let max_in = Array.fold_left max 0 indeg in
+  Alcotest.(check bool)
+    (Printf.sprintf "hub degree %d >> avg 8" max_in)
+    true (max_in > 40)
+
+let prop_owner_consistent =
+  Tutil.qtest "owner matches block_range"
+    QCheck2.Gen.(pair (int_range 1 200) (int_range 1 16))
+    (fun (n, p) ->
+      let g =
+        Gen.erdos_renyi ~rank:0 ~comm_size:p ~global_n:n ~avg_degree:1 ~seed:1
+      in
+      let ok = ref true in
+      for r = 0 to p - 1 do
+        let first, count = G.block_range ~global_n:n ~comm_size:p r in
+        for v = first to first + count - 1 do
+          if G.owner g v <> r then ok := false
+        done
+      done;
+      !ok)
+
+let test_of_edges_csr () =
+  let edges = Ds.Vec.of_list [ (2, 5); (0, 1); (2, 3); (1, 0); (0, 9) ] in
+  let g = G.of_edges ~comm_size:2 ~rank:0 ~global_n:10 edges in
+  Alcotest.(check int) "local_n" 5 g.G.local_n;
+  Alcotest.(check int) "degree 0" 2 (G.degree g 0);
+  Alcotest.(check int) "degree 1" 1 (G.degree g 1);
+  Alcotest.(check int) "degree 2" 2 (G.degree g 2);
+  Alcotest.(check int) "degree 3" 0 (G.degree g 3);
+  let n2 = ref [] in
+  G.iter_neighbors g 2 (fun u -> n2 := u :: !n2);
+  Alcotest.(check (list int)) "adjacency of 2 in insertion order" [ 5; 3 ] (List.rev !n2)
+
+let test_rank_partners () =
+  let edges = Ds.Vec.of_list [ (0, 9); (1, 4); (2, 1) ] in
+  let g = G.of_edges ~comm_size:3 ~rank:0 ~global_n:9 edges in
+  (* blocks of 3: 9 -> oob? n=9: blocks [0,3) [3,6) [6,9); targets 9 invalid *)
+  ignore g;
+  let edges = Ds.Vec.of_list [ (0, 8); (1, 4); (2, 1) ] in
+  let g = G.of_edges ~comm_size:3 ~rank:0 ~global_n:9 edges in
+  Alcotest.(check Tutil.int_array) "partners" [| 1; 2 |] (G.rank_partners g)
+
+let suite =
+  [
+    Alcotest.test_case "block_range partitions" `Quick test_block_range_partition;
+    Alcotest.test_case "generators independent of p" `Quick test_generators_independent_of_p;
+    Alcotest.test_case "generators deterministic" `Quick test_generator_determinism;
+    Alcotest.test_case "er out-degree" `Quick test_er_degree;
+    Alcotest.test_case "rgg symmetric" `Quick test_rgg_symmetric;
+    Alcotest.test_case "rgg locality beats er" `Quick test_rgg_locality_beats_er;
+    Alcotest.test_case "rhg has hubs" `Quick test_rhg_skew;
+    prop_owner_consistent;
+    Alcotest.test_case "of_edges CSR" `Quick test_of_edges_csr;
+    Alcotest.test_case "rank partners" `Quick test_rank_partners;
+  ]

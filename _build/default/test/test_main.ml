@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "kamping-ocaml"
+    [
+      ("ds", Test_ds.suite);
+      ("simnet", Test_simnet.suite);
+      ("serde", Test_serde.suite);
+      ("mpisim", Test_mpisim.suite);
+      ("kamping", Test_kamping.suite);
+      ("plugins", Test_plugins.suite);
+      ("graphgen", Test_graphgen.suite);
+      ("apps", Test_apps.suite);
+      ("extensions", Test_extensions.suite);
+      ("cart", Test_cart.suite);
+      ("win", Test_win.suite);
+      ("building-blocks", Test_building_blocks.suite);
+      ("properties", Test_properties.suite);
+      ("bindings", Test_bindings.suite);
+      ("group", Test_group.suite);
+      ("stress", Test_stress.suite);
+    ]

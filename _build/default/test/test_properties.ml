@@ -1,0 +1,267 @@
+(* Cross-cutting property-based tests: randomized workloads checked against
+   sequential reference semantics, end to end through the simulated
+   machine. *)
+
+open Kamping
+module C = Mpisim.Collectives
+module D = Mpisim.Datatype
+module V = Ds.Vec
+
+let run = Tutil.run
+let wrapped ~ranks f = run ~ranks (fun raw -> f (Comm.wrap raw))
+
+let gen_ranks = QCheck2.Gen.int_range 1 9
+
+let prop_bcast =
+  Tutil.qtest ~count:30 "bcast replicates any payload from any root"
+    QCheck2.Gen.(triple gen_ranks (int_bound 50) (list_size (int_bound 20) int))
+    (fun (p, root_seed, payload) ->
+      let root = root_seed mod p in
+      let payload = Array.of_list payload in
+      let results =
+        run ~ranks:p (fun comm ->
+            let buf =
+              if Mpisim.Comm.rank comm = root then Array.copy payload
+              else Array.make (Array.length payload) 0
+            in
+            C.bcast comm D.int buf ~root;
+            buf)
+      in
+      Array.for_all (fun got -> got = payload) results)
+
+let prop_reduce_sum =
+  Tutil.qtest ~count:30 "reduce computes element-wise sums"
+    QCheck2.Gen.(pair gen_ranks (list_size (int_range 1 10) (int_bound 1000)))
+    (fun (p, template) ->
+      let n = List.length template in
+      let value r i = ((r + 1) * 17) + (i * 3) in
+      let results =
+        run ~ranks:p (fun comm ->
+            let r = Mpisim.Comm.rank comm in
+            let sendbuf = Array.init n (value r) in
+            let recvbuf = Array.make n 0 in
+            C.reduce comm D.int Mpisim.Op.int_sum ~sendbuf ~recvbuf ~count:n ~root:0;
+            recvbuf)
+      in
+      let expected = Array.init n (fun i -> List.init p (fun r -> value r i) |> List.fold_left ( + ) 0) in
+      results.(0) = expected)
+
+let prop_allgatherv_one_liner =
+  Tutil.qtest ~count:30 "kamping allgatherv equals concatenation"
+    QCheck2.Gen.(pair gen_ranks (array_size (return 9) (int_bound 6)))
+    (fun (p, sizes) ->
+      let size_of r = sizes.(r mod 9) in
+      let results =
+        wrapped ~ranks:p (fun comm ->
+            let r = Comm.rank comm in
+            let v = V.init (size_of r) (fun i -> (r * 100) + i) in
+            V.to_list (Comm.allgatherv comm D.int ~send_buf:v).Comm.recv_buf)
+      in
+      let expected =
+        List.concat (List.init p (fun r -> List.init (size_of r) (fun i -> (r * 100) + i)))
+      in
+      Array.for_all (fun got -> got = expected) results)
+
+let prop_scan_prefix =
+  Tutil.qtest ~count:30 "scan computes prefix sums" gen_ranks (fun p ->
+      let results =
+        wrapped ~ranks:p (fun comm ->
+            Comm.scan_single comm D.int Mpisim.Op.int_sum ((Comm.rank comm * 2) + 1))
+      in
+      Array.to_list results
+      = List.init p (fun r -> List.init (r + 1) (fun i -> (2 * i) + 1) |> List.fold_left ( + ) 0))
+
+let prop_alltoall_transpose =
+  Tutil.qtest ~count:30 "alltoall transposes the data matrix" gen_ranks (fun p ->
+      let results =
+        run ~ranks:p (fun comm ->
+            let r = Mpisim.Comm.rank comm in
+            let sendbuf = Array.init p (fun d -> (r * p) + d) in
+            let recvbuf = Array.make p (-1) in
+            C.alltoall comm D.int ~sendbuf ~recvbuf ~count:1;
+            recvbuf)
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun r row -> Array.iteri (fun s x -> if x <> (s * p) + r then ok := false) row)
+        results;
+      !ok)
+
+let prop_scatterv_gatherv_roundtrip =
+  Tutil.qtest ~count:25 "scatterv then gatherv restores the original"
+    QCheck2.Gen.(pair gen_ranks (array_size (return 9) (int_bound 5)))
+    (fun (p, sizes) ->
+      let counts = Array.init p (fun r -> sizes.(r mod 9)) in
+      let total = Array.fold_left ( + ) 0 counts in
+      let original = Array.init total (fun i -> (i * 13) + 1) in
+      let results =
+        wrapped ~ranks:p (fun comm ->
+            let r = Comm.rank comm in
+            let mine =
+              Comm.scatterv
+                ?send_buf:(if r = 0 then Some (V.of_array original) else None)
+                ?send_counts:(if r = 0 then Some counts else None)
+                comm D.int
+            in
+            let back = Comm.gatherv comm D.int ~send_buf:mine in
+            if r = 0 then V.to_array back.Comm.recv_buf else [||])
+      in
+      results.(0) = original)
+
+let prop_serde_nested =
+  Tutil.qtest ~count:80 "nested codec roundtrips"
+    QCheck2.Gen.(
+      list_size (int_bound 8)
+        (pair (string_size ~gen:(char_range 'a' 'z') (int_bound 8)) (pair (list int) (option float))))
+    (fun v ->
+      let codec = Serde.Codec.(list (pair string (pair (list int) (option float)))) in
+      let back = Serde.Codec.decode codec (Serde.Codec.encode codec v) in
+      (* floats compared bitwise through the binary archive *)
+      List.length back = List.length v
+      && List.for_all2
+           (fun (k1, (l1, f1)) (k2, (l2, f2)) ->
+             k1 = k2 && l1 = l2
+             &&
+             match (f1, f2) with
+             | None, None -> true
+             | Some a, Some b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+             | _ -> false)
+           v back)
+
+let prop_hypergrid_random =
+  Tutil.qtest ~count:15 "hypergrid equals direct exchange for random shapes"
+    QCheck2.Gen.(triple (int_range 2 16) (int_range 2 4) (int_bound 1000))
+    (fun (p, ndims, salt) ->
+      let payload s d = List.init ((s + d + salt) mod 3) (fun i -> (s * 100) + (d * 10) + i) in
+      let results =
+        wrapped ~ranks:p (fun comm ->
+            let hg = Kamping_plugins.Hypergrid.create comm ~ndims in
+            let r = Comm.rank comm in
+            let send_buf = V.create () in
+            let send_counts = Array.make p 0 in
+            for d = 0 to p - 1 do
+              let l = payload r d in
+              send_counts.(d) <- List.length l;
+              List.iter (V.push send_buf) l
+            done;
+            let out, _ = Kamping_plugins.Hypergrid.alltoallv hg D.int ~send_buf ~send_counts in
+            V.to_list out)
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun r got ->
+          if got <> List.concat (List.init p (fun s -> payload s r)) then ok := false)
+        results;
+      !ok)
+
+let prop_win_matches_sequential_model =
+  Tutil.qtest ~count:15 "RMA epoch equals the sequential model"
+    QCheck2.Gen.(triple (int_range 1 6) (int_range 1 8) (int_bound 10_000))
+    (fun (p, seg_size, salt) ->
+      (* every rank issues a deterministic op sequence derived from salt *)
+      let ops_of r =
+        List.init 6 (fun i ->
+            let h = Hashtbl.hash (r, i, salt) in
+            let target = h mod p in
+            let pos = h / 7 mod seg_size in
+            let value = h mod 1000 in
+            if h mod 3 = 0 then `Put (target, pos, value) else `Acc (target, pos, value))
+      in
+      let results =
+        run ~ranks:p (fun comm ->
+            let seg = Array.make seg_size 0 in
+            let win = Mpisim.Win.create comm D.int seg in
+            List.iter
+              (function
+                | `Put (target, pos, v) -> Mpisim.Win.put win ~target ~target_pos:pos [| v |]
+                | `Acc (target, pos, v) ->
+                    Mpisim.Win.accumulate win ~target ~target_pos:pos Mpisim.Op.int_sum [| v |])
+              (ops_of (Mpisim.Comm.rank comm));
+            Mpisim.Win.fence win;
+            seg)
+      in
+      (* sequential model: origins in rank order, ops in issue order *)
+      let model = Array.init p (fun _ -> Array.make seg_size 0) in
+      for origin = 0 to p - 1 do
+        List.iter
+          (function
+            | `Put (target, pos, v) -> model.(target).(pos) <- v
+            | `Acc (target, pos, v) -> model.(target).(pos) <- model.(target).(pos) + v)
+          (ops_of origin)
+      done;
+      Array.for_all2 (fun a b -> a = b) results model)
+
+let prop_fetch_shifted =
+  Tutil.qtest ~count:25 "fetch_shifted equals a sequential shift"
+    QCheck2.Gen.(triple (int_range 1 7) (int_range 1 40) (int_range 0 45))
+    (fun (p, n, k) ->
+      let global = Array.init n (fun i -> (i * 31) + 5) in
+      let results =
+        wrapped ~ranks:p (fun comm ->
+            let first, local_n = Apps.Dist_util.block_of ~n ~p:(Comm.size comm) (Comm.rank comm) in
+            let local = Array.init (max local_n 1) (fun i -> if i < local_n then global.(first + i) else 0) in
+            let shifted = Apps.Dist_util.fetch_shifted comm ~n ~k ~fill:(-1) D.int local in
+            (first, local_n, shifted))
+      in
+      Array.for_all
+        (fun (first, local_n, shifted) ->
+          let ok = ref true in
+          for i = 0 to local_n - 1 do
+            let expected = if first + i + k < n then global.(first + i + k) else -1 in
+            if shifted.(i) <> expected then ok := false
+          done;
+          !ok)
+        results)
+
+let prop_split_groups =
+  Tutil.qtest ~count:20 "split groups behave like independent communicators"
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 2 4))
+    (fun (p, colors) ->
+      let results =
+        run ~ranks:p (fun comm ->
+            let r = Mpisim.Comm.rank comm in
+            match C.split comm ~color:(r mod colors) ~key:r with
+            | Some sub ->
+                let out = Array.make (Mpisim.Comm.size sub) (-1) in
+                C.allgather sub D.int ~sendbuf:[| r |] ~recvbuf:out ~count:1;
+                Array.to_list out
+            | None -> [])
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun r members ->
+          let expected = List.init p Fun.id |> List.filter (fun x -> x mod colors = r mod colors) in
+          if members <> expected then ok := false)
+        results;
+      !ok)
+
+let prop_reproducible_dist_vector_sort =
+  Tutil.qtest ~count:15 "dist sort output independent of p"
+    QCheck2.Gen.(list_size (int_bound 60) (int_bound 500))
+    (fun pool ->
+      let sorted_with p =
+        let results =
+          wrapped ~ranks:p (fun comm ->
+              let mine = List.filteri (fun i _ -> i mod p = Comm.rank comm) pool in
+              let dv = Kamping_plugins.Dist_vector.create comm D.int (V.of_list mine) in
+              V.to_list (Kamping_plugins.Dist_vector.gather_all (Kamping_plugins.Dist_vector.sort ~cmp:compare dv)))
+        in
+        results.(0)
+      in
+      sorted_with 1 = sorted_with 4 && sorted_with 4 = List.sort compare pool)
+
+let suite =
+  [
+    prop_bcast;
+    prop_reduce_sum;
+    prop_allgatherv_one_liner;
+    prop_scan_prefix;
+    prop_alltoall_transpose;
+    prop_scatterv_gatherv_roundtrip;
+    prop_serde_nested;
+    prop_hypergrid_random;
+    prop_win_matches_sequential_model;
+    prop_fetch_shifted;
+    prop_split_groups;
+    prop_reproducible_dist_vector_sort;
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the serialization substrate: binary archives, JSON and
+   codecs. *)
+
+open Serde
+
+let roundtrip codec v = Codec.decode codec (Codec.encode codec v)
+let roundtrip_json codec v = Codec.decode_json codec (Codec.encode_json codec v)
+
+let test_archive_primitives () =
+  let w = Archive.writer () in
+  Archive.write_varint w 0;
+  Archive.write_varint w (-1);
+  Archive.write_varint w max_int;
+  Archive.write_varint w min_int;
+  Archive.write_float w 3.14;
+  Archive.write_string w "héllo";
+  Archive.write_bool w true;
+  Archive.write_int64 w (-123456789012345L);
+  let r = Archive.reader (Archive.contents w) in
+  Alcotest.(check int) "varint 0" 0 (Archive.read_varint r);
+  Alcotest.(check int) "varint -1" (-1) (Archive.read_varint r);
+  Alcotest.(check int) "varint max" max_int (Archive.read_varint r);
+  Alcotest.(check int) "varint min" min_int (Archive.read_varint r);
+  Alcotest.(check (float 0.0)) "float" 3.14 (Archive.read_float r);
+  Alcotest.(check string) "string" "héllo" (Archive.read_string r);
+  Alcotest.(check bool) "bool" true (Archive.read_bool r);
+  Alcotest.(check int64) "int64" (-123456789012345L) (Archive.read_int64 r);
+  Alcotest.(check bool) "consumed" true (Archive.at_end r)
+
+let test_archive_truncated () =
+  let w = Archive.writer () in
+  Archive.write_string w "hello";
+  let full = Archive.contents w in
+  let cut = Bytes.sub full 0 (Bytes.length full - 2) in
+  Alcotest.(check bool) "raises Corrupt" true
+    (match Archive.read_string (Archive.reader cut) with
+    | (_ : string) -> false
+    | exception Archive.Corrupt _ -> true)
+
+let test_codec_combinators () =
+  let c = Codec.(list (pair int string)) in
+  let v = [ (1, "a"); (-5, "bb"); (0, "") ] in
+  Alcotest.(check bool) "binary roundtrip" true (roundtrip c v = v);
+  Alcotest.(check bool) "json roundtrip" true (roundtrip_json c v = v)
+
+let test_codec_option_result () =
+  let c = Codec.(option (result int string)) in
+  List.iter
+    (fun v -> Alcotest.(check bool) "roundtrip" true (roundtrip c v = v))
+    [ None; Some (Ok 42); Some (Error "boom") ]
+
+let test_codec_hashtbl () =
+  let c = Codec.(hashtbl string int) in
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.replace tbl "x" 1;
+  Hashtbl.replace tbl "y" 2;
+  let back = roundtrip c tbl in
+  Alcotest.(check (option int)) "x" (Some 1) (Hashtbl.find_opt back "x");
+  Alcotest.(check (option int)) "y" (Some 2) (Hashtbl.find_opt back "y");
+  Alcotest.(check int) "size" 2 (Hashtbl.length back)
+
+let test_codec_conv () =
+  (* A user-defined record, Cereal-style. *)
+  let point = Codec.conv ~name:"point" (fun (x, y) -> (x, y)) (fun p -> p) Codec.(pair float float) in
+  Alcotest.(check bool) "conv roundtrip" true (roundtrip point (1.5, -2.5) = (1.5, -2.5))
+
+let test_codec_trailing_bytes () =
+  let b = Codec.encode Codec.int 7 in
+  let padded = Bytes.cat b (Bytes.of_string "x") in
+  Alcotest.(check bool) "trailing bytes rejected" true
+    (match Codec.decode Codec.int padded with
+    | (_ : int) -> false
+    | exception Archive.Corrupt _ -> true)
+
+let test_json_print_parse () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.0);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Str "q\"uote\n" ]);
+        ("c", Json.Obj []);
+      ]
+  in
+  Alcotest.(check bool) "print/parse" true (Json.equal v (Json.parse (Json.to_string v)))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" s) true
+        (match Json.parse s with
+        | (_ : Json.t) -> false
+        | exception Json.Parse_error _ -> true))
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_numbers () =
+  (match Json.parse "-1.5e3" with
+  | Json.Num f -> Alcotest.(check (float 0.0)) "scientific" (-1500.0) f
+  | _ -> Alcotest.fail "expected number");
+  Alcotest.(check string) "integral printing" "42" (Json.to_string (Json.Num 42.0))
+
+let prop_codec_int_list =
+  Tutil.qtest "codec int list roundtrip" QCheck2.Gen.(list int) (fun l ->
+      roundtrip Codec.(list int) l = l)
+
+let prop_codec_string_json =
+  Tutil.qtest "codec string json roundtrip"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_bound 50))
+    (fun s -> roundtrip_json Codec.string s = s)
+
+let prop_codec_float =
+  Tutil.qtest "codec float binary exact" QCheck2.Gen.float (fun f ->
+      let back = roundtrip Codec.float f in
+      Int64.equal (Int64.bits_of_float back) (Int64.bits_of_float f))
+
+let prop_json_string_escapes =
+  Tutil.qtest "json string escaping" QCheck2.Gen.(string_size (int_bound 30)) (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with Json.Str s' -> s' = s | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "archive primitives" `Quick test_archive_primitives;
+    Alcotest.test_case "archive truncation" `Quick test_archive_truncated;
+    Alcotest.test_case "codec combinators" `Quick test_codec_combinators;
+    Alcotest.test_case "codec option/result" `Quick test_codec_option_result;
+    Alcotest.test_case "codec hashtbl" `Quick test_codec_hashtbl;
+    Alcotest.test_case "codec conv" `Quick test_codec_conv;
+    Alcotest.test_case "codec trailing bytes" `Quick test_codec_trailing_bytes;
+    Alcotest.test_case "json print/parse" `Quick test_json_print_parse;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    prop_codec_int_list;
+    prop_codec_string_json;
+    prop_codec_float;
+    prop_json_string_escapes;
+  ]

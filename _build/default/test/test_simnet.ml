@@ -1,0 +1,189 @@
+(* Tests for the discrete-event engine, priority queue, RNG and network
+   model. *)
+
+open Simnet
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:2.0 ~seq:1 "b";
+  Pqueue.push q ~time:1.0 ~seq:2 "a";
+  Pqueue.push q ~time:2.0 ~seq:0 "b0";
+  let pop () = match Pqueue.pop_min q with Some (_, _, v) -> v | None -> "end" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  let x4 = pop () in
+  Alcotest.(check (list string)) "ordering" [ "a"; "b0"; "b"; "end" ] [ x1; x2; x3; x4 ]
+
+let prop_pqueue_sorted =
+  Tutil.qtest "pqueue pops sorted" QCheck2.Gen.(list (pair (float_bound_exclusive 100.0) nat))
+    (fun entries ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (t, _) -> Pqueue.push q ~time:t ~seq:i ~-i) entries;
+      let rec drain acc =
+        match Pqueue.pop_min q with Some (t, s, _) -> drain ((t, s) :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.sort compare popped = popped)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "same stream" true (xs = ys);
+  let c = Rng.split (Rng.create 42L) 1 and d = Rng.split (Rng.create 42L) 2 in
+  Alcotest.(check bool) "split streams differ" true (Rng.int64 c <> Rng.int64 d)
+
+let test_rng_ranges () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_engine_delay_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let _ =
+    Engine.spawn e ~label:"a" (fun () ->
+        Engine.delay e 2.0;
+        log := "a2" :: !log)
+  in
+  let _ =
+    Engine.spawn e ~label:"b" (fun () ->
+        Engine.delay e 1.0;
+        log := "b1" :: !log;
+        Engine.delay e 2.0;
+        log := "b3" :: !log)
+  in
+  Engine.run e;
+  Alcotest.(check (list string)) "event order" [ "b1"; "a2"; "b3" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 3.0 (Engine.now e)
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let slot = ref None in
+  let got = ref 0 in
+  let _ =
+    Engine.spawn e (fun () ->
+        let v = Engine.suspend e (fun r -> slot := Some r) in
+        got := v)
+  in
+  Engine.schedule e ~delay:5.0 (fun () ->
+      match !slot with Some r -> Engine.resume r 42 | None -> Alcotest.fail "not parked");
+  Engine.run e;
+  Alcotest.(check int) "resumed value" 42 !got;
+  Alcotest.(check (float 1e-9)) "resumed at" 5.0 (Engine.now e)
+
+let test_engine_fail_resumer () =
+  let e = Engine.create () in
+  let caught = ref false in
+  let slot = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        match Engine.suspend e (fun r -> slot := Some r) with
+        | (_ : int) -> ()
+        | exception Not_found -> caught := true)
+  in
+  Engine.schedule e ~delay:1.0 (fun () -> Engine.fail (Option.get !slot) Not_found);
+  Engine.run e;
+  Alcotest.(check bool) "exception delivered at suspension point" true !caught
+
+let test_engine_deadlock_detection () =
+  let e = Engine.create () in
+  let _ = Engine.spawn e ~label:"stuck" (fun () -> ignore (Engine.suspend e (fun _ -> ()))) in
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock fibers ->
+      Alcotest.(check int) "one parked fiber" 1 (List.length fibers);
+      Alcotest.(check bool) "label reported" true
+        (String.length (List.hd fibers) > 0 && String.sub (List.hd fibers) 0 5 = "stuck"))
+
+let test_engine_kill () =
+  let e = Engine.create () in
+  let reached = ref false in
+  let fiber =
+    Engine.spawn e (fun () ->
+        Engine.delay e 10.0;
+        reached := true)
+  in
+  Engine.schedule e ~delay:1.0 (fun () -> Engine.kill e fiber);
+  Engine.run e;
+  Alcotest.(check bool) "killed before resumption" false !reached;
+  Alcotest.(check bool) "not alive" false (Engine.alive fiber)
+
+let test_engine_one_shot_resumer () =
+  let e = Engine.create () in
+  let slot = ref None in
+  let count = ref 0 in
+  let _ =
+    Engine.spawn e (fun () ->
+        let (_ : int) = Engine.suspend e (fun r -> slot := Some r) in
+        incr count)
+  in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      let r = Option.get !slot in
+      Engine.resume r 1;
+      Engine.resume r 2 (* second resume must be ignored *));
+  Engine.run e;
+  Alcotest.(check int) "resumed exactly once" 1 !count
+
+let test_netmodel_latency_bandwidth () =
+  let p = Netmodel.default in
+  let t = Netmodel.create p ~ranks:2 in
+  let injected, arrival = Netmodel.transfer t ~now:0.0 ~src:0 ~dst:1 ~bytes:0 ~pack_factor:1.0 in
+  Alcotest.(check bool) "zero-byte message costs latency" true
+    (arrival >= p.latency && arrival < p.latency +. 2e-6);
+  Alcotest.(check bool) "injection before arrival" true (injected < arrival);
+  let _, arrival_big =
+    Netmodel.transfer (Netmodel.create p ~ranks:2) ~now:0.0 ~src:0 ~dst:1 ~bytes:1_000_000
+      ~pack_factor:1.0
+  in
+  Alcotest.(check bool) "1MB dominated by bandwidth" true
+    (arrival_big > 0.9 *. (1_000_000.0 *. p.byte_time))
+
+let test_netmodel_port_serialization () =
+  let p = Netmodel.default in
+  let t = Netmodel.create p ~ranks:3 in
+  let _, a1 = Netmodel.transfer t ~now:0.0 ~src:0 ~dst:1 ~bytes:100_000 ~pack_factor:1.0 in
+  let _, a2 = Netmodel.transfer t ~now:0.0 ~src:0 ~dst:2 ~bytes:100_000 ~pack_factor:1.0 in
+  Alcotest.(check bool) "second message waits for the sender port" true (a2 > a1);
+  (* two different senders to different receivers do not serialize *)
+  let t2 = Netmodel.create p ~ranks:4 in
+  let _, b1 = Netmodel.transfer t2 ~now:0.0 ~src:0 ~dst:1 ~bytes:100_000 ~pack_factor:1.0 in
+  let _, b2 = Netmodel.transfer t2 ~now:0.0 ~src:2 ~dst:3 ~bytes:100_000 ~pack_factor:1.0 in
+  Alcotest.(check (float 1e-12)) "parallel links" b1 b2
+
+let test_netmodel_pack_factor () =
+  let p = Netmodel.default in
+  let t = Netmodel.create p ~ranks:2 in
+  let _, a = Netmodel.transfer t ~now:0.0 ~src:0 ~dst:1 ~bytes:100_000 ~pack_factor:1.0 in
+  let t2 = Netmodel.create p ~ranks:2 in
+  let _, b = Netmodel.transfer t2 ~now:0.0 ~src:0 ~dst:1 ~bytes:100_000 ~pack_factor:2.0 in
+  Alcotest.(check bool) "pack factor slows transfer" true (b > a)
+
+let test_netmodel_self_message () =
+  let p = Netmodel.default in
+  let t = Netmodel.create p ~ranks:2 in
+  let _, a = Netmodel.transfer t ~now:0.0 ~src:0 ~dst:0 ~bytes:1000 ~pack_factor:1.0 in
+  Alcotest.(check bool) "self message cheaper than latency" true (a < p.latency)
+
+let suite =
+  [
+    Alcotest.test_case "pqueue order with seq tie-break" `Quick test_pqueue_order;
+    prop_pqueue_sorted;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "engine delay ordering" `Quick test_engine_delay_order;
+    Alcotest.test_case "engine suspend/resume" `Quick test_engine_suspend_resume;
+    Alcotest.test_case "engine failing resumer" `Quick test_engine_fail_resumer;
+    Alcotest.test_case "engine deadlock detection" `Quick test_engine_deadlock_detection;
+    Alcotest.test_case "engine kill" `Quick test_engine_kill;
+    Alcotest.test_case "engine one-shot resumer" `Quick test_engine_one_shot_resumer;
+    Alcotest.test_case "netmodel latency/bandwidth" `Quick test_netmodel_latency_bandwidth;
+    Alcotest.test_case "netmodel port serialization" `Quick test_netmodel_port_serialization;
+    Alcotest.test_case "netmodel pack factor" `Quick test_netmodel_pack_factor;
+    Alcotest.test_case "netmodel self message" `Quick test_netmodel_self_message;
+  ]

@@ -1,0 +1,122 @@
+(* Tests for one-sided communication (RMA windows). *)
+
+open Mpisim
+
+let run = Tutil.run
+
+let test_put_get () =
+  let results =
+    run ~ranks:4 (fun comm ->
+        let r = Comm.rank comm and p = Comm.size comm in
+        let seg = Array.make 4 (-1) in
+        let win = Win.create comm Datatype.int seg in
+        (* everyone writes its rank into slot r of its right neighbor *)
+        Win.put win ~target:((r + 1) mod p) ~target_pos:r [| r |];
+        Win.fence win;
+        (* read the left neighbor's whole segment *)
+        let g = Win.get win ~target:((r - 1 + p) mod p) ~target_pos:0 ~count:4 in
+        Win.fence win;
+        (Array.copy seg, Win.get_result g))
+  in
+  Array.iteri
+    (fun r (seg, got) ->
+      let left = (r + 3) mod 4 in
+      (* my segment holds `left` at slot `left` *)
+      Alcotest.(check int) "put landed" left seg.(left);
+      (* the left neighbor's segment holds `left-1` at slot `left-1` *)
+      let ll = (left + 3) mod 4 in
+      Alcotest.(check int) "get observed" ll got.(ll))
+    results
+
+let test_accumulate () =
+  let results =
+    run ~ranks:6 (fun comm ->
+        let seg = Array.make 2 0 in
+        let win = Win.create comm Datatype.int seg in
+        (* every rank adds (rank+1, 1) into rank 0's window *)
+        Win.accumulate win ~target:0 ~target_pos:0 Op.int_sum [| Comm.rank comm + 1; 1 |];
+        Win.fence win;
+        Array.copy seg)
+  in
+  Alcotest.(check Tutil.int_array) "accumulated" [| 21; 6 |] results.(0)
+
+let test_epoch_ordering () =
+  (* puts from different origins to the same slot: origin-rank order wins *)
+  let results =
+    run ~ranks:4 (fun comm ->
+        let seg = Array.make 1 (-1) in
+        let win = Win.create comm Datatype.int seg in
+        Win.put win ~target:0 ~target_pos:0 [| Comm.rank comm |];
+        Win.fence win;
+        seg.(0))
+  in
+  Alcotest.(check int) "last origin wins deterministically" 3 results.(0)
+
+let test_get_before_fence_raises () =
+  ignore
+    (run ~ranks:2 (fun comm ->
+         let win = Win.create comm Datatype.int (Array.make 1 0) in
+         let g = Win.get win ~target:0 ~target_pos:0 ~count:1 in
+         Alcotest.(check bool) "unfenced get rejected" true
+           (match Win.get_result g with
+           | (_ : int array) -> false
+           | exception Errors.Usage_error _ -> true);
+         Win.fence win;
+         Alcotest.(check Tutil.int_array) "after fence" [| 0 |] (Win.get_result g)))
+
+let test_range_validation () =
+  ignore
+    (run ~ranks:2 (fun comm ->
+         (* uneven segments: rank 0 has 2 slots, rank 1 has 5 *)
+         let seg = Array.make (if Comm.rank comm = 0 then 2 else 5) 0 in
+         let win = Win.create comm Datatype.int seg in
+         Alcotest.(check int) "remote size" (if Comm.rank comm = 0 then 5 else 2)
+           (Win.size_of win (1 - Comm.rank comm));
+         Alcotest.(check bool) "overflow rejected" true
+           (match Win.put win ~target:0 ~target_pos:1 [| 1; 2 |] with
+           | () -> false
+           | exception Errors.Usage_error _ -> true);
+         (* a put that fits on the big segment but not the small one *)
+         Win.put win ~target:1 ~target_pos:3 [| 7; 8 |];
+         Win.fence win;
+         if Comm.rank comm = 1 then begin
+           Alcotest.(check int) "tail put" 7 seg.(3);
+           Alcotest.(check int) "tail put" 8 seg.(4)
+         end))
+
+let test_multiple_epochs () =
+  (* a one-sided counter: each epoch everyone increments rank 0's slot *)
+  let results =
+    run ~ranks:3 (fun comm ->
+        let seg = Array.make 1 0 in
+        let win = Win.create comm Datatype.int seg in
+        for _ = 1 to 5 do
+          Win.accumulate win ~target:0 ~target_pos:0 Op.int_sum [| 1 |];
+          Win.fence win
+        done;
+        seg.(0))
+  in
+  Alcotest.(check int) "counter" 15 results.(0)
+
+let test_float_window () =
+  let results =
+    run ~ranks:4 (fun comm ->
+        let seg = Array.make 1 0.0 in
+        let win = Win.create comm Datatype.float seg in
+        Win.accumulate win ~target:0 ~target_pos:0 Op.float_max
+          [| float_of_int (Comm.rank comm) *. 1.5 |];
+        Win.fence win;
+        seg.(0))
+  in
+  Alcotest.(check (float 0.0)) "float max" 4.5 results.(0)
+
+let suite =
+  [
+    Alcotest.test_case "put/get across ranks" `Quick test_put_get;
+    Alcotest.test_case "accumulate" `Quick test_accumulate;
+    Alcotest.test_case "deterministic epoch ordering" `Quick test_epoch_ordering;
+    Alcotest.test_case "get before fence raises" `Quick test_get_before_fence_raises;
+    Alcotest.test_case "range validation / uneven segments" `Quick test_range_validation;
+    Alcotest.test_case "multiple epochs" `Quick test_multiple_epochs;
+    Alcotest.test_case "float window" `Quick test_float_window;
+  ]

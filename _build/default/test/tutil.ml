@@ -1,0 +1,13 @@
+(* Shared helpers for the test suites. *)
+
+let run ~ranks f = Mpisim.Mpi.run_exn ~ranks f
+
+let run_full ?net ?failures ~ranks f = Mpisim.Mpi.run ?net ?failures ~ranks f
+
+let int_array = Alcotest.(array int)
+
+let check_all_ranks name expected results =
+  Array.iteri (fun r actual -> Alcotest.(check bool) (Printf.sprintf "%s@rank%d" name r) true (expected r actual)) results
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
