@@ -4,7 +4,8 @@
 
    Usage:  dune exec bench/main.exe [-- experiment ...]
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
-                ulfm reprored ablation micro all (default: all) *)
+                ulfm reprored ablation colltuning micro all (default: all)
+   "colltuning" additionally writes BENCH_collectives.json. *)
 
 module K = Kamping.Comm
 module D = Mpisim.Datatype
@@ -93,6 +94,19 @@ let microbench () =
         (100.0 *. ((kamping /. plain) -. 1.0))
   | _ -> ()
 
+(* ---------------- collective-tuning sweep ---------------- *)
+
+(* Runs the crossover sweep, prints the table, and leaves the raw numbers
+   in BENCH_collectives.json for machine consumption. *)
+let colltuning () =
+  let cases = Experiments.Coll_tuning_exp.sweep () in
+  Experiments.Coll_tuning_exp.print cases;
+  let path = "BENCH_collectives.json" in
+  let oc = open_out path in
+  output_string oc (Experiments.Coll_tuning_exp.to_json cases);
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path
+
 (* ---------------- dispatch ---------------- *)
 
 let experiments =
@@ -108,6 +122,7 @@ let experiments =
     ("ulfm", Experiments.Ulfm_exp.run);
     ("reprored", Experiments.Reprored_exp.run);
     ("ablation", Experiments.Ablation.run);
+    ("colltuning", colltuning);
     ("micro", microbench);
   ]
 

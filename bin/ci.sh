@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI entry point: formatting gate (dune files; ocamlformat is not required
+# in the image), full build, then the complete test suite.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build @fmt
+dune build
+dune runtest

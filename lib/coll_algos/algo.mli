@@ -1,0 +1,53 @@
+(** The catalogue of tuned collective algorithms.
+
+    Each major collective has at least two interchangeable algorithms; the
+    runtime bodies live in [Mpisim.Coll_impl] (they need point-to-point
+    messaging), while this module only names the candidates so the cost
+    model and the selection engine can reason about them without depending
+    on the MPI layer. *)
+
+(** Broadcast. *)
+type bcast =
+  | Bcast_binomial  (** binomial tree: [ceil(log2 p)] full-size messages *)
+  | Bcast_scatter_allgather
+      (** van de Geijn: binomial scatter + ring allgather; bandwidth-optimal
+          for large payloads *)
+
+(** Allreduce. *)
+type allreduce =
+  | Ar_reduce_bcast  (** binomial reduce to rank 0 + binomial bcast *)
+  | Ar_recursive_doubling  (** latency-optimal: [ceil(log2 p)] exchanges *)
+  | Ar_rabenseifner
+      (** recursive-halving reduce-scatter + recursive-doubling allgather;
+          bandwidth- and compute-optimal for large payloads *)
+  | Ar_ring  (** ring reduce-scatter + ring allgather; linear startups *)
+
+(** Allgather. *)
+type allgather =
+  | Ag_bruck  (** logarithmic rounds for arbitrary [p] *)
+  | Ag_ring  (** [p - 1] neighbour rounds, optimal volume *)
+  | Ag_recursive_doubling  (** power-of-two [p] only *)
+
+(** Alltoall. *)
+type alltoall =
+  | A2a_pairwise
+      (** post-all linear exchange: O(p) startups, one wire latency *)
+  | A2a_bruck  (** [ceil(log2 p)] rounds of aggregated blocks *)
+
+val bcast_name : bcast -> string
+val allreduce_name : allreduce -> string
+val allgather_name : allgather -> string
+val alltoall_name : alltoall -> string
+val bcast_of_name : string -> bcast option
+val allreduce_of_name : string -> allreduce option
+val allgather_of_name : string -> allgather option
+val alltoall_of_name : string -> alltoall option
+
+(** Candidate lists, incumbent (pre-subsystem default) first: ties in
+    predicted cost keep today's behavior. *)
+
+val all_bcast : bcast list
+
+val all_allreduce : allreduce list
+val all_allgather : allgather list
+val all_alltoall : alltoall list

@@ -1,0 +1,93 @@
+module N = Simnet.Netmodel
+
+let ceil_log2 p =
+  let rec go k pow = if pow >= p then k else go (k + 1) (pow * 2) in
+  if p <= 1 then 0 else go 0 1
+
+let largest_pow2 p =
+  let rec go pow = if pow * 2 <= p then go (pow * 2) else pow in
+  if p < 1 then 1 else go 1
+
+let fi = float_of_int
+
+(* One uncongested message of [b] (float) bytes. *)
+let msg prm b = N.startup_cost prm +. (b *. N.per_byte_cost prm)
+
+let bcast prm ~p ~bytes algo =
+  let n = fi bytes in
+  let rounds = ceil_log2 p in
+  match (algo : Algo.bcast) with
+  | Bcast_binomial -> fi rounds *. msg prm n
+  | Bcast_scatter_allgather ->
+      (* Binomial scatter moves (p-1)/p * n down the tree in log rounds of
+         halving size; the ring allgather then does p-1 rounds of n/p. *)
+      let frac = fi (p - 1) /. fi (max p 1) in
+      (fi (rounds + p - 1) *. N.startup_cost prm) +. (2.0 *. frac *. n *. N.per_byte_cost prm)
+
+let allreduce prm ~p ~bytes ~elems ~op_cost algo =
+  let n = fi bytes in
+  let e = fi elems in
+  let rounds = ceil_log2 p in
+  let frac = fi (p - 1) /. fi (max p 1) in
+  let pof2 = largest_pow2 p in
+  (* Non-power-of-two fold/unfold: one extra full-size exchange each way. *)
+  let fold = if p > pof2 then 2.0 *. msg prm n +. (e *. op_cost) else 0.0 in
+  match (algo : Algo.allreduce) with
+  | Ar_reduce_bcast -> fi (2 * rounds) *. msg prm n +. (fi rounds *. e *. op_cost)
+  | Ar_recursive_doubling -> fold +. (fi (ceil_log2 pof2) *. (msg prm n +. (e *. op_cost)))
+  | Ar_rabenseifner ->
+      fold
+      +. (fi (2 * ceil_log2 pof2) *. N.startup_cost prm)
+      +. (2.0 *. frac *. n *. N.per_byte_cost prm)
+      +. (frac *. e *. op_cost)
+  | Ar_ring ->
+      (fi (2 * (p - 1)) *. N.startup_cost prm)
+      +. (2.0 *. frac *. n *. N.per_byte_cost prm)
+      +. (frac *. e *. op_cost)
+
+let allgather prm ~p ~bytes algo =
+  let n = fi bytes in
+  match (algo : Algo.allgather) with
+  | Ag_bruck ->
+      (* Round sizes min(m, p-m) for m = 1, 2, 4, ... *)
+      let cost = ref 0.0 in
+      let m = ref 1 in
+      while !m < p do
+        let s = min !m (p - !m) in
+        cost := !cost +. msg prm (fi s *. n);
+        m := !m + s
+      done;
+      !cost
+  | Ag_ring -> fi (p - 1) *. msg prm n
+  | Ag_recursive_doubling ->
+      let cost = ref 0.0 in
+      let m = ref 1 in
+      while !m < p do
+        cost := !cost +. msg prm (fi !m *. n);
+        m := !m * 2
+      done;
+      !cost
+
+let alltoall prm ~p ~bytes algo =
+  let n = fi bytes in
+  match (algo : Algo.alltoall) with
+  | A2a_pairwise ->
+      (* All p-1 requests posted up front: startups serialize on the ports
+         (the Omega(p) term) but only one wire latency is exposed. *)
+      fi (p - 1)
+      *. (prm.N.send_overhead +. prm.N.recv_overhead +. (n *. N.per_byte_cost prm))
+      +. prm.N.latency
+  | A2a_bruck ->
+      (* ceil(log2 p) blocking rounds, each shipping the blocks whose index
+         has the round's bit set (about p/2 of them). *)
+      let cost = ref 0.0 in
+      let pof = ref 1 in
+      while !pof < p do
+        let nsel = ref 0 in
+        for i = 0 to p - 1 do
+          if i land !pof <> 0 then incr nsel
+        done;
+        cost := !cost +. msg prm (fi !nsel *. n);
+        pof := !pof * 2
+      done;
+      !cost

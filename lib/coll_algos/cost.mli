@@ -1,0 +1,34 @@
+(** LogGP cost predictors for every candidate collective algorithm.
+
+    All predictors are pure functions of the active network parameters
+    (see {!Simnet.Netmodel.params_for_group} for hierarchy awareness), the
+    communicator size and the payload, so every rank of a communicator
+    computes identical predictions — the property that lets the selection
+    engine run without any extra communication (the zero-overhead
+    requirement of the paper's Sec. III).
+
+    Conventions: [p] is the communicator size; [bytes] is the payload size
+    the MPI call names (full vector for bcast/allreduce, one block for
+    allgather, one pairwise block for alltoall); [elems]/[op_cost] feed the
+    reduction-compute term of allreduce. *)
+
+(** [ceil_log2 p] is the number of rounds of a binomial/doubling schedule
+    ([0] for [p <= 1]). *)
+val ceil_log2 : int -> int
+
+val bcast : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.bcast -> float
+
+val allreduce :
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  elems:int ->
+  op_cost:float ->
+  Algo.allreduce ->
+  float
+
+(** [bytes] is one rank's block; every rank receives [(p-1) * bytes]. *)
+val allgather : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.allgather -> float
+
+(** [bytes] is one (source, destination) block. *)
+val alltoall : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.alltoall -> float

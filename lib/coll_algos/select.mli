@@ -1,0 +1,50 @@
+(** The collective-algorithm selection engine.
+
+    One [Select.t] lives in each simulated world; it holds the
+    per-communicator override ("pin") table.  Selection itself is a pure
+    argmin over the {!Cost} predictions, so — absent pins — every rank of
+    a communicator picks the same algorithm from the same inputs without
+    communicating.
+
+    Pins are rank-local hints in the style of MPI info keys: to stay
+    correct they must be set identically on every rank of the communicator
+    before the collective (the test suite and the bench sweep do exactly
+    that).  A pin naming an algorithm that is infeasible for the current
+    call (e.g. recursive-doubling allgather on a non-power-of-two
+    communicator, or a Rabenseifner allreduce of a non-commutative
+    operation) falls back to the cost-based choice among feasible
+    candidates. *)
+
+type t
+
+val create : unit -> t
+
+(** [pin t ~cid ~coll ~algo] pins collective [coll] (["bcast"],
+    ["allreduce"], ["allgather"] or ["alltoall"]) on communicator [cid] to
+    algorithm [algo].
+    @raise Invalid_argument on an unknown collective or algorithm name. *)
+val pin : t -> cid:int -> coll:string -> algo:string -> unit
+
+(** [unpin t ~cid ~coll] removes an override (a no-op if absent). *)
+val unpin : t -> cid:int -> coll:string -> unit
+
+(** [pinned t ~cid ~coll] is the override currently in force, if any. *)
+val pinned : t -> cid:int -> coll:string -> string option
+
+(** {1 Selection} *)
+
+val bcast : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.bcast
+
+val allreduce :
+  t ->
+  cid:int ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  elems:int ->
+  op_cost:float ->
+  commutative:bool ->
+  Algo.allreduce
+
+val allgather : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.allgather
+val alltoall : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.alltoall

@@ -1,0 +1,196 @@
+(* Collective-tuning sweep: predicted vs simulated crossover table.
+
+   For each tuned collective and each (rank count, element count) point we
+   pin every candidate algorithm in turn, run one call on the simulator,
+   and take the slowest rank's completion time; next to it we put the LogGP
+   prediction the selector used.  The selector's pick ("selected") can then
+   be compared against both the incumbent (the algorithm the library
+   hardcoded before tuning) and the empirically fastest variant. *)
+
+module C = Mpisim.Collectives
+module D = Mpisim.Datatype
+module Algo = Coll_algos.Algo
+module Cost = Coll_algos.Cost
+module Select = Coll_algos.Select
+
+type algo_result = { algo : string; predicted : float; simulated : float }
+
+type case = {
+  coll : string;
+  p : int;
+  count : int;
+  bytes : int;
+  selected : string;
+  incumbent : string;
+  results : algo_result list;
+}
+
+let prm = Simnet.Netmodel.default
+let op = Mpisim.Op.int_sum
+
+(* Max completion time across ranks of one pinned collective call. *)
+let simulate ~coll ~algo ~p ~count =
+  let times =
+    Mpisim.Mpi.run_exn ~ranks:p (fun raw ->
+        C.pin_algorithm raw ~coll ~algo;
+        let r = Mpisim.Comm.rank raw in
+        let t0 = Mpisim.Comm.now raw in
+        (match coll with
+        | "bcast" ->
+            let buf = Array.make count r in
+            C.bcast raw D.int buf ~root:0
+        | "allreduce" ->
+            let sendbuf = Array.make count r and recvbuf = Array.make count 0 in
+            C.allreduce raw D.int op ~sendbuf ~recvbuf ~count
+        | "allgather" ->
+            let sendbuf = Array.make count r and recvbuf = Array.make (p * count) 0 in
+            C.allgather raw D.int ~sendbuf ~recvbuf ~count
+        | "alltoall" ->
+            let sendbuf = Array.make (p * count) r and recvbuf = Array.make (p * count) 0 in
+            C.alltoall raw D.int ~sendbuf ~recvbuf ~count
+        | _ -> invalid_arg coll);
+        Mpisim.Comm.now raw -. t0)
+  in
+  Array.fold_left Float.max 0.0 times
+
+(* Candidates, predictions and the selector's choice, per collective.  The
+   selection call mirrors what the dispatcher does (same inputs, fresh
+   table, no pins), so "selected" is exactly what an untuned run picks. *)
+let describe ~coll ~p ~count =
+  let bytes = D.bytes D.int count in
+  let fresh = Select.create () in
+  match coll with
+  | "bcast" ->
+      ( bytes,
+        List.map
+          (fun a -> (Algo.bcast_name a, Cost.bcast prm ~p ~bytes a))
+          Algo.all_bcast,
+        Algo.bcast_name (Select.bcast fresh ~cid:0 prm ~p ~bytes),
+        Algo.bcast_name Bcast_binomial )
+  | "allreduce" ->
+      let op_cost = Mpisim.Op.cost_per_element op in
+      ( bytes,
+        List.map
+          (fun a -> (Algo.allreduce_name a, Cost.allreduce prm ~p ~bytes ~elems:count ~op_cost a))
+          Algo.all_allreduce,
+        Algo.allreduce_name
+          (Select.allreduce fresh ~cid:0 prm ~p ~bytes ~elems:count ~op_cost ~commutative:true),
+        Algo.allreduce_name Ar_reduce_bcast )
+  | "allgather" ->
+      let feasible a = a <> Algo.Ag_recursive_doubling || p land (p - 1) = 0 in
+      ( bytes,
+        List.filter_map
+          (fun a ->
+            if feasible a then Some (Algo.allgather_name a, Cost.allgather prm ~p ~bytes a)
+            else None)
+          Algo.all_allgather,
+        Algo.allgather_name (Select.allgather fresh ~cid:0 prm ~p ~bytes),
+        Algo.allgather_name Ag_bruck )
+  | "alltoall" ->
+      ( bytes,
+        List.map
+          (fun a -> (Algo.alltoall_name a, Cost.alltoall prm ~p ~bytes a))
+          Algo.all_alltoall,
+        Algo.alltoall_name (Select.alltoall fresh ~cid:0 prm ~p ~bytes),
+        Algo.alltoall_name A2a_pairwise )
+  | _ -> invalid_arg coll
+
+let sweep_point ~coll ~p ~count =
+  let bytes, predictions, selected, incumbent = describe ~coll ~p ~count in
+  let results =
+    List.map
+      (fun (algo, predicted) ->
+        { algo; predicted; simulated = simulate ~coll ~algo ~p ~count })
+      predictions
+  in
+  { coll; p; count; bytes; selected; incumbent; results }
+
+let grid =
+  [
+    ("bcast", [ 1; 1024; 65536 ]);
+    ("allreduce", [ 1; 1024; 65536 ]);
+    ("allgather", [ 1; 512; 16384 ]);
+    ("alltoall", [ 1; 256; 4096 ]);
+  ]
+
+let rank_counts = [ 4; 16 ]
+
+let sweep () =
+  List.concat_map
+    (fun (coll, counts) ->
+      List.concat_map
+        (fun p -> List.map (fun count -> sweep_point ~coll ~p ~count) counts)
+        rank_counts)
+    grid
+
+let fastest c =
+  List.fold_left (fun best r -> if r.simulated < best.simulated then r else best)
+    (List.hd c.results) c.results
+
+let print cases =
+  let header = [ "coll"; "p"; "count"; "algorithm"; "predicted"; "simulated"; "" ] in
+  let rows =
+    List.concat_map
+      (fun c ->
+        let best = fastest c in
+        List.map
+          (fun r ->
+            let marks =
+              (if r.algo = c.selected then "selected " else "")
+              ^ (if r.algo = c.incumbent then "incumbent " else "")
+              ^ if r.algo = best.algo then "fastest" else ""
+            in
+            [
+              c.coll;
+              string_of_int c.p;
+              string_of_int c.count;
+              r.algo;
+              Table_fmt.seconds r.predicted;
+              Table_fmt.seconds r.simulated;
+              String.trim marks;
+            ])
+          c.results)
+      cases
+  in
+  Table_fmt.print_table ~title:"Collective algorithm crossover (predicted vs simulated)" ~header
+    rows;
+  (* summary: does the cost model pick the empirically fastest variant, and
+     what does tuning buy over the old hardcoded choice? *)
+  let points = List.length cases in
+  let hits = List.length (List.filter (fun c -> (fastest c).algo = c.selected) cases) in
+  let improved =
+    List.filter
+      (fun c ->
+        let sel = List.find (fun r -> r.algo = c.selected) c.results in
+        let inc = List.find (fun r -> r.algo = c.incumbent) c.results in
+        sel.simulated < inc.simulated *. 0.999)
+      cases
+  in
+  Printf.printf "  selector picks the fastest simulated variant on %d/%d points\n" hits points;
+  Printf.printf "  selector beats the pre-tuning hardcoded algorithm on %d/%d points\n%!"
+    (List.length improved) points
+
+let to_json cases =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"experiment\": \"collective_tuning\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"coll\": %S, \"p\": %d, \"count\": %d, \"bytes\": %d, \"selected\": %S, \
+            \"incumbent\": %S, \"fastest\": %S, \"results\": ["
+           c.coll c.p c.count c.bytes c.selected c.incumbent (fastest c).algo);
+      List.iteri
+        (fun j r ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "{\"algo\": %S, \"predicted\": %.9e, \"simulated\": %.9e}" r.algo
+               r.predicted r.simulated))
+        c.results;
+      Buffer.add_string b "]}")
+    cases;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let run () = print (sweep ())

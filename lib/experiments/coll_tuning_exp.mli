@@ -1,0 +1,35 @@
+(** Collective-tuning crossover sweep: for every tuned collective, run each
+    candidate algorithm pinned, over a message-size x rank-count grid, and
+    compare the LogGP cost-model predictions against the simulated times.
+    The table shows where the crossovers sit and that the selector's choice
+    tracks the fastest simulated variant. *)
+
+(** One pinned variant's outcome for a sweep point. *)
+type algo_result = {
+  algo : string;
+  predicted : float;  (** cost-model estimate, seconds *)
+  simulated : float;  (** max simulated completion time across ranks *)
+}
+
+(** One (collective, rank count, element count) sweep point. *)
+type case = {
+  coll : string;
+  p : int;
+  count : int;  (** elements (per block for allgather/alltoall) *)
+  bytes : int;  (** payload bytes the cost model sees *)
+  selected : string;  (** the selector's cost-based choice *)
+  incumbent : string;  (** the pre-tuning hardcoded algorithm *)
+  results : algo_result list;
+}
+
+(** [sweep ()] runs the whole grid (deterministic). *)
+val sweep : unit -> case list
+
+(** [print cases] renders the crossover tables. *)
+val print : case list -> unit
+
+(** [to_json cases] is a machine-readable dump of the sweep, one object per
+    case (consumed by the bench harness's [BENCH_collectives.json]). *)
+val to_json : case list -> string
+
+val run : unit -> unit

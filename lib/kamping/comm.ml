@@ -83,6 +83,9 @@ let check_counts_array t what counts =
 
 (* ---------------- collectives ---------------- *)
 
+let pin_algorithm t ~coll ~algo = C.pin_algorithm t.c ~coll ~algo
+let unpin_algorithm t ~coll = C.unpin_algorithm t.c ~coll
+let pinned_algorithm t ~coll = C.pinned_algorithm t.c ~coll
 let barrier t = C.barrier t.c
 
 let bcast ?(root = 0) t dt ~send_recv_buf =

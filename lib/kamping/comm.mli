@@ -56,8 +56,19 @@ type 'a vresult = {
   send_displs : int array option;
 }
 
-(** {1 Collectives} *)
+(** {1 Collectives}
 
+    [bcast], [allreduce], [allgather] and [alltoall] are tuned: the
+    cheapest algorithm under the communicator's network parameters is
+    selected per call (see {!Mpisim.Collectives} and [Coll_algos]).
+    [pin_algorithm t ~coll ~algo] overrides the choice for this
+    communicator — set it identically on every rank; [unpin_algorithm]
+    restores cost-based selection and [pinned_algorithm] reads the
+    override in force. *)
+
+val pin_algorithm : t -> coll:string -> algo:string -> unit
+val unpin_algorithm : t -> coll:string -> unit
+val pinned_algorithm : t -> coll:string -> string option
 val barrier : t -> unit
 
 (** [bcast t dt ~send_recv_buf] broadcasts the root's vector into every

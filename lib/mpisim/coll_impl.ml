@@ -1,0 +1,503 @@
+(* Algorithm bodies for the tuned-collective subsystem.  Selection lives in
+   Coll_algos.Select; dispatch and profiling live in Collectives.  Bodies
+   rely on two simulator guarantees: isend copies its payload eagerly (so
+   buffers may be reused immediately), and messages on one (src, dst, tag)
+   link match in FIFO order. *)
+
+let combine comm op acc tmp count ~received_left =
+  if received_left then
+    for i = 0 to count - 1 do
+      acc.(i) <- Op.apply op tmp.(i) acc.(i)
+    done
+  else
+    for i = 0 to count - 1 do
+      acc.(i) <- Op.apply op acc.(i) tmp.(i)
+    done;
+  if count > 0 then Comm.compute comm (float_of_int count *. Op.cost_per_element op)
+
+(* Dissemination barrier: round k talks to ranks +-2^k; all offsets are
+   distinct mod p, so one tag suffices. *)
+let dissemination comm ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  let token = [| 0 |] in
+  let k = ref 1 in
+  while !k < p do
+    let dst = (r + !k) mod p and src = (r - !k + p) mod p in
+    let req = P2p.isend ~ctx:Internal comm Datatype.int token ~dst ~tag in
+    ignore (P2p.recv ~ctx:Internal comm Datatype.int token ~src ~tag);
+    ignore (Request.wait req);
+    k := !k lsl 1
+  done
+
+(* The largest power of two <= p. *)
+let largest_pow2 p =
+  let rec go pow = if pow * 2 <= p then go (pow * 2) else pow in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Binomial-tree broadcast (MPICH-style). *)
+let bcast_binomial comm dt buf pos count ~root ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if p > 1 && count > 0 then begin
+    let rel = (r - root + p) mod p in
+    let mask = ref 1 in
+    while !mask < p && rel land !mask = 0 do
+      mask := !mask lsl 1
+    done;
+    if rel <> 0 then begin
+      let src = (rel - !mask + root + p) mod p in
+      ignore (P2p.recv ~ctx:Internal ~pos ~count comm dt buf ~src ~tag)
+    end;
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if rel + !mask < p then begin
+        let dst = (rel + !mask + root) mod p in
+        P2p.send ~ctx:Internal ~pos ~count comm dt buf ~dst ~tag
+      end;
+      mask := !mask lsr 1
+    done
+  end
+
+(* van de Geijn broadcast: binomial scatter of p roughly equal blocks
+   (block i belongs to relative rank i), then a ring allgather of the
+   blocks.  Bandwidth-optimal: each rank moves ~2n bytes instead of the
+   binomial tree's log2(p)*n. *)
+let bcast_scatter_allgather comm dt buf pos count ~root ~tag ~tag2 =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if p > 1 && count > 0 then begin
+    let rel = (r - root + p) mod p in
+    let start i = i * count / p in
+    (* Scatter: relative rank [rel] first receives the range covering its
+       whole binomial subtree, then forwards the upper halves. *)
+    let mask = ref 1 in
+    while !mask < p && rel land !mask = 0 do
+      mask := !mask lsl 1
+    done;
+    let limit = ref (min (rel + !mask) p) in
+    if rel <> 0 then begin
+      let src = (rel - !mask + root + p) mod p in
+      let lo = start rel and hi = start !limit in
+      if hi > lo then
+        ignore (P2p.recv ~ctx:Internal ~pos:(pos + lo) ~count:(hi - lo) comm dt buf ~src ~tag)
+    end;
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if rel + !mask < p then begin
+        let child = rel + !mask in
+        let dst = (child + root) mod p in
+        let lo = start child and hi = start !limit in
+        if hi > lo then
+          P2p.send ~ctx:Internal ~pos:(pos + lo) ~count:(hi - lo) comm dt buf ~dst ~tag;
+        limit := child
+      end;
+      mask := !mask lsr 1
+    done;
+    (* Ring allgather of the p blocks over relative ranks. *)
+    let dst = (((rel + 1) mod p) + root) mod p and src = (((rel - 1 + p) mod p) + root) mod p in
+    for step = 1 to p - 1 do
+      let sb = (rel - step + 1 + p) mod p and rb = (rel - step + p) mod p in
+      let s_lo = start sb and s_hi = start (sb + 1) in
+      let r_lo = start rb and r_hi = start (rb + 1) in
+      let req =
+        if s_hi > s_lo then
+          Some
+            (P2p.isend ~ctx:Internal ~pos:(pos + s_lo) ~count:(s_hi - s_lo) comm dt buf ~dst
+               ~tag:tag2)
+        else None
+      in
+      if r_hi > r_lo then
+        ignore (P2p.recv ~ctx:Internal ~pos:(pos + r_lo) ~count:(r_hi - r_lo) comm dt buf ~src ~tag:tag2);
+      match req with Some req -> ignore (Request.wait req) | None -> ()
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reduce.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Binomial-tree reduction.  Reassociates (and, for the receive-combines,
+   commutes) the operation — the canonical source of float irreproducibility
+   across different p that Sec. V-C addresses. *)
+let reduce_binomial comm dt op ~sendbuf ~pos ~count ~root ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  let acc = Array.sub sendbuf pos count in
+  if p = 1 || count = 0 then acc
+  else begin
+    let tmp = Array.copy acc in
+    let rel = (r - root + p) mod p in
+    let mask = ref 1 in
+    let running = ref true in
+    while !running && !mask < p do
+      if rel land !mask = 0 then begin
+        let src_rel = rel lor !mask in
+        if src_rel < p then begin
+          let src = (src_rel + root) mod p in
+          ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src ~tag);
+          combine comm op acc tmp count ~received_left:false
+        end
+      end
+      else begin
+        let dst = ((rel lxor !mask) + root) mod p in
+        P2p.send ~ctx:Internal ~count comm dt acc ~dst ~tag;
+        running := false
+      end;
+      mask := !mask lsl 1
+    done;
+    acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allreduce.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let allreduce_reduce_bcast comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag ~tag2 =
+  let acc = reduce_binomial comm dt op ~sendbuf ~pos ~count ~root:0 ~tag in
+  if Comm.rank comm = 0 then Array.blit acc 0 recvbuf 0 count;
+  bcast_binomial comm dt recvbuf 0 count ~root:0 ~tag:tag2
+
+(* Fold the ranks beyond the largest power of two into their even
+   neighbours (MPICH rem-handling): afterwards [pof2] "new ranks"
+   participate in the power-of-two schedule, the rest wait for the result.
+   Returns the new rank, or -1 for a parked rank. *)
+let fold_to_pow2 comm dt op ~recvbuf ~tmp ~count ~rem ~tag_fold =
+  let r = Comm.rank comm in
+  if r < 2 * rem then
+    if r land 1 = 0 then begin
+      P2p.send ~ctx:Internal ~count comm dt recvbuf ~dst:(r + 1) ~tag:tag_fold;
+      -1
+    end
+    else begin
+      ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src:(r - 1) ~tag:tag_fold);
+      (* the sender's rank is lower: its data goes on the left *)
+      combine comm op recvbuf tmp count ~received_left:true;
+      r asr 1
+    end
+  else r - rem
+
+(* Return the folded-out ranks' results. *)
+let unfold_from_pow2 comm dt ~recvbuf ~count ~rem ~tag_fold =
+  let r = Comm.rank comm in
+  if r < 2 * rem then
+    if r land 1 = 1 then P2p.send ~ctx:Internal ~count comm dt recvbuf ~dst:(r - 1) ~tag:tag_fold
+    else ignore (P2p.recv ~ctx:Internal ~count comm dt recvbuf ~src:(r + 1) ~tag:tag_fold)
+
+let real_of_new ~rem nd = if nd < rem then (nd * 2) + 1 else nd + rem
+
+let allreduce_recursive_doubling comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_fold ~tag =
+  let p = Comm.size comm in
+  Array.blit sendbuf pos recvbuf 0 count;
+  if p > 1 && count > 0 then begin
+    let tmp = Array.sub sendbuf pos count in
+    let pof2 = largest_pow2 p in
+    let rem = p - pof2 in
+    let newrank = fold_to_pow2 comm dt op ~recvbuf ~tmp ~count ~rem ~tag_fold in
+    if newrank >= 0 then begin
+      let mask = ref 1 in
+      while !mask < pof2 do
+        let newdst = newrank lxor !mask in
+        let dst = real_of_new ~rem newdst in
+        let req = P2p.isend ~ctx:Internal ~count comm dt recvbuf ~dst ~tag in
+        ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src:dst ~tag);
+        ignore (Request.wait req);
+        combine comm op recvbuf tmp count ~received_left:(newdst < newrank);
+        mask := !mask lsl 1
+      done
+    end;
+    unfold_from_pow2 comm dt ~recvbuf ~count ~rem ~tag_fold
+  end
+
+(* Rabenseifner: recursive-halving reduce-scatter followed by a
+   recursive-doubling allgather over the reduced blocks (ported from the
+   MPICH reduce_scatter_allgather schedule). *)
+let allreduce_rabenseifner comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_fold ~tag_rs ~tag_ag =
+  let p = Comm.size comm in
+  Array.blit sendbuf pos recvbuf 0 count;
+  if p > 1 && count > 0 then begin
+    let tmp = Array.sub sendbuf pos count in
+    let pof2 = largest_pow2 p in
+    let rem = p - pof2 in
+    let newrank = fold_to_pow2 comm dt op ~recvbuf ~tmp ~count ~rem ~tag_fold in
+    if newrank >= 0 && pof2 > 1 then begin
+      let cnts = Array.init pof2 (fun i -> (count / pof2) + if i < count mod pof2 then 1 else 0) in
+      let disps = Array.make pof2 0 in
+      for i = 1 to pof2 - 1 do
+        disps.(i) <- disps.(i - 1) + cnts.(i - 1)
+      done;
+      let sum_range a b =
+        let s = ref 0 in
+        for i = a to b - 1 do
+          s := !s + cnts.(i)
+        done;
+        !s
+      in
+      let exchange ~tag ~send_idx ~send_cnt ~recv_idx ~recv_cnt ~dst ~into =
+        let req =
+          if send_cnt > 0 then
+            Some
+              (P2p.isend ~ctx:Internal ~pos:disps.(send_idx) ~count:send_cnt comm dt recvbuf ~dst
+                 ~tag)
+          else None
+        in
+        if recv_cnt > 0 then
+          ignore (P2p.recv ~ctx:Internal ~pos:disps.(recv_idx) ~count:recv_cnt comm dt into ~src:dst ~tag);
+        match req with Some req -> ignore (Request.wait req) | None -> ()
+      in
+      (* Reduce-scatter by recursive halving. *)
+      let send_idx = ref 0 and recv_idx = ref 0 and last_idx = ref pof2 in
+      let mask = ref 1 in
+      while !mask < pof2 do
+        let newdst = newrank lxor !mask in
+        let dst = real_of_new ~rem newdst in
+        let half = pof2 / (!mask * 2) in
+        let send_cnt, recv_cnt =
+          if newrank < newdst then begin
+            send_idx := !recv_idx + half;
+            (sum_range !send_idx !last_idx, sum_range !recv_idx !send_idx)
+          end
+          else begin
+            recv_idx := !send_idx + half;
+            (sum_range !send_idx !recv_idx, sum_range !recv_idx !last_idx)
+          end
+        in
+        exchange ~tag:tag_rs ~send_idx:!send_idx ~send_cnt ~recv_idx:!recv_idx ~recv_cnt ~dst
+          ~into:tmp;
+        if recv_cnt > 0 then begin
+          (* fold the received segment into the kept one *)
+          let off = disps.(!recv_idx) in
+          let acc = Array.sub recvbuf off recv_cnt and inc = Array.sub tmp off recv_cnt in
+          combine comm op acc inc recv_cnt ~received_left:(newdst < newrank);
+          Array.blit acc 0 recvbuf off recv_cnt
+        end;
+        send_idx := !recv_idx;
+        mask := !mask lsl 1;
+        if !mask < pof2 then last_idx := !recv_idx + (pof2 / !mask)
+      done;
+      (* Allgather by recursive doubling. *)
+      mask := pof2 asr 1;
+      while !mask > 0 do
+        let newdst = newrank lxor !mask in
+        let dst = real_of_new ~rem newdst in
+        let half = pof2 / (!mask * 2) in
+        let send_cnt, recv_cnt =
+          if newrank < newdst then begin
+            if !mask <> pof2 / 2 then last_idx := !last_idx + half;
+            recv_idx := !send_idx + half;
+            (sum_range !send_idx !recv_idx, sum_range !recv_idx !last_idx)
+          end
+          else begin
+            recv_idx := !send_idx - half;
+            (sum_range !send_idx !last_idx, sum_range !recv_idx !send_idx)
+          end
+        in
+        exchange ~tag:tag_ag ~send_idx:!send_idx ~send_cnt ~recv_idx:!recv_idx ~recv_cnt ~dst
+          ~into:recvbuf;
+        if newrank > newdst then send_idx := !recv_idx;
+        mask := !mask asr 1
+      done
+    end;
+    unfold_from_pow2 comm dt ~recvbuf ~count ~rem ~tag_fold
+  end
+
+(* Ring allreduce: reduce-scatter around the ring (p-1 steps), then a ring
+   allgather of the reduced blocks.  Linear startups, optimal volume. *)
+let allreduce_ring comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_rs ~tag_ag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  Array.blit sendbuf pos recvbuf 0 count;
+  if p > 1 && count > 0 then begin
+    let tmp = Array.sub sendbuf pos count in
+    let cnts = Array.init p (fun i -> (count / p) + if i < count mod p then 1 else 0) in
+    let disps = Array.make p 0 in
+    for i = 1 to p - 1 do
+      disps.(i) <- disps.(i - 1) + cnts.(i - 1)
+    done;
+    let dst = (r + 1) mod p and src = (r - 1 + p) mod p in
+    let step_exchange ~tag ~sb ~rb ~into ~fold =
+      let req =
+        if cnts.(sb) > 0 then
+          Some (P2p.isend ~ctx:Internal ~pos:disps.(sb) ~count:cnts.(sb) comm dt recvbuf ~dst ~tag)
+        else None
+      in
+      if cnts.(rb) > 0 then begin
+        ignore (P2p.recv ~ctx:Internal ~pos:disps.(rb) ~count:cnts.(rb) comm dt into ~src ~tag);
+        if fold then begin
+          let acc = Array.sub recvbuf disps.(rb) cnts.(rb)
+          and inc = Array.sub tmp disps.(rb) cnts.(rb) in
+          (* the incoming partial sum starts at the block's owner: left *)
+          combine comm op acc inc cnts.(rb) ~received_left:true;
+          Array.blit acc 0 recvbuf disps.(rb) cnts.(rb)
+        end
+      end;
+      match req with Some req -> ignore (Request.wait req) | None -> ()
+    in
+    (* Reduce-scatter: after step s rank r has accumulated s+1 inputs into
+       block (r - s); rank r ends owning block (r + 1) mod p. *)
+    for s = 1 to p - 1 do
+      let sb = (r - s + 1 + p) mod p and rb = (r - s + p) mod p in
+      step_exchange ~tag:tag_rs ~sb ~rb ~into:tmp ~fold:true
+    done;
+    (* Allgather: circulate the reduced blocks. *)
+    for s = 0 to p - 2 do
+      let sb = (r + 1 - s + (2 * p)) mod p and rb = (r - s + p) mod p in
+      step_exchange ~tag:tag_ag ~sb ~rb ~into:recvbuf ~fold:false
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allgather.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Copy the caller's block into place (shared by the p = 1 fast path and
+   the ring/recursive-doubling seeds). *)
+let seed_own_block recvbuf rpos count ~my_block_pos ~my_block_buf ~block =
+  let dst_pos = rpos + block in
+  if my_block_buf != recvbuf || my_block_pos <> dst_pos then
+    Array.blit my_block_buf my_block_pos recvbuf dst_pos count
+
+(* Bruck's allgather: logarithmic number of rounds for arbitrary p. *)
+let allgather_bruck comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    if p = 1 then seed_own_block recvbuf rpos count ~my_block_pos ~my_block_buf ~block:0
+    else begin
+      let temp = Array.make (p * count) my_block_buf.(my_block_pos) in
+      Array.blit my_block_buf my_block_pos temp 0 count;
+      let m = ref 1 in
+      while !m < p do
+        let s = min !m (p - !m) in
+        let dst = (r - !m + p) mod p and src = (r + !m) mod p in
+        let req = P2p.isend ~ctx:Internal ~count:(s * count) comm dt temp ~dst ~tag in
+        ignore (P2p.recv ~ctx:Internal ~pos:(!m * count) ~count:(s * count) comm dt temp ~src ~tag);
+        ignore (Request.wait req);
+        m := !m + s
+      done;
+      (* Undo the rotation: temp block i holds rank (r+i) mod p's data. *)
+      for i = 0 to p - 1 do
+        Array.blit temp (i * count) recvbuf (rpos + (((r + i) mod p) * count)) count
+      done
+    end
+  end
+
+(* Ring allgather: p-1 neighbour steps, each forwarding the block received
+   in the previous step. *)
+let allgather_ring comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    seed_own_block recvbuf rpos count ~my_block_pos ~my_block_buf ~block:(r * count);
+    if p > 1 then begin
+      let dst = (r + 1) mod p and src = (r - 1 + p) mod p in
+      for step = 1 to p - 1 do
+        let sb = (r - step + 1 + p) mod p and rb = (r - step + p) mod p in
+        let req =
+          P2p.isend ~ctx:Internal ~pos:(rpos + (sb * count)) ~count comm dt recvbuf ~dst ~tag
+        in
+        ignore (P2p.recv ~ctx:Internal ~pos:(rpos + (rb * count)) ~count comm dt recvbuf ~src ~tag);
+        ignore (Request.wait req)
+      done
+    end
+  end
+
+(* Recursive doubling (power-of-two p): round k swaps the 2^k blocks held
+   with the partner rank lxor 2^k; ranges stay aligned and contiguous. *)
+let allgather_recursive_doubling comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if p land (p - 1) <> 0 then
+    Errors.usage "allgather_recursive_doubling requires a power-of-two communicator (p = %d)" p;
+  if count > 0 then begin
+    seed_own_block recvbuf rpos count ~my_block_pos ~my_block_buf ~block:(r * count);
+    let mask = ref 1 in
+    while !mask < p do
+      let partner = r lxor !mask in
+      let my_base = r land lnot (!mask - 1) and partner_base = partner land lnot (!mask - 1) in
+      let req =
+        P2p.isend ~ctx:Internal ~pos:(rpos + (my_base * count)) ~count:(!mask * count) comm dt
+          recvbuf ~dst:partner ~tag
+      in
+      ignore
+        (P2p.recv ~ctx:Internal ~pos:(rpos + (partner_base * count)) ~count:(!mask * count) comm dt
+           recvbuf ~src:partner ~tag);
+      ignore (Request.wait req);
+      mask := !mask lsl 1
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Alltoall.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Irregular exchanges post every request up front and wait for all of
+   them (the linear algorithm real implementations use): latency is hidden
+   by overlap, but each of the p-1 peers still costs a message start-up —
+   including zero-count pairs, which is exactly why Alltoall(v) has
+   Omega(p) complexity per call (paper Sec. V-A). *)
+let post_all_exchange comm dt ~tag ~scount_of ~spos_of ~rcount_of ~rpos_of ~sendbuf ~recvbuf =
+  let p = Comm.size comm and r = Comm.rank comm in
+  Array.blit sendbuf (spos_of r) recvbuf (rpos_of r) (scount_of r);
+  let recv_reqs =
+    List.init (p - 1) (fun i ->
+        let src = (r - 1 - i + p) mod p in
+        P2p.irecv ~ctx:Internal ~pos:(rpos_of src) ~count:(rcount_of src) comm dt recvbuf ~src ~tag)
+  in
+  let send_reqs =
+    List.init (p - 1) (fun i ->
+        let dst = (r + 1 + i) mod p in
+        P2p.isend ~ctx:Internal ~pos:(spos_of dst) ~count:(scount_of dst) comm dt sendbuf ~dst ~tag)
+  in
+  ignore (Request.wait_all recv_reqs);
+  ignore (Request.wait_all send_reqs)
+
+let alltoall_pairwise comm dt ~sendbuf ~recvbuf ~count ~tag =
+  post_all_exchange comm dt ~tag
+    ~scount_of:(fun _ -> count)
+    ~spos_of:(fun d -> d * count)
+    ~rcount_of:(fun _ -> count)
+    ~rpos_of:(fun s -> s * count)
+    ~sendbuf ~recvbuf
+
+(* Bruck's alltoall: rotate locally, then in round k ship every block whose
+   index has bit k set to rank r + 2^k (aggregated into one message), and
+   finally undo the rotation.  ceil(log2 p) startups instead of p - 1. *)
+let alltoall_bruck comm dt ~sendbuf ~recvbuf ~count ~tag =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    if p = 1 then Array.blit sendbuf 0 recvbuf 0 count
+    else begin
+      let temp = Array.make (p * count) sendbuf.(0) in
+      (* Phase 1: temp block i = my block for destination (r + i) mod p. *)
+      for i = 0 to p - 1 do
+        Array.blit sendbuf (((r + i) mod p) * count) temp (i * count) count
+      done;
+      let max_sel = (p + 1) / 2 in
+      let cbuf = Array.make (max_sel * count) temp.(0) in
+      let rbuf = Array.make (max_sel * count) temp.(0) in
+      let pof = ref 1 in
+      while !pof < p do
+        let dst = (r + !pof) mod p and src = (r - !pof + p) mod p in
+        let nsel = ref 0 in
+        for i = 0 to p - 1 do
+          if i land !pof <> 0 then begin
+            Array.blit temp (i * count) cbuf (!nsel * count) count;
+            incr nsel
+          end
+        done;
+        let req = P2p.isend ~ctx:Internal ~count:(!nsel * count) comm dt cbuf ~dst ~tag in
+        ignore (P2p.recv ~ctx:Internal ~count:(!nsel * count) comm dt rbuf ~src ~tag);
+        ignore (Request.wait req);
+        let k = ref 0 in
+        for i = 0 to p - 1 do
+          if i land !pof <> 0 then begin
+            Array.blit rbuf (!k * count) temp (i * count) count;
+            incr k
+          end
+        done;
+        pof := !pof lsl 1
+      done;
+      (* Phase 3: temp block i now holds the data from rank (r - i + p) mod
+         p; place it at that source's slot. *)
+      for i = 0 to p - 1 do
+        Array.blit temp (i * count) recvbuf (((r - i + p) mod p) * count) count
+      done
+    end
+  end

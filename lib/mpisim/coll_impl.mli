@@ -1,0 +1,166 @@
+(** Collective algorithm bodies, implemented on point-to-point messaging.
+
+    This is the runtime half of the tuned-collective subsystem: the
+    algorithm catalogue and the cost-driven selection live in
+    {!Coll_algos}, while this module holds one body per
+    [Coll_algos.Algo.*] constructor, plus the shared building blocks the
+    irregular collectives use.  All bodies take their internal tags
+    explicitly so the non-blocking wrappers can allocate tags at call time
+    (keeping rank-local tag counters aligned) and run the body inside a
+    helper fiber.
+
+    Bodies are not individually profiled; the dispatching layer
+    ({!Collectives}) records both the plain MPI call name and the
+    annotated algorithm choice. *)
+
+(** [combine comm op acc tmp count ~received_left] element-wise folds [tmp]
+    into [acc] and charges the reduction cost; [received_left] puts the
+    received data on the left of the operator (its origin ranks are lower),
+    which keeps deterministic ordering for the reduction schedules. *)
+val combine :
+  Comm.t -> 'a Op.t -> 'a array -> 'a array -> int -> received_left:bool -> unit
+
+(** Dissemination barrier: [ceil(log2 p)] rounds of +-2^k exchanges. *)
+val dissemination : Comm.t -> tag:int -> unit
+
+(** {1 Broadcast} *)
+
+val bcast_binomial :
+  Comm.t -> 'a Datatype.t -> 'a array -> int -> int -> root:int -> tag:int -> unit
+
+(** van de Geijn: binomial scatter of the payload, then a ring allgather of
+    the blocks.  [tag] covers the scatter phase, [tag2] the allgather. *)
+val bcast_scatter_allgather :
+  Comm.t -> 'a Datatype.t -> 'a array -> int -> int -> root:int -> tag:int -> tag2:int -> unit
+
+(** {1 Reduce} *)
+
+(** Binomial-tree reduction; returns the accumulated vector (meaningful at
+    the root). *)
+val reduce_binomial :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  count:int ->
+  root:int ->
+  tag:int ->
+  'a array
+
+(** {1 Allreduce}
+
+    All bodies leave the reduced vector in [recvbuf.(0 .. count-1)] on
+    every rank. *)
+
+val allreduce_reduce_bcast :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  recvbuf:'a array ->
+  count:int ->
+  tag:int ->
+  tag2:int ->
+  unit
+
+val allreduce_recursive_doubling :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  recvbuf:'a array ->
+  count:int ->
+  tag_fold:int ->
+  tag:int ->
+  unit
+
+val allreduce_rabenseifner :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  recvbuf:'a array ->
+  count:int ->
+  tag_fold:int ->
+  tag_rs:int ->
+  tag_ag:int ->
+  unit
+
+val allreduce_ring :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  recvbuf:'a array ->
+  count:int ->
+  tag_rs:int ->
+  tag_ag:int ->
+  unit
+
+(** {1 Allgather}
+
+    [my_block_buf.(my_block_pos ..)] is the caller's block; the
+    concatenation lands in [recvbuf.(rpos ..)]. *)
+
+val allgather_bruck :
+  Comm.t ->
+  'a Datatype.t ->
+  recvbuf:'a array ->
+  rpos:int ->
+  count:int ->
+  tag:int ->
+  my_block_pos:int ->
+  my_block_buf:'a array ->
+  unit
+
+val allgather_ring :
+  Comm.t ->
+  'a Datatype.t ->
+  recvbuf:'a array ->
+  rpos:int ->
+  count:int ->
+  tag:int ->
+  my_block_pos:int ->
+  my_block_buf:'a array ->
+  unit
+
+(** Requires a power-of-two communicator size. *)
+val allgather_recursive_doubling :
+  Comm.t ->
+  'a Datatype.t ->
+  recvbuf:'a array ->
+  rpos:int ->
+  count:int ->
+  tag:int ->
+  my_block_pos:int ->
+  my_block_buf:'a array ->
+  unit
+
+(** {1 Alltoall} *)
+
+(** The generic posted-exchange engine shared by alltoall(v/w): every peer
+    pair gets a message, all requests posted up front. *)
+val post_all_exchange :
+  Comm.t ->
+  'a Datatype.t ->
+  tag:int ->
+  scount_of:(int -> int) ->
+  spos_of:(int -> int) ->
+  rcount_of:(int -> int) ->
+  rpos_of:(int -> int) ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  unit
+
+val alltoall_pairwise :
+  Comm.t -> 'a Datatype.t -> sendbuf:'a array -> recvbuf:'a array -> count:int -> tag:int -> unit
+
+(** Bruck's alltoall: log rounds of aggregated blocks — fewer startups than
+    pairwise at the price of shipping each element ~log2(p)/2 times. *)
+val alltoall_bruck :
+  Comm.t -> 'a Datatype.t -> sendbuf:'a array -> recvbuf:'a array -> count:int -> tag:int -> unit

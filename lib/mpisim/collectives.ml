@@ -1,6 +1,13 @@
 module Engine = Simnet.Engine
+module Algo = Coll_algos.Algo
+module Select = Coll_algos.Select
 
 let record comm name = Profiling.record_call (Comm.world comm).World.prof name
+
+(* Annotated algorithm choice, e.g. "MPI_Allreduce[rabenseifner]"; kept in
+   a separate profiling category so plain call counts stay exact. *)
+let record_algo comm name algo =
+  Profiling.record_algo (Comm.world comm).World.prof (Printf.sprintf "%s[%s]" name algo)
 
 let check_root comm root =
   if root < 0 || root >= Comm.size comm then
@@ -9,112 +16,86 @@ let check_root comm root =
 let check_count what count =
   if count < 0 then Errors.usage "%s: negative count %d" what count
 
-(* Combine [count] elements of [extra] into [acc] and charge the reduction
-   cost. *)
-let combine comm op acc extra count =
-  for i = 0 to count - 1 do
-    acc.(i) <- Op.apply op acc.(i) extra.(i)
-  done;
-  if count > 0 then Comm.compute comm (float_of_int count *. Op.cost_per_element op)
-
 (* ------------------------------------------------------------------ *)
-(* Internal algorithm bodies (not individually recorded).              *)
+(* Algorithm selection.                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Dissemination barrier: round k talks to ranks +-2^k; all offsets are
-   distinct mod p, so one tag suffices. *)
-let dissemination comm tag =
-  let p = Comm.size comm and r = Comm.rank comm in
-  let token = [| 0 |] in
-  let k = ref 1 in
-  while !k < p do
-    let dst = (r + !k) mod p and src = (r - !k + p) mod p in
-    let req = P2p.isend ~ctx:Internal comm Datatype.int token ~dst ~tag in
-    ignore (P2p.recv ~ctx:Internal comm Datatype.int token ~src ~tag);
-    ignore (Request.wait req);
-    k := !k lsl 1
-  done
+(* Selection inputs are identical on every rank of the communicator — the
+   tuning table lives in the world, the network parameters come from the
+   communicator's group, and the call arguments must agree anyway — so all
+   ranks pick the same algorithm without communicating. *)
+let tuning comm = (Comm.world comm).World.tuning
 
-(* Binomial-tree broadcast (MPICH-style). *)
-let bcast_ comm dt buf pos count ~root ~tag =
-  let p = Comm.size comm and r = Comm.rank comm in
-  if p > 1 && count > 0 then begin
-    let rel = (r - root + p) mod p in
-    let mask = ref 1 in
-    while !mask < p && rel land !mask = 0 do
-      mask := !mask lsl 1
-    done;
-    if rel <> 0 then begin
-      let src = (rel - !mask + root) mod p in
-      ignore (P2p.recv ~ctx:Internal ~pos ~count comm dt buf ~src ~tag)
-    end;
-    mask := !mask lsr 1;
-    while !mask > 0 do
-      if rel + !mask < p then begin
-        let dst = (rel + !mask + root) mod p in
-        P2p.send ~ctx:Internal ~pos ~count comm dt buf ~dst ~tag
-      end;
-      mask := !mask lsr 1
-    done
-  end
+let params_for comm =
+  Simnet.Netmodel.params_for_group (Comm.world comm).World.net (Comm.group comm)
 
-(* Binomial-tree reduction.  Reassociates (and, for the receive-combines,
-   commutes) the operation — the canonical source of float irreproducibility
-   across different p that Sec. V-C addresses. *)
-let reduce_ comm dt op ~sendbuf ~pos ~count ~root ~tag =
-  let p = Comm.size comm and r = Comm.rank comm in
-  let acc = Array.sub sendbuf pos count in
-  if p = 1 || count = 0 then acc
-  else begin
-    let tmp = Array.copy acc in
-    let rel = (r - root + p) mod p in
-    let mask = ref 1 in
-    let running = ref true in
-    while !running && !mask < p do
-      if rel land !mask = 0 then begin
-        let src_rel = rel lor !mask in
-        if src_rel < p then begin
-          let src = (src_rel + root) mod p in
-          ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src ~tag);
-          combine comm op acc tmp count
-        end
-      end
-      else begin
-        let dst = ((rel lxor !mask) + root) mod p in
-        P2p.send ~ctx:Internal ~count comm dt acc ~dst ~tag;
-        running := false
-      end;
-      mask := !mask lsl 1
-    done;
-    acc
-  end
+let pin_algorithm comm ~coll ~algo = Select.pin (tuning comm) ~cid:(Comm.id comm) ~coll ~algo
+let unpin_algorithm comm ~coll = Select.unpin (tuning comm) ~cid:(Comm.id comm) ~coll
+let pinned_algorithm comm ~coll = Select.pinned (tuning comm) ~cid:(Comm.id comm) ~coll
 
-(* Bruck's allgather: logarithmic number of rounds for arbitrary p. *)
-let allgather_ comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
-  let p = Comm.size comm and r = Comm.rank comm in
-  if count > 0 then begin
-    if p = 1 then begin
-      if my_block_buf != recvbuf || my_block_pos <> rpos then
-        Array.blit my_block_buf my_block_pos recvbuf rpos count
-    end
-    else begin
-      let temp = Array.make (p * count) my_block_buf.(my_block_pos) in
-      Array.blit my_block_buf my_block_pos temp 0 count;
-      let m = ref 1 in
-      while !m < p do
-        let s = min !m (p - !m) in
-        let dst = (r - !m + p) mod p and src = (r + !m) mod p in
-        let req = P2p.isend ~ctx:Internal ~count:(s * count) comm dt temp ~dst ~tag in
-        ignore (P2p.recv ~ctx:Internal ~pos:(!m * count) ~count:(s * count) comm dt temp ~src ~tag);
-        ignore (Request.wait req);
-        m := !m + s
-      done;
-      (* Undo the rotation: temp block i holds rank (r+i) mod p's data. *)
-      for i = 0 to p - 1 do
-        Array.blit temp (i * count) recvbuf (rpos + (((r + i) mod p) * count)) count
-      done
-    end
-  end
+let select_bcast comm dt count =
+  Select.bcast (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
+    ~bytes:(Datatype.bytes dt count)
+
+let select_allreduce comm dt op count =
+  Select.allreduce (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
+    ~bytes:(Datatype.bytes dt count) ~elems:count ~op_cost:(Op.cost_per_element op)
+    ~commutative:(Op.commutative op)
+
+let select_allgather comm dt count =
+  Select.allgather (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
+    ~bytes:(Datatype.bytes dt count)
+
+let select_alltoall comm dt count =
+  Select.alltoall (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
+    ~bytes:(Datatype.bytes dt count)
+
+(* Tag discipline: every rank must draw the same number of collective tags
+   per call, so each dispatcher draws a fixed count up front (enough for
+   the most tag-hungry candidate) no matter which algorithm wins. *)
+let draw2 comm =
+  let a = Comm.next_collective_tag comm in
+  let b = Comm.next_collective_tag comm in
+  (a, b)
+
+let draw3 comm =
+  let a = Comm.next_collective_tag comm in
+  let b = Comm.next_collective_tag comm in
+  let c = Comm.next_collective_tag comm in
+  (a, b, c)
+
+let run_bcast comm dt buf pos count ~root algo ~tags:(tag, tag2) =
+  match (algo : Algo.bcast) with
+  | Bcast_binomial -> Coll_impl.bcast_binomial comm dt buf pos count ~root ~tag
+  | Bcast_scatter_allgather ->
+      Coll_impl.bcast_scatter_allgather comm dt buf pos count ~root ~tag ~tag2
+
+let run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags:(t1, t2, t3) =
+  ignore t3;
+  match (algo : Algo.allreduce) with
+  | Ar_reduce_bcast ->
+      Coll_impl.allreduce_reduce_bcast comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag:t1 ~tag2:t2
+  | Ar_recursive_doubling ->
+      Coll_impl.allreduce_recursive_doubling comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_fold:t1
+        ~tag:t2
+  | Ar_rabenseifner ->
+      Coll_impl.allreduce_rabenseifner comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_fold:t1
+        ~tag_rs:t2 ~tag_ag:t3
+  | Ar_ring -> Coll_impl.allreduce_ring comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_rs:t1 ~tag_ag:t2
+
+let run_allgather comm dt ~recvbuf ~rpos ~count ~my_block_pos ~my_block_buf algo ~tag =
+  let f =
+    match (algo : Algo.allgather) with
+    | Ag_bruck -> Coll_impl.allgather_bruck
+    | Ag_ring -> Coll_impl.allgather_ring
+    | Ag_recursive_doubling -> Coll_impl.allgather_recursive_doubling
+  in
+  f comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf
+
+let run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tag =
+  match (algo : Algo.alltoall) with
+  | A2a_pairwise -> Coll_impl.alltoall_pairwise comm dt ~sendbuf ~recvbuf ~count ~tag
+  | A2a_bruck -> Coll_impl.alltoall_bruck comm dt ~sendbuf ~recvbuf ~count ~tag
 
 (* ------------------------------------------------------------------ *)
 (* Public operations.                                                  *)
@@ -123,7 +104,7 @@ let allgather_ comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf =
 let barrier comm =
   Comm.check_active comm;
   record comm "MPI_Barrier";
-  dissemination comm (Comm.next_collective_tag comm)
+  Coll_impl.dissemination comm ~tag:(Comm.next_collective_tag comm)
 
 let bcast ?(pos = 0) ?count comm dt buf ~root =
   Comm.check_active comm;
@@ -131,7 +112,10 @@ let bcast ?(pos = 0) ?count comm dt buf ~root =
   check_root comm root;
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "bcast" count;
-  bcast_ comm dt buf pos count ~root ~tag:(Comm.next_collective_tag comm)
+  let tags = draw2 comm in
+  let algo = select_bcast comm dt count in
+  record_algo comm "MPI_Bcast" (Algo.bcast_name algo);
+  run_bcast comm dt buf pos count ~root algo ~tags
 
 let reduce ?(pos = 0) ?recvbuf comm dt op ~sendbuf ~count ~root =
   Comm.check_active comm;
@@ -139,7 +123,7 @@ let reduce ?(pos = 0) ?recvbuf comm dt op ~sendbuf ~count ~root =
   check_root comm root;
   check_count "reduce" count;
   let tag = Comm.next_collective_tag comm in
-  let acc = reduce_ comm dt op ~sendbuf ~pos ~count ~root ~tag in
+  let acc = Coll_impl.reduce_binomial comm dt op ~sendbuf ~pos ~count ~root ~tag in
   if Comm.rank comm = root then begin
     match recvbuf with
     | Some rb -> Array.blit acc 0 rb 0 count
@@ -150,20 +134,22 @@ let allreduce ?(pos = 0) comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Allreduce";
   check_count "allreduce" count;
-  let tag = Comm.next_collective_tag comm in
-  let acc = reduce_ comm dt op ~sendbuf ~pos ~count ~root:0 ~tag in
-  if Comm.rank comm = 0 then Array.blit acc 0 recvbuf 0 count;
-  bcast_ comm dt recvbuf 0 count ~root:0 ~tag:(Comm.next_collective_tag comm)
+  let tags = draw3 comm in
+  let algo = select_allreduce comm dt op count in
+  record_algo comm "MPI_Allreduce" (Algo.allreduce_name algo);
+  run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags
 
 let allgather ?(inplace = false) ?(spos = 0) ?(rpos = 0) comm dt ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Allgather";
   check_count "allgather" count;
   let tag = Comm.next_collective_tag comm in
+  let algo = select_allgather comm dt count in
+  record_algo comm "MPI_Allgather" (Algo.allgather_name algo);
   let my_block_buf, my_block_pos =
     if inplace then (recvbuf, rpos + (Comm.rank comm * count)) else (sendbuf, spos)
   in
-  allgather_ comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf
+  run_allgather comm dt ~recvbuf ~rpos ~count ~my_block_pos ~my_block_buf algo ~tag
 
 (* Ring allgatherv: in step s, pass along the block received in step s-1.
    Successive messages between the same neighbours share a tag; the network
@@ -280,38 +266,14 @@ let scatterv ?(rpos = 0) ?sendbuf ?scounts ?sdispls comm dt ~recvbuf ~rcount ~ro
   end
   else ignore (P2p.recv ~ctx:Internal ~pos:rpos ~count:rcount comm dt recvbuf ~src:root ~tag)
 
-(* Irregular exchanges post every request up front and wait for all of
-   them (the linear algorithm real implementations use): latency is hidden
-   by overlap, but each of the p-1 peers still costs a message start-up —
-   including zero-count pairs, which is exactly why Alltoall(v) has
-   Omega(p) complexity per call (paper Sec. V-A). *)
-let post_all_exchange comm dt ~tag ~scount_of ~spos_of ~rcount_of ~rpos_of ~sendbuf ~recvbuf =
-  let p = Comm.size comm and r = Comm.rank comm in
-  Array.blit sendbuf (spos_of r) recvbuf (rpos_of r) (scount_of r);
-  let recv_reqs =
-    List.init (p - 1) (fun i ->
-        let src = (r - 1 - i + p) mod p in
-        P2p.irecv ~ctx:Internal ~pos:(rpos_of src) ~count:(rcount_of src) comm dt recvbuf ~src ~tag)
-  in
-  let send_reqs =
-    List.init (p - 1) (fun i ->
-        let dst = (r + 1 + i) mod p in
-        P2p.isend ~ctx:Internal ~pos:(spos_of dst) ~count:(scount_of dst) comm dt sendbuf ~dst ~tag)
-  in
-  ignore (Request.wait_all recv_reqs);
-  ignore (Request.wait_all send_reqs)
-
 let alltoall comm dt ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Alltoall";
   check_count "alltoall" count;
   let tag = Comm.next_collective_tag comm in
-  post_all_exchange comm dt ~tag
-    ~scount_of:(fun _ -> count)
-    ~spos_of:(fun d -> d * count)
-    ~rcount_of:(fun _ -> count)
-    ~rpos_of:(fun s -> s * count)
-    ~sendbuf ~recvbuf
+  let algo = select_alltoall comm dt count in
+  record_algo comm "MPI_Alltoall" (Algo.alltoall_name algo);
+  run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tag
 
 let check_v_arrays what comm scounts sdispls rcounts rdispls =
   let p = Comm.size comm in
@@ -325,7 +287,7 @@ let alltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   record comm "MPI_Alltoallv";
   check_v_arrays "alltoallv" comm scounts sdispls rcounts rdispls;
   let tag = Comm.next_collective_tag comm in
-  post_all_exchange comm dt ~tag
+  Coll_impl.post_all_exchange comm dt ~tag
     ~scount_of:(fun d -> scounts.(d))
     ~spos_of:(fun d -> sdispls.(d))
     ~rcount_of:(fun s -> rcounts.(s))
@@ -345,7 +307,7 @@ let alltoallw_style comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispl
   let type_setup_cost = 0.3e-6 in
   let datatype_engine_cost = 0.4e-6 (* per message, send and receive side *) in
   Comm.compute comm (float_of_int (2 * p) *. (type_setup_cost +. datatype_engine_cost));
-  post_all_exchange comm dt ~tag
+  Coll_impl.post_all_exchange comm dt ~tag
     ~scount_of:(fun d -> scounts.(d))
     ~spos_of:(fun d -> sdispls.(d))
     ~rcount_of:(fun s -> rcounts.(s))
@@ -362,7 +324,7 @@ let reduce_scatter_block comm dt op ~sendbuf ~recvbuf ~count =
   let p = Comm.size comm and r = Comm.rank comm in
   let total = p * count in
   let tag = Comm.next_collective_tag comm in
-  let acc = reduce_ comm dt op ~sendbuf ~pos:0 ~count:total ~root:0 ~tag in
+  let acc = Coll_impl.reduce_binomial comm dt op ~sendbuf ~pos:0 ~count:total ~root:0 ~tag in
   let stag = Comm.next_collective_tag comm in
   if r = 0 then begin
     Array.blit acc 0 recvbuf 0 count;
@@ -435,8 +397,9 @@ let exscan comm dt op ~sendbuf ~recvbuf ~count =
 
 (* Non-blocking collectives: a helper fiber (standing in for an MPI
    progress thread) runs the blocking algorithm and completes the request.
-   Internal tags are allocated at call time so they line up across ranks
-   regardless of how the helper fibers interleave. *)
+   Internal tags — and the algorithm choice — are fixed at call time so
+   they line up across ranks regardless of how the helper fibers
+   interleave. *)
 let spawn_collective comm ~label body =
   let w = Comm.world comm in
   let req = Request.create w.World.engine in
@@ -451,7 +414,7 @@ let ibarrier comm =
   Comm.check_active comm;
   record comm "MPI_Ibarrier";
   let tag = Comm.next_collective_tag comm in
-  spawn_collective comm ~label:"ibarrier" (fun () -> dissemination comm tag)
+  spawn_collective comm ~label:"ibarrier" (fun () -> Coll_impl.dissemination comm ~tag)
 
 let ibcast ?(pos = 0) ?count comm dt buf ~root =
   Comm.check_active comm;
@@ -459,19 +422,20 @@ let ibcast ?(pos = 0) ?count comm dt buf ~root =
   check_root comm root;
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "ibcast" count;
-  let tag = Comm.next_collective_tag comm in
-  spawn_collective comm ~label:"ibcast" (fun () -> bcast_ comm dt buf pos count ~root ~tag)
+  let tags = draw2 comm in
+  let algo = select_bcast comm dt count in
+  record_algo comm "MPI_Ibcast" (Algo.bcast_name algo);
+  spawn_collective comm ~label:"ibcast" (fun () -> run_bcast comm dt buf pos count ~root algo ~tags)
 
 let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Iallreduce";
   check_count "iallreduce" count;
-  let reduce_tag = Comm.next_collective_tag comm in
-  let bcast_tag = Comm.next_collective_tag comm in
+  let tags = draw3 comm in
+  let algo = select_allreduce comm dt op count in
+  record_algo comm "MPI_Iallreduce" (Algo.allreduce_name algo);
   spawn_collective comm ~label:"iallreduce" (fun () ->
-      let acc = reduce_ comm dt op ~sendbuf ~pos:0 ~count ~root:0 ~tag:reduce_tag in
-      if Comm.rank comm = 0 then Array.blit acc 0 recvbuf 0 count;
-      bcast_ comm dt recvbuf 0 count ~root:0 ~tag:bcast_tag)
+      run_allreduce comm dt op ~sendbuf ~pos:0 ~recvbuf ~count algo ~tags)
 
 let ialltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   Comm.check_active comm;
@@ -479,7 +443,7 @@ let ialltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   check_v_arrays "ialltoallv" comm scounts sdispls rcounts rdispls;
   let tag = Comm.next_collective_tag comm in
   spawn_collective comm ~label:"ialltoallv" (fun () ->
-      post_all_exchange comm dt ~tag
+      Coll_impl.post_all_exchange comm dt ~tag
         ~scount_of:(fun d -> scounts.(d))
         ~spos_of:(fun d -> sdispls.(d))
         ~rcount_of:(fun s -> rcounts.(s))
@@ -537,7 +501,7 @@ let split comm ~color ~key =
   let dt = Datatype.triple Datatype.int Datatype.int Datatype.int in
   let entries = Array.make p (0, 0, 0) in
   let tag = Comm.next_collective_tag comm in
-  allgather_ comm dt ~recvbuf:entries ~rpos:0 ~count:1 ~tag ~my_block_pos:0
+  Coll_impl.allgather_bruck comm dt ~recvbuf:entries ~rpos:0 ~count:1 ~tag ~my_block_pos:0
     ~my_block_buf:[| (color, key, r) |];
   let dist_tag = Comm.next_collective_tag comm in
   if color < 0 then None

@@ -3,10 +3,9 @@
     Algorithms and Data Structures"):
 
     - barrier: dissemination, [ceil(log2 p)] rounds;
-    - bcast / reduce: binomial trees;
-    - allgather: Bruck's algorithm (logarithmic startups for any [p]);
+    - reduce: binomial tree;
     - allgatherv: ring (linear rounds, optimal volume);
-    - alltoall(v): pairwise exchange;
+    - alltoallv: pairwise exchange;
     - alltoallw-style: the linear fan-out fallback real MPI implementations
       use for [MPI_Alltoallw] — every peer gets a message even for zero
       counts, plus per-peer datatype setup; this is the path MPL's
@@ -15,9 +14,23 @@
     - gather(v) / scatter(v): linear at the root (as in practice for the
       irregular variants).
 
-    Every call counts once in the profiling layer under its MPI name.
+    {b Tuned collectives.}  [bcast], [allreduce], [allgather] and
+    [alltoall] (and their non-blocking variants) dispatch through the
+    {!Coll_algos.Select} engine: each has several interchangeable
+    algorithms in {!Coll_impl}, and the selector picks the candidate with
+    the lowest {!Coll_algos.Cost} prediction under the communicator's
+    LogGP-style parameters (hierarchical fabrics use the intra-node
+    parameter set when the whole group shares a node).  Ties keep the
+    pre-tuning default, so small-message behavior — and the profiling
+    call counts the paper's Sec. VI experiments rely on — is unchanged.
+    Per-communicator overrides are available through {!pin_algorithm}.
+
+    Every call counts once in the profiling layer under its MPI name; the
+    tuned collectives additionally count the annotated choice (e.g.
+    ["MPI_Allreduce[rabenseifner]"]) in the separate algorithm category.
     Reduction trees reassociate user operations (the usual reason floating
-    point results depend on [p] — see the reproducible-reduce plugin). *)
+    point results depend on [p] — see the reproducible-reduce plugin);
+    non-commutative operations always take the reduce+bcast allreduce. *)
 
 val barrier : Comm.t -> unit
 
@@ -216,6 +229,25 @@ val ialltoallv :
   rcounts:int array ->
   rdispls:int array ->
   Request.t
+
+(** {1 Algorithm selection}
+
+    Thin wrappers over the world's {!Coll_algos.Select} table, keyed by
+    this communicator's id.  Pins must be set identically on every rank
+    of the communicator before the collective (they are rank-local hints,
+    like MPI info keys). *)
+
+(** [pin_algorithm comm ~coll ~algo] forces collective [coll] (["bcast"],
+    ["allreduce"], ["allgather"] or ["alltoall"]) on this communicator to
+    algorithm [algo] (see {!Coll_algos.Algo} for the names).
+    @raise Invalid_argument on an unknown collective or algorithm name. *)
+val pin_algorithm : Comm.t -> coll:string -> algo:string -> unit
+
+(** [unpin_algorithm comm ~coll] returns [coll] to cost-based selection. *)
+val unpin_algorithm : Comm.t -> coll:string -> unit
+
+(** [pinned_algorithm comm ~coll] is the override in force, if any. *)
+val pinned_algorithm : Comm.t -> coll:string -> string option
 
 (** {1 Communicator management} *)
 

@@ -1,45 +1,79 @@
-type t = { table : (string, int ref) Hashtbl.t; mutable msg_count : int; mutable byte_count : int }
-type snapshot = { calls : (string * int) list; messages : int; bytes : int }
+type t = {
+  table : (string, int ref) Hashtbl.t;
+  algo_table : (string, int ref) Hashtbl.t;
+  mutable msg_count : int;
+  mutable byte_count : int;
+}
 
-let create () = { table = Hashtbl.create 32; msg_count = 0; byte_count = 0 }
+type snapshot = {
+  calls : (string * int) list;
+  algo_calls : (string * int) list;
+  messages : int;
+  bytes : int;
+}
 
-let record_call t name =
-  match Hashtbl.find_opt t.table name with
+let create () =
+  { table = Hashtbl.create 32; algo_table = Hashtbl.create 32; msg_count = 0; byte_count = 0 }
+
+let bump table name =
+  match Hashtbl.find_opt table name with
   | Some r -> incr r
-  | None -> Hashtbl.add t.table name (ref 1)
+  | None -> Hashtbl.add table name (ref 1)
+
+let record_call t name = bump t.table name
+let record_algo t name = bump t.algo_table name
 
 let record_message t ~bytes =
   t.msg_count <- t.msg_count + 1;
   t.byte_count <- t.byte_count + bytes
 
+let sorted_counts table =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let snapshot t =
-  let calls =
-    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.table []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  { calls; messages = t.msg_count; bytes = t.byte_count }
+  {
+    calls = sorted_counts t.table;
+    algo_calls = sorted_counts t.algo_table;
+    messages = t.msg_count;
+    bytes = t.byte_count;
+  }
 
 let reset t =
   Hashtbl.reset t.table;
+  Hashtbl.reset t.algo_table;
   t.msg_count <- 0;
   t.byte_count <- 0
 
-let calls_of name s = match List.assoc_opt name s.calls with Some n -> n | None -> 0
+let count_of name counts = match List.assoc_opt name counts with Some n -> n | None -> 0
+
+(* Annotated names like "MPI_Allreduce[rabenseifner]" live in the algorithm
+   category so the plain-call table keeps its historical meaning. *)
+let calls_of name s =
+  match List.assoc_opt name s.calls with
+  | Some n -> n
+  | None -> count_of name s.algo_calls
+
+let algo_calls_of name s = count_of name s.algo_calls
+
+let diff_counts before after =
+  let names = List.sort_uniq String.compare (List.map fst before @ List.map fst after) in
+  List.filter_map
+    (fun name ->
+      let d = count_of name after - count_of name before in
+      if d = 0 then None else Some (name, d))
+    names
 
 let diff ~before ~after =
-  let names =
-    List.sort_uniq String.compare (List.map fst before.calls @ List.map fst after.calls)
-  in
-  let calls =
-    List.filter_map
-      (fun name ->
-        let d = calls_of name after - calls_of name before in
-        if d = 0 then None else Some (name, d))
-      names
-  in
-  { calls; messages = after.messages - before.messages; bytes = after.bytes - before.bytes }
+  {
+    calls = diff_counts before.calls after.calls;
+    algo_calls = diff_counts before.algo_calls after.algo_calls;
+    messages = after.messages - before.messages;
+    bytes = after.bytes - before.bytes;
+  }
 
 let pp fmt s =
   Format.fprintf fmt "@[<v>messages=%d bytes=%d" s.messages s.bytes;
   List.iter (fun (name, n) -> Format.fprintf fmt "@,%s: %d" name n) s.calls;
+  List.iter (fun (name, n) -> Format.fprintf fmt "@,%s: %d" name n) s.algo_calls;
   Format.fprintf fmt "@]"

@@ -11,6 +11,10 @@ type t
 (** A snapshot of the counters at one point in time. *)
 type snapshot = {
   calls : (string * int) list;  (** logical MPI calls by name, sorted *)
+  algo_calls : (string * int) list;
+      (** per-call collective-algorithm choices, recorded as annotated
+          names like ["MPI_Allreduce[rabenseifner]"]; kept out of [calls]
+          so the plain-call counts retain their PMPI meaning *)
   messages : int;  (** point-to-point messages transferred *)
   bytes : int;  (** payload bytes transferred *)
 }
@@ -21,6 +25,10 @@ val create : unit -> t
 (** [record_call t name] counts one logical MPI call. *)
 val record_call : t -> string -> unit
 
+(** [record_algo t name] counts one collective-algorithm choice under its
+    annotated name (e.g. ["MPI_Bcast[binomial]"]). *)
+val record_algo : t -> string -> unit
+
 (** [record_message t ~bytes] counts one wire message. *)
 val record_message : t -> bytes:int -> unit
 
@@ -30,8 +38,12 @@ val snapshot : t -> snapshot
 (** [reset t] zeroes all counters. *)
 val reset : t -> unit
 
-(** [calls_of name s] is the count for a given call name in a snapshot. *)
+(** [calls_of name s] is the count for a given call name in a snapshot;
+    annotated algorithm names are looked up transparently. *)
 val calls_of : string -> snapshot -> int
+
+(** [algo_calls_of name s] is the count for an annotated algorithm name. *)
+val algo_calls_of : string -> snapshot -> int
 
 (** [diff ~before ~after] subtracts two snapshots counter-wise. *)
 val diff : before:snapshot -> after:snapshot -> snapshot

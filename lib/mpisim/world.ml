@@ -15,6 +15,7 @@ type t = {
   detection_delay : float;
   shrink_memo : (int * int, comm_shared) Hashtbl.t;
   agree_memo : (int * int, agree_cell) Hashtbl.t;
+  tuning : Coll_algos.Select.t;
 }
 
 and agree_cell = {
@@ -45,6 +46,7 @@ let create ?node ~net_params ~size () =
     detection_delay = 10.0e-6;
     shrink_memo = Hashtbl.create 8;
     agree_memo = Hashtbl.create 8;
+    tuning = Coll_algos.Select.create ();
   }
 
 let now w = Engine.now w.engine

@@ -26,6 +26,8 @@ type t = {
       (** (parent cid, epoch) -> shrunk communicator state *)
   agree_memo : (int * int, agree_cell) Hashtbl.t;
       (** (cid, epoch) -> in-progress agreement *)
+  tuning : Coll_algos.Select.t;
+      (** per-communicator collective-algorithm overrides and selection *)
 }
 
 (** State of one in-progress ULFM agreement: survivors deposit their

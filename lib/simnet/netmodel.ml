@@ -54,6 +54,24 @@ let params_between t ~src ~dst =
 
 let local_compute_cost t ~bytes = float_of_int bytes *. t.p.memcpy_byte_time
 
+(* ------------------------------------------------------------------ *)
+(* Cost-prediction helpers (LogGP terms) for the collective-algorithm  *)
+(* selection layer.  These mirror [transfer] exactly: a single         *)
+(* uncongested message costs                                           *)
+(*   send_overhead + b*injection + latency + b*byte_time + recv_ovh.   *)
+(* ------------------------------------------------------------------ *)
+
+let startup_cost p = p.send_overhead +. p.latency +. p.recv_overhead
+let per_byte_cost p = p.injection_byte_time +. p.byte_time
+let msg_cost p ~bytes = startup_cost p +. (float_of_int bytes *. per_byte_cost p)
+
+let params_for_group t group =
+  match t.intra with
+  | Some (intra, node_size) when Array.length group > 0 ->
+      let node0 = group.(0) / node_size in
+      if Array.for_all (fun g -> g / node_size = node0) group then intra else t.p
+  | Some _ | None -> t.p
+
 let transfer t ~now ~src ~dst ~bytes ~pack_factor =
   let p = params_between t ~src ~dst in
   let fbytes = float_of_int bytes *. pack_factor in

@@ -58,3 +58,27 @@ val transfer :
 
 (** [local_compute_cost t ~bytes] is the memcpy cost for [bytes]. *)
 val local_compute_cost : t -> bytes:int -> float
+
+(** {1 Cost prediction}
+
+    Analytic LogGP terms matching {!transfer}, used by the collective
+    algorithm selection layer to predict a candidate algorithm's cost
+    without running it. *)
+
+(** [startup_cost p] is the fixed cost of one uncongested message:
+    [send_overhead + latency + recv_overhead] (the "alpha" term). *)
+val startup_cost : params -> float
+
+(** [per_byte_cost p] is the marginal cost per payload byte:
+    [injection_byte_time + byte_time] (the "beta" term). *)
+val per_byte_cost : params -> float
+
+(** [msg_cost p ~bytes] is the end-to-end time of one uncongested message. *)
+val msg_cost : params -> bytes:int -> float
+
+(** [params_for_group t group] is the parameter set a collective over the
+    given world ranks should plan with: on a hierarchical fabric the
+    intra-node parameters when every member lives on one node, otherwise
+    the inter-node parameters (the pessimistic bound for a spanning
+    collective). *)
+val params_for_group : t -> int array -> params

@@ -250,6 +250,9 @@ let test_repro_vs_naive_divergence () =
   let naive p =
     (Tutil.run ~ranks:p (fun raw ->
          let comm = Comm.wrap raw in
+         (* pin the binomial reduce+bcast path: the tuned selector may pick
+            an algorithm whose grouping happens to agree across these p *)
+         Comm.pin_algorithm comm ~coll:"allreduce" ~algo:"reduce_bcast";
          let mine = distribute data p (Comm.rank comm) in
          (* local fold + binomial tree: order depends on p *)
          let local = V.fold_left ( +. ) 0.0 mine in
