@@ -8,3 +8,9 @@ cd "$(dirname "$0")/.."
 dune build @fmt
 dune build
 dune runtest
+
+# Second pass with the MUST-style correctness checker forced to its
+# strictest level via the environment: every suite (examples sweep,
+# overhead profiling equality, property schedules) must stay green with
+# full deadlock/ordering/leak checking enabled.
+MPISIM_CHECK=communication dune runtest --force

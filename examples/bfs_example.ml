@@ -1,39 +1,2 @@
-(* Distributed BFS (paper Fig. 9) over a generated graph, comparing the
-   built-in alltoallv exchange with the sparse (NBX) and grid plugins.
-
-   Run with:  dune exec examples/bfs_example.exe *)
-
-module Gen = Graphgen.Generators
-
-let run_strategy name bfs family ~ranks ~global_n =
-  let result =
-    Mpisim.Mpi.run ~ranks (fun comm ->
-        let graph =
-          Gen.generate family ~rank:(Mpisim.Comm.rank comm) ~comm_size:ranks ~global_n
-            ~avg_degree:6 ~seed:3
-        in
-        let t0 = Mpisim.Comm.now comm in
-        let dist = bfs comm graph ~src:0 in
-        (dist, Mpisim.Comm.now comm -. t0))
-  in
-  let parts = Mpisim.Mpi.results_exn result in
-  let dist = Array.concat (List.map fst (Array.to_list parts)) in
-  let time = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
-  let reached = Array.fold_left (fun acc d -> if d <> Apps.Bfs_common.undef then acc + 1 else acc) 0 dist in
-  let max_level = Array.fold_left (fun acc d -> if d <> Apps.Bfs_common.undef then max acc d else acc) 0 dist in
-  Printf.printf "  %-12s reached %4d/%d vertices, eccentricity %2d, %8.1f us simulated\n" name
-    reached global_n max_level (1e6 *. time);
-  dist
-
-let () =
-  let ranks = 16 and global_n = 4096 in
-  List.iter
-    (fun family ->
-      Printf.printf "BFS on %s (%d vertices, %d ranks):\n" (Gen.family_name family) global_n ranks;
-      let reference = run_strategy "alltoallv" Apps.Bfs_kamping.bfs family ~ranks ~global_n in
-      let sparse = run_strategy "sparse(NBX)" Apps.Bfs_strategies.bfs_sparse family ~ranks ~global_n in
-      let grid = run_strategy "grid" Apps.Bfs_strategies.bfs_grid family ~ranks ~global_n in
-      assert (sparse = reference);
-      assert (grid = reference))
-    [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ];
-  print_endline "all strategies computed identical distances"
+(* Thin launcher; the program lives in examples/gallery/bfs_example.ml. *)
+let () = Gallery.Bfs_example.run ()

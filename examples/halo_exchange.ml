@@ -1,58 +1,2 @@
-(* 1D Jacobi heat diffusion with Cartesian halo exchange — the regular
-   stencil workload MPL's layout system targets (paper Sec. II), expressed
-   here with the Cartesian topology module plus a reproducible residual
-   reduction.
-
-   Run with:  dune exec examples/halo_exchange.exe *)
-
-module D = Mpisim.Datatype
-module K = Kamping.Comm
-
-let () =
-  let ranks = 8 and cells_per_rank = 64 and steps = 200 in
-  let result =
-    Mpisim.Mpi.run ~ranks (fun comm ->
-        let kc = K.wrap comm in
-        let cart = Mpisim.Cart.create comm ~dims:[| ranks |] ~periodic:[| false |] in
-        let r = Mpisim.Comm.rank comm in
-        (* local cells + one ghost on each side; a hot spike on rank 0 *)
-        let n = cells_per_rank in
-        let u = Array.make (n + 2) 0.0 in
-        if r = 0 then u.(1) <- 1000.0;
-        let next = Array.copy u in
-        let timer = Kamping.Measurement.create kc in
-        for _ = 1 to steps do
-          Kamping.Measurement.time timer "halo" (fun () ->
-              let send_low = [| u.(1) |] and send_high = [| u.(n) |] in
-              let recv_low = [| u.(0) |] and recv_high = [| u.(n + 1) |] in
-              ignore
-                (Mpisim.Cart.halo_exchange cart D.float ~dim:0 ~send_low ~send_high ~recv_low
-                   ~recv_high);
-              u.(0) <- recv_low.(0);
-              u.(n + 1) <- recv_high.(0));
-          Kamping.Measurement.time timer "stencil" (fun () ->
-              (* insulated global edges: mirror ghosts (Neumann boundary) *)
-              if r = 0 then u.(0) <- u.(1);
-              if r = ranks - 1 then u.(n + 1) <- u.(n);
-              for i = 1 to n do
-                next.(i) <- u.(i) +. (0.25 *. (u.(i - 1) -. (2.0 *. u.(i)) +. u.(i + 1)))
-              done;
-              Array.blit next 1 u 1 n;
-              K.compute kc (Kamping.Costs.linear n))
-        done;
-        (* reproducible global heat total: independent of the rank count *)
-        let local = Ds.Vec.init n (fun i -> u.(i + 1)) in
-        let total =
-          Kamping_plugins.Reproducible_reduce.reduce kc D.float ( +. ) ~send_buf:local
-        in
-        let stats = Kamping.Measurement.aggregate timer in
-        (total, u.(n / 2), stats))
-  in
-  let per_rank = Mpisim.Mpi.results_exn result in
-  let total, _, stats = per_rank.(0) in
-  Printf.printf "after %d steps the total heat is %.6f (reproducible across rank counts)\n" 200
-    total;
-  Printf.printf "temperature mid-cell per rank:";
-  Array.iter (fun (_, mid, _) -> Printf.printf " %7.3f" mid) per_rank;
-  print_newline ();
-  List.iter (fun s -> Format.printf "  %a@." Kamping.Measurement.pp_stats s) stats
+(* Thin launcher; the program lives in examples/gallery/halo_exchange.ml. *)
+let () = Gallery.Halo_exchange.run ()

@@ -1,54 +1,2 @@
-(* Memory-safe non-blocking communication (paper Fig. 6): the request and
-   the buffers live inside the non-blocking result; the data only becomes
-   reachable through wait/test.
-
-   Run with:  dune exec examples/nonblocking_safety.exe *)
-
-module K = Kamping.Comm
-module D = Mpisim.Datatype
-module V = Ds.Vec
-
-let () =
-  ignore
-    (Mpisim.Mpi.run_exn ~ranks:2 (fun raw ->
-         let comm = K.wrap raw in
-         if K.rank comm = 0 then begin
-           (* the send buffer is moved into the call: the non-blocking
-              result keeps it alive and hands it back on completion *)
-           let v = V.of_list [ 1; 2; 3; 4 ] in
-           let pending = K.isend comm D.int ~send_buf:v ~dst:1 in
-           (* ... do other work while the message is in flight ... *)
-           K.compute comm 5.0e-6;
-           let v_again = Kamping.Nb_result.wait pending in
-           Printf.printf "rank 0: buffer returned after completion, %d elements\n"
-             (V.length v_again)
-         end
-         else begin
-           let pending = K.irecv ~count:4 comm D.int ~src:0 in
-           (* test never exposes the buffer before the data arrived *)
-           let polls = ref 0 in
-           let rec poll () =
-             match Kamping.Nb_result.test pending with
-             | None ->
-                 incr polls;
-                 K.compute comm 1.0e-6;
-                 poll ()
-             | Some data -> data
-           in
-           let data = poll () in
-           Printf.printf "rank 1: received %s after %d polls\n"
-             (String.concat ";" (List.map string_of_int (V.to_list data)))
-             !polls
-         end;
-         (* request pools: submit many operations, complete them at once *)
-         let pool = Kamping.Request_pool.create () in
-         let peer = 1 - K.rank comm in
-         for tag = 10 to 14 do
-           let res = K.isend ~tag comm D.int ~send_buf:(V.make 1 tag) ~dst:peer in
-           Kamping.Request_pool.add pool (Kamping.Nb_result.request res)
-         done;
-         for tag = 10 to 14 do
-           ignore (K.recv ~tag ~count:1 comm D.int ~src:peer)
-         done;
-         Kamping.Request_pool.wait_all pool;
-         Printf.printf "rank %d: request pool drained\n" (K.rank comm)))
+(* Thin launcher; the program lives in examples/gallery/nonblocking_safety.ml. *)
+let () = Gallery.Nonblocking_safety.run ()

@@ -1,51 +1,2 @@
-(* Quickstart: the paper's Fig. 1 in OCaml.
-
-   Run with:  dune exec examples/quickstart.exe
-
-   A simulated 8-rank machine starts; each rank contributes a vector of
-   its own length, and KaMPIng's allgatherv concatenates them on every
-   rank — counts and displacements computed by the library. *)
-
-module K = Kamping.Comm
-module D = Mpisim.Datatype
-module V = Ds.Vec
-
-let () =
-  let result =
-    Mpisim.Mpi.run ~ranks:8 (fun raw ->
-        let comm = K.wrap raw in
-        let rank = K.rank comm in
-
-        (* each rank holds a vector of varying size *)
-        let v = V.init (rank + 1) (fun i -> (10 * rank) + i) in
-
-        (* (1) concise code with sensible defaults *)
-        let v_global = (K.allgatherv comm D.int ~send_buf:v).K.recv_buf in
-
-        (* (2) ... or detailed tuning of each parameter *)
-        let rc = Array.make (K.size comm) 0 in
-        Array.iteri (fun i _ -> rc.(i) <- i + 1) rc;
-        let reuse = V.create () in
-        let detailed =
-          K.allgatherv ~recv_counts:rc (* no count exchange *)
-            ~recv_buf:reuse (* caller-owned memory *)
-            ~recv_policy:Kamping.Resize_policy.Grow_only (* allocation control *)
-            ~recv_displs_out:true (* out-parameter *)
-            comm D.int ~send_buf:v
-        in
-        assert (V.equal ( = ) v_global detailed.K.recv_buf);
-        assert (detailed.K.recv_displs <> None);
-
-        (* a one-line reduction for good measure *)
-        let total = K.allreduce_single comm D.int Mpisim.Op.int_sum (V.length v) in
-        (V.length v_global, total))
-  in
-  let per_rank = Mpisim.Mpi.results_exn result in
-  Array.iteri
-    (fun r (global_len, total) ->
-      Printf.printf "rank %d: global vector has %d elements (allreduce says %d)\n" r global_len
-        total)
-    per_rank;
-  Printf.printf "simulated time: %.1f us, MPI messages: %d\n"
-    (1e6 *. result.Mpisim.Mpi.sim_time)
-    result.Mpisim.Mpi.profile.Mpisim.Profiling.messages
+(* Thin launcher; the program lives in examples/gallery/quickstart.ml. *)
+let () = Gallery.Quickstart.run ()

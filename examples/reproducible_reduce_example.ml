@@ -1,40 +1,2 @@
-(* Reproducible reduction (paper Sec. V-C, Fig. 13): the same float data
-   distributed over different rank counts gives bitwise-identical sums with
-   the plugin, while the ordinary reduction drifts.
-
-   Run with:  dune exec examples/reproducible_reduce_example.exe *)
-
-module K = Kamping.Comm
-module D = Mpisim.Datatype
-module V = Ds.Vec
-
-let data =
-  Array.init 1000 (fun i ->
-      (10.0 ** float_of_int ((i * 7 mod 33) - 16)) *. (if i mod 3 = 0 then -1.0 else 1.0))
-
-let distribute p r =
-  let n = Array.length data in
-  let base = n / p and extra = n mod p in
-  let count = base + (if r < extra then 1 else 0) in
-  let start = (r * base) + min r extra in
-  V.init count (fun i -> data.(start + i))
-
-let () =
-  Printf.printf "%-6s  %-26s  %-26s\n" "ranks" "ordinary allreduce" "reproducible plugin";
-  List.iter
-    (fun ranks ->
-      let naive =
-        (Mpisim.Mpi.run_exn ~ranks (fun raw ->
-             let comm = K.wrap raw in
-             let local = V.fold_left ( +. ) 0.0 (distribute ranks (K.rank comm)) in
-             K.allreduce_single comm D.float Mpisim.Op.float_sum local)).(0)
-      in
-      let repro =
-        (Mpisim.Mpi.run_exn ~ranks (fun raw ->
-             let comm = K.wrap raw in
-             Kamping_plugins.Reproducible_reduce.reduce comm D.float ( +. )
-               ~send_buf:(distribute ranks (K.rank comm)))).(0)
-      in
-      Printf.printf "%-6d  %.17e  %.17e\n" ranks naive repro)
-    [ 1; 2; 3; 7; 16; 64 ];
-  print_endline "note: the right column never changes; the left one depends on the rank count"
+(* Thin launcher; the program lives in examples/gallery/reproducible_reduce_example.ml. *)
+let () = Gallery.Reproducible_reduce_example.run ()

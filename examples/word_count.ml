@@ -1,82 +1,2 @@
-(* Word count, MapReduce-style (paper Sec. VI: "with distributed containers
-   we want to enable lightweight bulk parallel computation inspired by
-   MapReduce and Thrill, while not locking the programmer into the walled
-   garden of a particular framework").
-
-   Every rank holds some lines of text; words are shuffled to their hash
-   owner with one serialized irregular exchange, counted locally, and the
-   global top results are collected with the sorter plugin — all plain
-   KaMPIng calls, no framework.
-
-   Run with:  dune exec examples/word_count.exe *)
-
-module K = Kamping.Comm
-module D = Mpisim.Datatype
-module V = Ds.Vec
-
-let corpus =
-  [|
-    "the quick brown fox jumps over the lazy dog";
-    "the dog barks and the fox runs";
-    "a quick dog and a lazy fox";
-    "message passing is the backbone of high performance computing";
-    "the interface is flexible and the overhead is near zero";
-    "sorting searching and counting with the quick brown fox";
-    "the lazy dog sleeps while the quick fox jumps";
-    "zero overhead bindings for the message passing interface";
-  |]
-
-let () =
-  let ranks = 4 in
-  let result =
-    Mpisim.Mpi.run ~ranks (fun raw ->
-        let comm = K.wrap raw in
-        let r = K.rank comm and p = K.size comm in
-        (* map: my lines -> words, bucketed by hash owner *)
-        let buckets = Array.make p [] in
-        Array.iteri
-          (fun i line ->
-            if i mod p = r then
-              String.split_on_char ' ' line
-              |> List.iter (fun word ->
-                     if word <> "" then begin
-                       let owner = Hashtbl.hash word mod p in
-                       buckets.(owner) <- word :: buckets.(owner)
-                     end))
-          corpus;
-        (* shuffle: one serialized irregular exchange *)
-        let received = K.alltoallv_serialized comm Serde.Codec.(list string) buckets in
-        (* reduce: count my words *)
-        let counts = Hashtbl.create 64 in
-        Array.iter
-          (List.iter (fun w ->
-               Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))))
-          received;
-        (* global ranking: sort (count, word-fingerprint) pairs descending *)
-        let dt = D.pair D.int D.int in
-        let mine = V.create () in
-        let names = Hashtbl.create 64 in
-        Hashtbl.iter
-          (fun w c ->
-            Hashtbl.replace names (Hashtbl.hash w) w;
-            V.push mine (c, Hashtbl.hash w))
-          counts;
-        let cmp (c1, h1) (c2, h2) = match compare c2 c1 with 0 -> compare h1 h2 | x -> x in
-        let sorted = Kamping_plugins.Sorter.sort comm dt ~cmp mine in
-        (* everyone learns the word spellings for display *)
-        let all_names =
-          K.allgather_serialized comm Serde.Codec.(list (pair int string))
-            (Hashtbl.fold (fun h w acc -> (h, w) :: acc) names [])
-        in
-        let dictionary = Hashtbl.create 64 in
-        Array.iter (List.iter (fun (h, w) -> Hashtbl.replace dictionary h w)) all_names;
-        let top = K.gatherv comm dt ~send_buf:sorted in
-        if K.is_root comm then
-          V.to_list (V.sub top.K.recv_buf 0 (min 8 (V.length top.K.recv_buf)))
-          |> List.sort cmp
-          |> List.map (fun (c, h) -> (Hashtbl.find dictionary h, c))
-        else [])
-  in
-  let per_rank = Mpisim.Mpi.results_exn result in
-  print_endline "most frequent words:";
-  List.iter (fun (w, c) -> Printf.printf "  %-12s %d\n" w c) per_rank.(0)
+(* Thin launcher; the program lives in examples/gallery/word_count.ml. *)
+let () = Gallery.Word_count.run ()

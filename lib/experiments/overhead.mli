@@ -3,5 +3,12 @@
 
 type timing = { variant : string; seconds : float }
 
+(** [call_profiles ()] is the PMPI table of Sec. III-H: one row
+    [[name; calls; messages]] per implementation variant of the allgatherv
+    example (hand-rolled, KaMPIng defaults, KaMPIng fully parameterized).
+    The checker regression sweep re-asserts the call equality under the
+    strictest checking level. *)
+val call_profiles : unit -> string list list
+
 val sort_timings : ?ranks:int -> ?n_per_rank:int -> unit -> timing list
 val run : unit -> unit

@@ -1,8 +1,21 @@
-type level = Off | Light | Normal | Heavy
+type level = Off | Light | Normal | Heavy | Communication
 
-let rank_of = function Off -> 0 | Light -> 1 | Normal -> 2 | Heavy -> 3
+let rank_of = function Off -> 0 | Light -> 1 | Normal -> 2 | Heavy -> 3 | Communication -> 4
 let current = ref Light
-let set_level l = current := l
+
+(* The simulator-side checker mirrors the KaMPIng level: [Normal] adds no
+   simulator checks beyond [Light], and [Heavy]'s communicating assertions
+   correspond to the checker's deadlock/leak analyses. *)
+let checker_level_of = function
+  | Off -> Mpisim.Checker.Off
+  | Light | Normal -> Mpisim.Checker.Light
+  | Heavy -> Mpisim.Checker.Heavy
+  | Communication -> Mpisim.Checker.Communication
+
+let set_level l =
+  current := l;
+  Mpisim.Checker.set_level (checker_level_of l)
+
 let level () = !current
 let enabled l = rank_of l <= rank_of !current
 
@@ -21,6 +34,10 @@ let heavy_check_uniform comm value ~what =
   end
 
 let with_level l f =
-  let saved = !current in
-  current := l;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = !current and saved_check = Mpisim.Checker.level () in
+  set_level l;
+  Fun.protect
+    ~finally:(fun () ->
+      current := saved;
+      Mpisim.Checker.set_level saved_check)
+    f

@@ -11,9 +11,16 @@ type level =
   | Light  (** cheap local parameter validation *)
   | Normal  (** local validation plus invariant checks *)
   | Heavy  (** additionally run checks that require communication *)
+  | Communication
+      (** additionally verify cross-rank collective ordering through the
+          simulator's {!Mpisim.Checker} (the full MUST-style mode) *)
 
 (** [set_level l] / [level ()] configure the global assertion level
-    (default [Light]). *)
+    (default [Light]).  The level also drives the simulator-side
+    {!Mpisim.Checker}: [Off] disables it entirely, [Light]/[Normal] keep
+    its match-time error recording, [Heavy] adds deadlock diagnosis and
+    leak detection, and [Communication] adds collective-ordering
+    verification. *)
 val set_level : level -> unit
 
 val level : unit -> level

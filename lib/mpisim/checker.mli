@@ -1,0 +1,157 @@
+(** MUST-style correctness checking inside the simulator.
+
+    Because the discrete-event simulator observes every primitive on every
+    rank, it can host the checks that real MPI users need an external tool
+    (MUST, Marmot) or KaMPIng's communication-level assertions for:
+
+    - {b deadlock}: when the simulation quiesces with blocked fibers the
+      run terminates with a structured report of the wait-for cycle and
+      each rank's pending operation, instead of an opaque hang;
+    - {b collective ordering}: the N-th collective issued on a communicator
+      must agree across ranks on operation, root, count and datatype (the
+      paper's class of assertions that require communication);
+    - {b resource leaks} at finalize: unwaited requests, never-matched
+      sends, unfreed windows;
+    - {b matching errors}: truncation and datatype mismatches are recorded
+      as structured diagnostics at p2p match time (the exception still
+      propagates to the caller as before).
+
+    Checks are grouped in levels mirroring the paper's assertion taxonomy;
+    at {!Off} every hook returns immediately, so fully parameterized calls
+    keep their zero-overhead profile (no extra MPI calls, no extra
+    simulated events at any level — the checker is an observer). *)
+
+(** Checking levels, cumulative from top to bottom. *)
+type level =
+  | Off  (** no checking — the zero-overhead production mode *)
+  | Light  (** record match-time errors (truncation, datatype mismatch) *)
+  | Heavy
+      (** plus deadlock diagnosis at quiesce and resource-leak checks at
+          finalize *)
+  | Communication
+      (** plus cross-rank collective-ordering agreement — the checks that
+          would require extra communication in a real MPI *)
+
+(** [set_level l] / [level ()] configure the global checker level.  The
+    default is [Light], or the value of the [MPISIM_CHECK] environment
+    variable ([off]/[light]/[heavy]/[communication]) when set. *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** [enabled l] is true when the current level includes [l]. *)
+val enabled : level -> bool
+
+(** [with_level l f] runs [f] with the level temporarily set to [l]. *)
+val with_level : level -> (unit -> 'a) -> 'a
+
+(** [level_of_string s] parses ["off"], ["light"], ["heavy"],
+    ["communication"]. *)
+val level_of_string : string -> level option
+
+(** {1 Diagnostics} *)
+
+(** The signature of one collective call, as agreed across ranks.  A
+    [coll_count] of [-1] and a [coll_dt] of [""] mean "not checked" (used
+    by the v-variants whose counts legitimately differ per rank). *)
+type coll_sig = { coll_op : string; coll_root : int; coll_count : int; coll_dt : string }
+
+type detail =
+  | Deadlock_cycle of {
+      cycle : int list;  (** one wait-for cycle in world ranks, if any *)
+      blocked : (int * string) list;  (** every blocked rank and its pending operation *)
+    }
+  | Collective_mismatch of {
+      index : int;  (** position in the communicator's collective sequence *)
+      field : string;  (** first disagreeing field: "operation", "root", "count" or "datatype" *)
+      expected : coll_sig;  (** what the first rank to reach [index] called *)
+      got : coll_sig;
+    }
+  | Truncation of { sent : int; capacity : int }
+  | Datatype_mismatch of { sent : string; expected : string }
+  | Request_leak  (** a request whose completion the program never observed *)
+  | Unmatched_send of { dst : int; tag : int; count : int }
+  | Window_leak  (** an RMA window never released with [Win.free] *)
+
+(** One structured finding.  [rank] is a world rank ([-1] when the finding
+    is not attributable to one rank), [comm] a communicator id ([-1] when
+    not applicable), [op] the MPI operation involved and [location] the
+    checking site ([p2p-match], [collective], [quiesce] or [finalize]). *)
+type diagnostic = { rank : int; comm : int; op : string; location : string; detail : detail }
+
+(** Raised inside the offending rank when a communication-level check fails
+    (currently: collective-ordering disagreement). *)
+exception Violation of diagnostic
+
+val to_string : diagnostic -> string
+val pp : Format.formatter -> diagnostic -> unit
+
+(** {1 Per-world state and hooks}
+
+    One [state] lives in each {!World.t}; the hooks below are called by the
+    p2p, collective, request and window layers.  They are cheap no-ops
+    below their gating level. *)
+
+type state
+
+val create : unit -> state
+
+(** [diagnostics st] is every finding recorded so far, in order. *)
+val diagnostics : state -> diagnostic list
+
+(** [record_collective st ~rank ~comm ~op ~root ~count ~datatype] logs the
+    calling rank's next collective on communicator [comm] and verifies it
+    against the other ranks' sequences.  Pass [root = -1] for non-rooted
+    operations, [count = -1] / [datatype = ""] to skip those fields.
+    Active at {!Communication}.
+    @raise Violation on disagreement (after recording the diagnostic). *)
+val record_collective :
+  state -> rank:int -> comm:int -> op:string -> root:int -> count:int -> datatype:string -> unit
+
+(** [record_match_error st ~rank ~comm ~op ~src ~tag e] records a
+    truncation or datatype mismatch detected while matching a message.
+    Active at {!Light}. *)
+val record_match_error :
+  state -> rank:int -> comm:int -> op:string -> src:int -> tag:int -> exn -> unit
+
+(** [track_request st ~rank ~comm ~op req] registers a user-visible request
+    for the finalize leak check.  Active at {!Heavy}. *)
+val track_request : state -> rank:int -> comm:int -> op:string -> Request.t -> unit
+
+(** Handle for one rank's view of an RMA window, used by the leak check. *)
+type window_token
+
+(** [track_window st ~rank ~comm] registers a window created by [rank].
+    Active at {!Heavy} (below it, the returned token is inert). *)
+val track_window : state -> rank:int -> comm:int -> window_token
+
+(** [release_window tok] marks the window freed (called by [Win.free]). *)
+val release_window : window_token -> unit
+
+(** [diagnose_deadlock st ~mailboxes ~parked ~rank_alive] builds the
+    structured deadlock report from the posted-receive queues and the list
+    of parked world ranks, records it, and returns it. *)
+val diagnose_deadlock :
+  state ->
+  mailboxes:Msg.mailbox array ->
+  parked:int list ->
+  rank_alive:(int -> bool) ->
+  diagnostic
+
+(** [finalize st ~mailboxes ~rank_alive ~comm_revoked] runs the end-of-run
+    leak checks: unobserved requests, never-matched user sends and unfreed
+    windows.  State owned by dead ranks or revoked communicators is
+    skipped (ULFM failure injection leaves it behind legitimately). *)
+val finalize :
+  state ->
+  mailboxes:Msg.mailbox array ->
+  rank_alive:(int -> bool) ->
+  comm_revoked:(int -> bool) ->
+  unit
+
+(** {1 Cross-world collection}
+
+    [with_collector f] additionally tees every diagnostic recorded in any
+    world created while running [f] into a list — the regression sweep uses
+    it to assert that whole example programs run clean. *)
+val with_collector : (unit -> 'a) -> 'a * diagnostic list

@@ -16,6 +16,22 @@ let check_root comm root =
 let check_count what count =
   if count < 0 then Errors.usage "%s: negative count %d" what count
 
+(* Communication-level ordering check: log this rank's next collective on
+   the communicator and verify it against the sequence the other ranks
+   issued.  [root]/[count]/[datatype] default to "not checked" (v-variants
+   legitimately differ per rank in their counts). *)
+let check_coll ?(root = -1) ?(count = -1) ?datatype comm ~op dt_opt =
+  if Checker.enabled Communication then begin
+    let datatype =
+      match datatype with
+      | Some n -> n
+      | None -> ( match dt_opt with Some dt -> Datatype.name dt | None -> "")
+    in
+    Checker.record_collective (Comm.world comm).World.check
+      ~rank:(Comm.world_rank_of comm (Comm.rank comm))
+      ~comm:(Comm.id comm) ~op ~root ~count ~datatype
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Algorithm selection.                                                *)
 (* ------------------------------------------------------------------ *)
@@ -104,6 +120,7 @@ let run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tag =
 let barrier comm =
   Comm.check_active comm;
   record comm "MPI_Barrier";
+  check_coll comm ~op:"MPI_Barrier" None;
   Coll_impl.dissemination comm ~tag:(Comm.next_collective_tag comm)
 
 let bcast ?(pos = 0) ?count comm dt buf ~root =
@@ -112,6 +129,7 @@ let bcast ?(pos = 0) ?count comm dt buf ~root =
   check_root comm root;
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "bcast" count;
+  check_coll comm ~op:"MPI_Bcast" ~root ~count (Some dt);
   let tags = draw2 comm in
   let algo = select_bcast comm dt count in
   record_algo comm "MPI_Bcast" (Algo.bcast_name algo);
@@ -122,6 +140,7 @@ let reduce ?(pos = 0) ?recvbuf comm dt op ~sendbuf ~count ~root =
   record comm "MPI_Reduce";
   check_root comm root;
   check_count "reduce" count;
+  check_coll comm ~op:"MPI_Reduce" ~root ~count (Some dt);
   let tag = Comm.next_collective_tag comm in
   let acc = Coll_impl.reduce_binomial comm dt op ~sendbuf ~pos ~count ~root ~tag in
   if Comm.rank comm = root then begin
@@ -134,6 +153,7 @@ let allreduce ?(pos = 0) comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Allreduce";
   check_count "allreduce" count;
+  check_coll comm ~op:"MPI_Allreduce" ~count (Some dt);
   let tags = draw3 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Allreduce" (Algo.allreduce_name algo);
@@ -143,6 +163,7 @@ let allgather ?(inplace = false) ?(spos = 0) ?(rpos = 0) comm dt ~sendbuf ~recvb
   Comm.check_active comm;
   record comm "MPI_Allgather";
   check_count "allgather" count;
+  check_coll comm ~op:"MPI_Allgather" ~count (Some dt);
   let tag = Comm.next_collective_tag comm in
   let algo = select_allgather comm dt count in
   record_algo comm "MPI_Allgather" (Algo.allgather_name algo);
@@ -163,6 +184,7 @@ let allgatherv ?(inplace = false) ?(spos = 0) comm dt ~sendbuf ~scount ~recvbuf 
     Errors.usage "allgatherv: rcounts/rdispls must have one entry per rank";
   if scount <> rcounts.(r) then
     Errors.usage "allgatherv: send count %d disagrees with rcounts.(%d) = %d" scount r rcounts.(r);
+  check_coll comm ~op:"MPI_Allgatherv" (Some dt);
   let tag = Comm.next_collective_tag comm in
   if not inplace then Array.blit sendbuf spos recvbuf rdispls.(r) scount;
   if p > 1 then begin
@@ -186,6 +208,7 @@ let gather ?(spos = 0) ?(rpos = 0) ?recvbuf comm dt ~sendbuf ~count ~root =
   record comm "MPI_Gather";
   check_root comm root;
   check_count "gather" count;
+  check_coll comm ~op:"MPI_Gather" ~root ~count (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -207,6 +230,7 @@ let gatherv ?(spos = 0) ?recvbuf ?rcounts ?rdispls comm dt ~sendbuf ~scount ~roo
   record comm "MPI_Gatherv";
   check_root comm root;
   check_count "gatherv" scount;
+  check_coll comm ~op:"MPI_Gatherv" ~root (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -229,6 +253,7 @@ let scatter ?(spos = 0) ?(rpos = 0) ?sendbuf comm dt ~recvbuf ~count ~root =
   record comm "MPI_Scatter";
   check_root comm root;
   check_count "scatter" count;
+  check_coll comm ~op:"MPI_Scatter" ~root ~count (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -250,6 +275,7 @@ let scatterv ?(rpos = 0) ?sendbuf ?scounts ?sdispls comm dt ~recvbuf ~rcount ~ro
   record comm "MPI_Scatterv";
   check_root comm root;
   check_count "scatterv" rcount;
+  check_coll comm ~op:"MPI_Scatterv" ~root (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -270,6 +296,7 @@ let alltoall comm dt ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Alltoall";
   check_count "alltoall" count;
+  check_coll comm ~op:"MPI_Alltoall" ~count (Some dt);
   let tag = Comm.next_collective_tag comm in
   let algo = select_alltoall comm dt count in
   record_algo comm "MPI_Alltoall" (Algo.alltoall_name algo);
@@ -286,6 +313,7 @@ let alltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   Comm.check_active comm;
   record comm "MPI_Alltoallv";
   check_v_arrays "alltoallv" comm scounts sdispls rcounts rdispls;
+  check_coll comm ~op:"MPI_Alltoallv" (Some dt);
   let tag = Comm.next_collective_tag comm in
   Coll_impl.post_all_exchange comm dt ~tag
     ~scount_of:(fun d -> scounts.(d))
@@ -302,6 +330,7 @@ let alltoallw_style comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispl
   Comm.check_active comm;
   record comm "MPI_Alltoallw";
   check_v_arrays "alltoallw" comm scounts sdispls rcounts rdispls;
+  check_coll comm ~op:"MPI_Alltoallw" (Some dt);
   let p = Comm.size comm in
   let tag = Comm.next_collective_tag comm in
   let type_setup_cost = 0.3e-6 in
@@ -321,6 +350,7 @@ let reduce_scatter_block comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Reduce_scatter_block";
   check_count "reduce_scatter_block" count;
+  check_coll comm ~op:"MPI_Reduce_scatter_block" ~count (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let total = p * count in
   let tag = Comm.next_collective_tag comm in
@@ -339,6 +369,7 @@ let scan comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Scan";
   check_count "scan" count;
+  check_coll comm ~op:"MPI_Scan" ~count (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   Array.blit sendbuf 0 recvbuf 0 count;
@@ -369,6 +400,7 @@ let exscan comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Exscan";
   check_count "exscan" count;
+  check_coll comm ~op:"MPI_Exscan" ~count (Some dt);
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if p > 1 && count > 0 then begin
@@ -403,6 +435,9 @@ let exscan comm dt op ~sendbuf ~recvbuf ~count =
 let spawn_collective comm ~label body =
   let w = Comm.world comm in
   let req = Request.create w.World.engine in
+  Checker.track_request w.World.check
+    ~rank:(Comm.world_rank_of comm (Comm.rank comm))
+    ~comm:(Comm.id comm) ~op:label req;
   let _ : Engine.fiber =
     Engine.spawn w.World.engine ~label (fun () ->
         body ();
@@ -413,6 +448,7 @@ let spawn_collective comm ~label body =
 let ibarrier comm =
   Comm.check_active comm;
   record comm "MPI_Ibarrier";
+  check_coll comm ~op:"MPI_Ibarrier" None;
   let tag = Comm.next_collective_tag comm in
   spawn_collective comm ~label:"ibarrier" (fun () -> Coll_impl.dissemination comm ~tag)
 
@@ -422,6 +458,7 @@ let ibcast ?(pos = 0) ?count comm dt buf ~root =
   check_root comm root;
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "ibcast" count;
+  check_coll comm ~op:"MPI_Ibcast" ~root ~count (Some dt);
   let tags = draw2 comm in
   let algo = select_bcast comm dt count in
   record_algo comm "MPI_Ibcast" (Algo.bcast_name algo);
@@ -431,6 +468,7 @@ let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Iallreduce";
   check_count "iallreduce" count;
+  check_coll comm ~op:"MPI_Iallreduce" ~count (Some dt);
   let tags = draw3 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Iallreduce" (Algo.allreduce_name algo);
@@ -441,6 +479,7 @@ let ialltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   Comm.check_active comm;
   record comm "MPI_Ialltoallv";
   check_v_arrays "ialltoallv" comm scounts sdispls rcounts rdispls;
+  check_coll comm ~op:"MPI_Ialltoallv" (Some dt);
   let tag = Comm.next_collective_tag comm in
   spawn_collective comm ~label:"ialltoallv" (fun () ->
       Coll_impl.post_all_exchange comm dt ~tag
@@ -485,6 +524,7 @@ let position a x =
 let dup comm =
   Comm.check_active comm;
   record comm "MPI_Comm_dup";
+  check_coll comm ~op:"MPI_Comm_dup" None;
   let w = Comm.world comm in
   let tag = Comm.next_collective_tag comm in
   let members = Array.init (Comm.size comm) Fun.id in
@@ -496,6 +536,7 @@ let dup comm =
 let split comm ~color ~key =
   Comm.check_active comm;
   record comm "MPI_Comm_split";
+  check_coll comm ~op:"MPI_Comm_split" None;
   let w = Comm.world comm in
   let p = Comm.size comm and r = Comm.rank comm in
   let dt = Datatype.triple Datatype.int Datatype.int Datatype.int in

@@ -8,6 +8,7 @@ type 'a run_result = {
   sim_time : float;
   profile : Profiling.snapshot;
   events : int;
+  diagnostics : Checker.diagnostic list;
 }
 
 let run ?(net = Netmodel.default) ?node ?(failures = []) ~ranks f =
@@ -24,12 +25,25 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ~ranks f =
   in
   w.World.fibers <- fibers;
   List.iter (fun (at, rank) -> Ulfm.schedule_failure w ~at ~world_rank:rank) failures;
-  Engine.run w.World.engine;
+  (match Engine.run w.World.engine with
+  | () ->
+      (* clean quiesce: run the end-of-run leak checks *)
+      Checker.finalize w.World.check ~mailboxes:w.World.mailboxes ~rank_alive:(World.is_alive w)
+        ~comm_revoked:(World.comm_revoked w)
+  | exception Engine.Deadlock _ when Checker.enabled Heavy ->
+      (* diagnose instead of hanging the caller with an opaque exception:
+         the run terminates normally, carrying the structured report *)
+      let parked = ref [] in
+      Array.iteri (fun r fib -> if Engine.is_parked fib then parked := r :: !parked) fibers;
+      ignore
+        (Checker.diagnose_deadlock w.World.check ~mailboxes:w.World.mailboxes
+           ~parked:(List.rev !parked) ~rank_alive:(World.is_alive w)));
   {
     results;
     sim_time = Engine.now w.World.engine;
     profile = Profiling.snapshot w.World.prof;
     events = Engine.events_processed w.World.engine;
+    diagnostics = Checker.diagnostics w.World.check;
   }
 
 let results_exn r =

@@ -14,6 +14,9 @@ type 'a run_result = {
   sim_time : float;  (** simulated seconds until the last event *)
   profile : Profiling.snapshot;  (** all MPI calls, messages and bytes *)
   events : int;  (** discrete events processed (determinism diagnostic) *)
+  diagnostics : Checker.diagnostic list;
+      (** correctness findings (deadlock, collective mismatch, leaks, ...)
+          recorded by {!Checker} at the current checking level *)
 }
 
 (** [run ?net ?node ?failures ~ranks f] executes the SPMD program.
@@ -22,7 +25,10 @@ type 'a run_result = {
     @param node [(intra-node params, node size)] switches to a hierarchical
     fabric (e.g. [(Simnet.Netmodel.intra_node, 8)])
     @param failures [(time, world_rank)] process failures to inject
-    @raise Simnet.Engine.Deadlock if the program hangs *)
+    @raise Simnet.Engine.Deadlock if the program hangs and the checker level
+    is below [Heavy]; at [Heavy] and above the run instead terminates
+    normally with a structured {!Checker.Deadlock_cycle} diagnostic (hung
+    ranks report [Rank_died] in [results]) *)
 val run :
   ?net:Simnet.Netmodel.params ->
   ?node:Simnet.Netmodel.params * int ->

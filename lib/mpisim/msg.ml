@@ -6,6 +6,7 @@ type packed = Packed : 'a Datatype.t * 'a array -> packed
 
 type envelope = {
   src : int;
+  src_world : int;
   tag : int;
   comm_id : int;
   ctx : ctx;
@@ -37,6 +38,7 @@ type probe_waiter = {
   p_group : int array;
   notify : envelope -> unit;
   p_on_fail : exn -> unit;
+  p_owner_world : int;
   mutable p_live : bool;
 }
 
@@ -168,3 +170,9 @@ let drop_owned mb ~world_rank =
 
 let pending_count mb = List.length (List.filter (fun pr -> pr.live) mb.posted)
 let unexpected_count mb = Ds.Vec.length mb.unexpected
+
+(* Checker views: the correctness layer inspects mailbox contents at
+   quiesce and finalize without consuming anything. *)
+let live_posted mb = List.filter (fun pr -> pr.live) mb.posted
+let live_probes mb = List.filter (fun pw -> pw.p_live) mb.probes
+let iter_unexpected mb f = Ds.Vec.iter f mb.unexpected

@@ -21,6 +21,7 @@ type packed = Packed : 'a Datatype.t * 'a array -> packed
 
 type envelope = {
   src : int;  (** sender's rank in the communicator *)
+  src_world : int;  (** sender's world rank (for checker attribution) *)
   tag : int;
   comm_id : int;
   ctx : ctx;
@@ -55,6 +56,7 @@ type probe_waiter = {
   p_group : int array;
   notify : envelope -> unit;
   p_on_fail : exn -> unit;
+  p_owner_world : int;  (** the probing rank *)
   mutable p_live : bool;
 }
 
@@ -97,3 +99,17 @@ val pending_count : mailbox -> int
 
 (** [unexpected_count mb] is the number of queued unexpected messages. *)
 val unexpected_count : mailbox -> int
+
+(** {1 Checker views}
+
+    Non-destructive inspection used by the correctness checker at quiesce
+    (deadlock diagnosis) and finalize (leak detection). *)
+
+(** [live_posted mb] is every live posted receive, in post order. *)
+val live_posted : mailbox -> pending_recv list
+
+(** [live_probes mb] is every parked blocking probe. *)
+val live_probes : mailbox -> probe_waiter list
+
+(** [iter_unexpected mb f] applies [f] to each queued unexpected envelope. *)
+val iter_unexpected : mailbox -> (envelope -> unit) -> unit

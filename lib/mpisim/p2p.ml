@@ -21,6 +21,16 @@ let window_bounds ~what buf pos count =
 
 let record w name = Profiling.record_call w.World.prof name
 
+let my_world comm = Comm.world_rank_of comm (Comm.rank comm)
+
+let track comm ~op req =
+  Checker.track_request (Comm.world comm).World.check ~rank:(my_world comm) ~comm:(Comm.id comm)
+    ~op req
+
+let record_mismatch comm ~op ~src ~tag e =
+  Checker.record_match_error (Comm.world comm).World.check ~rank:(my_world comm)
+    ~comm:(Comm.id comm) ~op ~src ~tag e
+
 (* Book the message into the network and schedule its arrival.  Returns the
    injection-complete time (when the sender's buffer is reusable). *)
 let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
@@ -42,6 +52,7 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
     let env =
       {
         Msg.src = Comm.rank comm;
+        src_world;
         tag;
         comm_id = Comm.id comm;
         ctx;
@@ -67,6 +78,7 @@ let isend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Isend";
   let req = Request.create w.World.engine in
+  if ctx = Msg.User then track comm ~op:"MPI_Isend" req;
   let count' = window_bounds ~what:"isend" buf pos count in
   let injected = inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched:None in
   Engine.schedule w.World.engine
@@ -78,6 +90,7 @@ let issend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Issend";
   let req = Request.create w.World.engine in
+  if ctx = Msg.User then track comm ~op:"MPI_Issend" req;
   let count' = window_bounds ~what:"issend" buf pos count in
   let latency = (Netmodel.params w.World.net).latency in
   let on_matched =
@@ -137,10 +150,14 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let capacity = window_bounds ~what:"recv" buf pos count in
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Recv";
-  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  let mb = w.World.mailboxes.(my_world comm) in
   match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
   | Some env -> begin
-      match copy_payload env dt buf pos capacity with Ok st -> st | Error e -> raise e
+      match copy_payload env dt buf pos capacity with
+      | Ok st -> st
+      | Error e ->
+          record_mismatch comm ~op:"MPI_Recv" ~src ~tag e;
+          raise e
     end
   | None -> begin
       match dead_peer comm ~src with
@@ -152,7 +169,9 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
               let deliver env =
                 match copy_payload env dt buf pos capacity with
                 | Ok st -> Engine.resume resumer st
-                | Error e -> Engine.fail resumer e
+                | Error e ->
+                    record_mismatch comm ~op:"MPI_Recv" ~src ~tag e;
+                    Engine.fail resumer e
               in
               let on_fail e = Engine.fail resumer e in
               Msg.post mb (make_pending comm ~src ~tag ~ctx ~deliver ~on_fail))
@@ -166,12 +185,15 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Irecv";
   let req = Request.create w.World.engine in
-  let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
+  if ctx = Msg.User then track comm ~op:"MPI_Irecv" req;
+  let mb = w.World.mailboxes.(my_world comm) in
   (match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
   | Some env -> begin
       match copy_payload env dt buf pos capacity with
       | Ok st -> Request.complete req st
-      | Error e -> Request.abort req e
+      | Error e ->
+          record_mismatch comm ~op:"MPI_Irecv" ~src ~tag e;
+          Request.abort req e
     end
   | None -> begin
       match dead_peer comm ~src with
@@ -182,7 +204,9 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
           let deliver env =
             match copy_payload env dt buf pos capacity with
             | Ok st -> Request.complete req st
-            | Error e -> Request.abort req e
+            | Error e ->
+                record_mismatch comm ~op:"MPI_Irecv" ~src ~tag e;
+                Request.abort req e
           in
           let on_fail e = Request.abort req e in
           Msg.post mb (make_pending comm ~src ~tag ~ctx ~deliver ~on_fail)
@@ -217,6 +241,7 @@ let probe ?(ctx = Msg.User) comm ~src ~tag =
                   p_group = Comm.group comm;
                   notify;
                   p_on_fail = (fun e -> Engine.fail resumer e);
+                  p_owner_world = my_world comm;
                   p_live = true;
                 })
     end

@@ -7,10 +7,11 @@ type t = {
   engine : Engine.t;
   mutable state : state;
   mutable waiter : status Engine.resumer option;
+  mutable observed : bool;  (* did the program ever see this request complete? *)
 }
 
-let create engine = { engine; state = Pending; waiter = None }
-let completed_now engine status = { engine; state = Complete status; waiter = None }
+let create engine = { engine; state = Pending; waiter = None; observed = false }
+let completed_now engine status = { engine; state = Complete status; waiter = None; observed = false }
 
 let notify r =
   match r.waiter with
@@ -35,16 +36,32 @@ let abort r e =
       notify r
   | Complete _ | Failed _ -> () (* completion won the race; failure is moot *)
 
-let is_complete r = match r.state with Pending -> false | Complete _ | Failed _ -> true
+let is_complete r =
+  match r.state with
+  | Pending -> false
+  | Complete _ | Failed _ ->
+      r.observed <- true;
+      true
 
 let wait r =
+  r.observed <- true;
   match r.state with
   | Complete status -> status
   | Failed e -> raise e
   | Pending -> Engine.suspend r.engine (fun resumer -> r.waiter <- Some resumer)
 
 let test r =
-  match r.state with Complete status -> Some status | Failed e -> raise e | Pending -> None
+  match r.state with
+  | Complete status ->
+      r.observed <- true;
+      Some status
+  | Failed e ->
+      r.observed <- true;
+      raise e
+  | Pending -> None
+
+let was_observed r = r.observed
+let is_failed r = match r.state with Failed _ -> true | Pending | Complete _ -> false
 
 let wait_all rs = List.map wait rs
 

@@ -27,7 +27,10 @@ val complete : t -> status -> unit
 (** [abort r exn] fails a pending request; [wait]/[test] will re-raise. *)
 val abort : t -> exn -> unit
 
-(** [is_complete r] is true once completed (successfully or not). *)
+(** [is_complete r] is true once completed (successfully or not).  A [true]
+    answer counts as the program observing completion (NBX-style protocols
+    poll this instead of waiting), so the checker's leak detection will not
+    flag the request. *)
 val is_complete : t -> bool
 
 (** [wait r] blocks the calling fiber until completion.
@@ -47,3 +50,14 @@ val wait_any : t list -> int * status
 
 (** [test_all rs] is [Some statuses] if all complete, else [None]. *)
 val test_all : t list -> status list option
+
+(** {1 Checker support} *)
+
+(** [was_observed r] is true once the program saw the request's completion
+    through [wait]/[test]/[is_complete] (directly or via the [_all]/[_any]
+    combinators). *)
+val was_observed : t -> bool
+
+(** [is_failed r] is true when the request was aborted — the leak check
+    skips failed requests (failure injection legitimately abandons them). *)
+val is_failed : t -> bool

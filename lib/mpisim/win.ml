@@ -17,6 +17,7 @@ type 'a t = {
   segment : 'a array;
   sizes : int array;
   queues : 'a queued V.t array; (* per target, in issue order *)
+  tok : Checker.window_token;
 }
 
 (* The op-stream datatype must be the SAME value on every member of the
@@ -53,6 +54,11 @@ let distribute_op_dt (type a) comm (dt : a Datatype.t) : a Op.t Datatype.t =
 
 let create comm dt segment =
   Profiling.record_call (Comm.world comm).World.prof "MPI_Win_create";
+  let tok =
+    Checker.track_window (Comm.world comm).World.check
+      ~rank:(Comm.world_rank_of comm (Comm.rank comm))
+      ~comm:(Comm.id comm)
+  in
   let p = Comm.size comm in
   let sizes = Array.make p 0 in
   Collectives.allgather comm Datatype.int ~sendbuf:[| Array.length segment |] ~recvbuf:sizes
@@ -64,7 +70,12 @@ let create comm dt segment =
     segment;
     sizes;
     queues = Array.init p (fun _ -> V.create ());
+    tok;
   }
+
+let free win =
+  Profiling.record_call (Comm.world win.comm).World.prof "MPI_Win_free";
+  Checker.release_window win.tok
 
 let local win = win.segment
 let size_of win target = win.sizes.(target)

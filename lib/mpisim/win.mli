@@ -49,3 +49,8 @@ val get_result : 'a pending_get -> 'a array
 (** [fence win] closes the current epoch (collective): applies all queued
     puts and accumulates, answers all gets, and synchronizes. *)
 val fence : 'a t -> unit
+
+(** [free win] releases the window (local bookkeeping only — call it after
+    a closing {!fence} on every rank, like [MPI_Win_free]).  The checker's
+    finalize pass reports windows never freed as {!Checker.Window_leak}. *)
+val free : 'a t -> unit

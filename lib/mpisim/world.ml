@@ -16,6 +16,8 @@ type t = {
   shrink_memo : (int * int, comm_shared) Hashtbl.t;
   agree_memo : (int * int, agree_cell) Hashtbl.t;
   tuning : Coll_algos.Select.t;
+  check : Checker.state;
+  comms : (int, comm_shared) Hashtbl.t;
 }
 
 and agree_cell = {
@@ -47,6 +49,8 @@ let create ?node ~net_params ~size () =
     shrink_memo = Hashtbl.create 8;
     agree_memo = Hashtbl.create 8;
     tuning = Coll_algos.Select.create ();
+    check = Checker.create ();
+    comms = Hashtbl.create 8;
   }
 
 let now w = Engine.now w.engine
@@ -54,7 +58,12 @@ let now w = Engine.now w.engine
 let fresh_comm w group =
   let cid = w.next_comm_id in
   w.next_comm_id <- w.next_comm_id + 1;
-  { cid; group; revoked = false }
+  let shared = { cid; group; revoked = false } in
+  Hashtbl.replace w.comms cid shared;
+  shared
+
+let comm_revoked w cid =
+  match Hashtbl.find_opt w.comms cid with Some s -> s.revoked | None -> false
 
 let is_alive w r = Ds.Bitset.mem w.alive r
 

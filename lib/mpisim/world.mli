@@ -28,6 +28,9 @@ type t = {
       (** (cid, epoch) -> in-progress agreement *)
   tuning : Coll_algos.Select.t;
       (** per-communicator collective-algorithm overrides and selection *)
+  check : Checker.state;  (** correctness-checker state for this world *)
+  comms : (int, comm_shared) Hashtbl.t;
+      (** cid -> shared state, for finalize-time revocation queries *)
 }
 
 (** State of one in-progress ULFM agreement: survivors deposit their
@@ -50,6 +53,10 @@ val now : t -> float
 (** [fresh_comm ~world group] registers a new communicator over the given
     world ranks. *)
 val fresh_comm : t -> int array -> comm_shared
+
+(** [comm_revoked w cid] is true when communicator [cid] exists and was
+    revoked (checker query). *)
+val comm_revoked : t -> int -> bool
 
 (** [is_alive w r] is rank [r]'s liveness. *)
 val is_alive : t -> int -> bool

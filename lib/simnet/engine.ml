@@ -40,6 +40,7 @@ let schedule t ~delay f =
   push t ~at:(t.clock +. delay) f
 
 let alive fiber = fiber.state = Running || fiber.state = Parked
+let is_parked fiber = fiber.state = Parked
 let label fiber = fiber.flabel
 
 let kill _t fiber = if alive fiber then fiber.state <- Dead

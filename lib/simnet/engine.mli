@@ -50,6 +50,11 @@ val kill : t -> fiber -> unit
 (** [alive fiber] is false once the fiber finished or was killed. *)
 val alive : fiber -> bool
 
+(** [is_parked fiber] is true while the fiber is suspended waiting for an
+    external event — at quiesce time, the parked fibers are the deadlocked
+    ones (used by the MPI layer's deadlock diagnosis). *)
+val is_parked : fiber -> bool
+
 (** [label fiber] is the label given at spawn time. *)
 val label : fiber -> string
 

@@ -14,6 +14,8 @@ let () =
       ("cart", Test_cart.suite);
       ("win", Test_win.suite);
       ("building-blocks", Test_building_blocks.suite);
+      ("checker", Test_checker.suite);
+      ("sweep", Test_sweep.suite);
       ("properties", Test_properties.suite);
       ("bindings", Test_bindings.suite);
       ("group", Test_group.suite);

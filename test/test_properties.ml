@@ -178,6 +178,7 @@ let prop_win_matches_sequential_model =
                     Mpisim.Win.accumulate win ~target ~target_pos:pos Mpisim.Op.int_sum [| v |])
               (ops_of (Mpisim.Comm.rank comm));
             Mpisim.Win.fence win;
+            Mpisim.Win.free win;
             seg)
       in
       (* sequential model: origins in rank order, ops in issue order *)
@@ -250,6 +251,95 @@ let prop_reproducible_dist_vector_sort =
       in
       sorted_with 1 = sorted_with 4 && sorted_with 4 = List.sort compare pool)
 
+(* ------------------------------------------------------------------ *)
+(* Correctness-checker properties (PR 2): random valid communication
+   schedules derived from [Simnet.Rng] seeds are diagnostic-free at the
+   strictest checking level, and a single random mutation (dropped recv,
+   disagreeing collective) is always flagged with a structured
+   diagnostic — the run terminates instead of hanging. *)
+
+type slot = Barrier | Bcast of int | Allreduce of int | Allgather | Ring of int
+
+let gen_schedule ~seed ~len ~p =
+  let rng = Simnet.Rng.create (Int64.of_int seed) in
+  List.init len (fun _ ->
+      match Simnet.Rng.int rng 5 with
+      | 0 -> Barrier
+      | 1 -> Bcast (Simnet.Rng.int rng p)
+      | 2 -> Allreduce (1 + Simnet.Rng.int rng 4)
+      | 3 -> Allgather
+      | _ -> Ring (Simnet.Rng.int rng 100))
+
+(* The ring slot is eager-isend, then recv, then wait — deadlock-free for
+   any [p] (including the send-to-self ring at p = 1). *)
+let exec_slot ?(drop_recv = false) comm slot =
+  let r = Mpisim.Comm.rank comm and p = Mpisim.Comm.size comm in
+  match slot with
+  | Barrier -> C.barrier comm
+  | Bcast root ->
+      let buf = Array.make 3 (if r = root then root + 1 else 0) in
+      C.bcast comm D.int buf ~root
+  | Allreduce count ->
+      let sendbuf = Array.init count (fun i -> r + i) in
+      let recvbuf = Array.make count 0 in
+      C.allreduce comm D.int Mpisim.Op.int_sum ~sendbuf ~recvbuf ~count
+  | Allgather ->
+      let recvbuf = Array.make p 0 in
+      C.allgather comm D.int ~sendbuf:[| r |] ~recvbuf ~count:1
+  | Ring tag ->
+      let dst = (r + 1) mod p and src = (r + p - 1) mod p in
+      let req = Mpisim.P2p.isend comm D.int [| r; tag |] ~dst ~tag in
+      if not drop_recv then ignore (Mpisim.P2p.recv comm D.int (Array.make 2 (-1)) ~src ~tag);
+      ignore (Mpisim.Request.wait req)
+
+let diags_of ~ranks f =
+  Mpisim.Checker.with_level Mpisim.Checker.Communication (fun () ->
+      (Mpisim.Mpi.run ~ranks f).Mpisim.Mpi.diagnostics)
+
+let has_detail pred diags = List.exists (fun d -> pred d.Mpisim.Checker.detail) diags
+
+let prop_checker_random_schedules_clean =
+  Tutil.qtest ~count:25 "random valid schedules run clean under the checker"
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 12) (int_bound 100_000))
+    (fun (p, len, seed) ->
+      let sched = gen_schedule ~seed ~len ~p in
+      let results =
+        Tutil.run_checked ~ranks:p (fun comm ->
+            List.iter (exec_slot comm) sched;
+            Mpisim.Comm.rank comm)
+      in
+      Array.to_list results = List.init p Fun.id)
+
+let prop_checker_flags_dropped_recv =
+  Tutil.qtest ~count:20 "dropped recv yields an unmatched-send diagnostic"
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 0 10) (int_bound 100_000))
+    (fun (p, len, seed) ->
+      (* a guaranteed ring slot up front; one victim rank drops its recv *)
+      let sched = Ring 7 :: gen_schedule ~seed ~len ~p in
+      let victim = seed mod p in
+      let diags =
+        diags_of ~ranks:p (fun comm ->
+            let r = Mpisim.Comm.rank comm in
+            List.iteri (fun i s -> exec_slot ~drop_recv:(i = 0 && r = victim) comm s) sched)
+      in
+      has_detail (function Mpisim.Checker.Unmatched_send _ -> true | _ -> false) diags)
+
+let prop_checker_flags_collective_mismatch =
+  Tutil.qtest ~count:20 "disagreeing collective is flagged, not hung"
+    QCheck2.Gen.(triple (int_range 2 8) (int_range 0 10) (int_bound 100_000))
+    (fun (p, len, seed) ->
+      let sched = gen_schedule ~seed ~len ~p in
+      let victim = seed mod p in
+      let diags =
+        diags_of ~ranks:p (fun comm ->
+            let r = Mpisim.Comm.rank comm in
+            (* a valid random prefix, then one rank disagrees on the root *)
+            List.iter (exec_slot comm) sched;
+            let root = if r = victim then 1 else 0 in
+            C.bcast comm D.int (Array.make 1 root) ~root)
+      in
+      has_detail (function Mpisim.Checker.Collective_mismatch _ -> true | _ -> false) diags)
+
 let suite =
   [
     prop_bcast;
@@ -264,4 +354,7 @@ let suite =
     prop_fetch_shifted;
     prop_split_groups;
     prop_reproducible_dist_vector_sort;
+    prop_checker_random_schedules_clean;
+    prop_checker_flags_dropped_recv;
+    prop_checker_flags_collective_mismatch;
   ]

@@ -1,0 +1,44 @@
+(* Regression sweep (PR 2): every example program and the overhead
+   profiling-equality experiment must run with ZERO checker diagnostics at
+   the strictest checking level.  The examples live in the [gallery]
+   library precisely so this suite can run them in-process and observe the
+   checker state of every world they create. *)
+
+let example name run = Alcotest.test_case name `Quick (fun () -> Tutil.check_clean name run)
+
+let test_overhead_profiles () =
+  let rows = Tutil.check_clean "overhead.call_profiles" Experiments.Overhead.call_profiles in
+  match rows with
+  | [ [ _; hand_calls; hand_msgs ]; [ _; default_calls; default_msgs ]; [ _; full_calls; _ ] ] ->
+      (* the PMPI equality claim must survive the checker being on: KaMPIng
+         with defaults issues exactly the hand-rolled MPI (count exchange
+         included), and supplying the counts drops the extra allgather *)
+      Alcotest.(check string) "PMPI call equality" hand_calls default_calls;
+      Alcotest.(check string) "message-count equality" hand_msgs default_msgs;
+      Alcotest.(check string) "counts given: no count exchange" "MPI_Allgatherv:8" full_calls
+  | _ -> Alcotest.fail "unexpected overhead table shape"
+
+let test_overhead_sort_kernel () =
+  let timings =
+    Tutil.check_clean "overhead.sort_timings" (fun () ->
+        Experiments.Overhead.sort_timings ~ranks:8 ~n_per_rank:400 ())
+  in
+  Alcotest.(check int) "three variants" 3 (List.length timings)
+
+let suite =
+  [
+    example "quickstart" Gallery.Quickstart.run;
+    example "vector_allgather" Gallery.Vector_allgather.run;
+    example "sample_sort_example" Gallery.Sample_sort_example.run;
+    example "bfs_example" Gallery.Bfs_example.run;
+    example "nonblocking_safety" Gallery.Nonblocking_safety.run;
+    example "serialization_example" Gallery.Serialization_example.run;
+    example "fault_tolerance" Gallery.Fault_tolerance.run;
+    example "reproducible_reduce_example" Gallery.Reproducible_reduce_example.run;
+    example "sorter_example" Gallery.Sorter_example.run;
+    example "halo_exchange" Gallery.Halo_exchange.run;
+    example "word_count" Gallery.Word_count.run;
+    example "one_sided" Gallery.One_sided.run;
+    Alcotest.test_case "overhead: PMPI equality under checker" `Quick test_overhead_profiles;
+    Alcotest.test_case "overhead: sort kernel clean" `Quick test_overhead_sort_kernel;
+  ]

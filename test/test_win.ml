@@ -16,6 +16,7 @@ let test_put_get () =
         (* read the left neighbor's whole segment *)
         let g = Win.get win ~target:((r - 1 + p) mod p) ~target_pos:0 ~count:4 in
         Win.fence win;
+        Win.free win;
         (Array.copy seg, Win.get_result g))
   in
   Array.iteri
@@ -36,6 +37,7 @@ let test_accumulate () =
         (* every rank adds (rank+1, 1) into rank 0's window *)
         Win.accumulate win ~target:0 ~target_pos:0 Op.int_sum [| Comm.rank comm + 1; 1 |];
         Win.fence win;
+        Win.free win;
         Array.copy seg)
   in
   Alcotest.(check Tutil.int_array) "accumulated" [| 21; 6 |] results.(0)
@@ -48,6 +50,7 @@ let test_epoch_ordering () =
         let win = Win.create comm Datatype.int seg in
         Win.put win ~target:0 ~target_pos:0 [| Comm.rank comm |];
         Win.fence win;
+        Win.free win;
         seg.(0))
   in
   Alcotest.(check int) "last origin wins deterministically" 3 results.(0)
@@ -62,6 +65,7 @@ let test_get_before_fence_raises () =
            | (_ : int array) -> false
            | exception Errors.Usage_error _ -> true);
          Win.fence win;
+         Win.free win;
          Alcotest.(check Tutil.int_array) "after fence" [| 0 |] (Win.get_result g)))
 
 let test_range_validation () =
@@ -79,6 +83,7 @@ let test_range_validation () =
          (* a put that fits on the big segment but not the small one *)
          Win.put win ~target:1 ~target_pos:3 [| 7; 8 |];
          Win.fence win;
+         Win.free win;
          if Comm.rank comm = 1 then begin
            Alcotest.(check int) "tail put" 7 seg.(3);
            Alcotest.(check int) "tail put" 8 seg.(4)
@@ -94,6 +99,7 @@ let test_multiple_epochs () =
           Win.accumulate win ~target:0 ~target_pos:0 Op.int_sum [| 1 |];
           Win.fence win
         done;
+        Win.free win;
         seg.(0))
   in
   Alcotest.(check int) "counter" 15 results.(0)
@@ -106,6 +112,7 @@ let test_float_window () =
         Win.accumulate win ~target:0 ~target_pos:0 Op.float_max
           [| float_of_int (Comm.rank comm) *. 1.5 |];
         Win.fence win;
+        Win.free win;
         seg.(0))
   in
   Alcotest.(check (float 0.0)) "float max" 4.5 results.(0)

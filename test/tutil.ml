@@ -11,3 +11,32 @@ let check_all_ranks name expected results =
 
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Checker-backed runs (PR 2).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let diag_fail name diags =
+  Alcotest.failf "%s: %d checker diagnostic(s):\n%s" name (List.length diags)
+    (String.concat "\n" (List.map Mpisim.Checker.to_string diags))
+
+(* [run_checked ~ranks f] runs the SPMD program with the correctness
+   checker raised to [level] (default: everything, including the
+   collective-ordering checks) and fails the test if any diagnostic was
+   recorded.  Returns the per-rank results like [run]. *)
+let run_checked ?(level = Mpisim.Checker.Communication) ?net ?node ?failures ~ranks f =
+  Mpisim.Checker.with_level level (fun () ->
+      let res = Mpisim.Mpi.run ?net ?node ?failures ~ranks f in
+      (match res.Mpisim.Mpi.diagnostics with [] -> () | diags -> diag_fail "run_checked" diags);
+      Mpisim.Mpi.results_exn res)
+
+(* [check_clean name f] runs a thunk that internally calls [Mpi.run] any
+   number of times (e.g. a whole example program) with the checker raised
+   to [level], collecting diagnostics across all the worlds it creates,
+   and fails the test if any were recorded. *)
+let check_clean ?(level = Mpisim.Checker.Communication) name f =
+  let result, diags =
+    Mpisim.Checker.with_level level (fun () -> Mpisim.Checker.with_collector f)
+  in
+  (match diags with [] -> () | ds -> diag_fail name ds);
+  result
