@@ -2,10 +2,11 @@
    evaluation (see DESIGN.md for the experiment index), plus a Bechamel
    microbenchmark of host-level wrapper overhead.
 
-   Usage:  dune exec bench/main.exe [-- experiment ...]
+   Usage:  dune exec bench/main.exe -- experiment ...
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
-                ulfm reprored ablation colltuning micro all (default: all)
-   "colltuning" additionally writes BENCH_collectives.json. *)
+                ulfm reprored ablation colltuning trace micro all
+   "colltuning" writes BENCH_collectives.json; "trace" writes
+   BENCH_trace.json.  With no arguments (or --help) the usage is printed. *)
 
 module K = Kamping.Comm
 module D = Mpisim.Datatype
@@ -123,24 +124,38 @@ let experiments =
     ("reprored", Experiments.Reprored_exp.run);
     ("ablation", Experiments.Ablation.run);
     ("colltuning", colltuning);
+    ("trace", Experiments.Trace_exp.run);
     ("micro", microbench);
   ]
 
+let usage oc =
+  Printf.fprintf oc "usage: %s experiment [experiment ...]\n" Sys.argv.(0);
+  Printf.fprintf oc "       %s all\n\n" Sys.argv.(0);
+  Printf.fprintf oc "experiments:\n";
+  List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) experiments;
+  Printf.fprintf oc "  all  (run every experiment)\n"
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] || List.mem "--help" args || List.mem "-h" args then begin
+    usage stdout;
+    exit (if args = [] || args = [ "--help" ] || args = [ "-h" ] then 0 else 2)
+  end;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] && args <> [ "all" ] -> args
-    | _ -> List.map fst experiments
+    if List.mem "all" args then List.map fst experiments else args
   in
+  (* Validate every name before running anything: a typo late in the list
+     must not cost the experiments before it. *)
+  let unknown = List.filter (fun n -> not (List.mem_assoc n experiments)) requested in
+  if unknown <> [] then begin
+    List.iter (fun n -> Printf.eprintf "unknown experiment %S\n" n) unknown;
+    Printf.eprintf "\n";
+    usage stderr;
+    exit 2
+  end;
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run ->
-          Printf.printf "\n######## %s ########\n%!" name;
-          run ()
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 2)
+      Printf.printf "\n######## %s ########\n%!" name;
+      List.assoc name experiments ())
     requested;
   print_newline ()

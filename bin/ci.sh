@@ -14,3 +14,15 @@ dune runtest
 # overhead profiling equality, property schedules) must stay green with
 # full deadlock/ordering/leak checking enabled.
 MPISIM_CHECK=communication dune runtest --force
+
+# Third pass with event tracing forced on: the recorder must be a pure
+# observer, so every suite (including the bit-exact determinism and
+# profiling-equality tests) must stay green while recording.
+MPISIM_TRACE=1 dune runtest --force
+
+# Trace-experiment smoke test: traces fig8 + fig10, asserts the critical
+# path covers the whole run, writes BENCH_trace.json and re-parses it
+# through lib/serde (validation is built into the experiment; a failed
+# check exits non-zero).
+dune exec bench/main.exe -- trace
+test -s BENCH_trace.json

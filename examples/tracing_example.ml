@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/tracing_example.ml. *)
+let () = Gallery.Tracing_example.run ()

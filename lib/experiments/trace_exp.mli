@@ -1,0 +1,12 @@
+(** The [trace] experiment: event-trace the fig. 8 sample sort and the
+    fig. 10 BFS (KaMPIng bindings, 8 ranks each), print wait-state and
+    critical-path summaries, and write both timelines into
+    [BENCH_trace.json] (Chrome trace-event format, one process group per
+    application — load it in Perfetto).
+
+    The written file is read back and re-parsed through [Serde.Json]; any
+    round-trip or structural failure (missing per-rank tracks, flow-event
+    mismatch) raises, so a CI smoke invocation exits non-zero on
+    regression. *)
+
+val run : unit -> unit

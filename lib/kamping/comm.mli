@@ -47,6 +47,21 @@ val now : t -> float
 
 val compute : t -> float -> unit
 
+(** {1 Tracing}
+
+    See {!Trace} and [Mpisim.Mpi.run ?trace]: when the surrounding run is
+    traced, every MPI call this communicator issues is recorded as a
+    timeline span. *)
+
+(** [tracing t] is true when the surrounding run records an event trace. *)
+val tracing : t -> bool
+
+(** [with_region t name f] wraps [f ()] in a user-labelled timeline region
+    (category ["user"]) on traced runs; on untraced runs it just calls
+    [f ()].  Regions nest and show up in the Chrome-trace export and the
+    per-call-site wait attribution. *)
+val with_region : t -> string -> (unit -> 'a) -> 'a
+
 (** Result record of the variable collectives.  Fields other than
     [recv_buf] are [Some] only when requested via the [*_out] flags. *)
 type 'a vresult = {

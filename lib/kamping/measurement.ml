@@ -36,8 +36,50 @@ let phases t =
 
 type stats = { phase : string; min : float; mean : float; max : float }
 
+(* Every rank must fold the same phases in the same order, or the
+   per-phase allreduces below would mismatch (and with unlucky phase
+   names, deadlock).  Agree on the phase sets first — the exchange costs
+   one allgather and keeps the collective pattern identical on all ranks,
+   so when sets differ every rank raises the same diagnostic instead of
+   hanging. *)
+let check_phase_agreement t names =
+  let all =
+    Comm.allgather_serialized t.comm Serde.Codec.(list string) names
+  in
+  let agree = Array.for_all (fun l -> l = names) all in
+  if not agree then begin
+    let union =
+      Array.fold_left
+        (fun acc l -> List.filter (fun p -> not (List.mem p acc)) l @ acc)
+        [] all
+      |> List.sort String.compare
+    in
+    let inter =
+      List.filter (fun p -> Array.for_all (List.mem p) all) union
+    in
+    let b = Buffer.create 256 in
+    Buffer.add_string b "Measurement.aggregate: ranks recorded different phase sets;";
+    Array.iteri
+      (fun r l ->
+        let missing = List.filter (fun p -> not (List.mem p l)) union in
+        let extra = List.filter (fun p -> not (List.mem p inter)) l in
+        if missing <> [] || extra <> [] then begin
+          Buffer.add_string b (Printf.sprintf " rank %d" r);
+          if missing <> [] then
+            Buffer.add_string b
+              (Printf.sprintf " missing [%s]" (String.concat ", " missing));
+          if extra <> [] then
+            Buffer.add_string b
+              (Printf.sprintf " extra [%s]" (String.concat ", " extra));
+          Buffer.add_char b ';'
+        end)
+      all;
+    Mpisim.Errors.usage "%s" (Buffer.contents b)
+  end
+
 let aggregate t =
   let names = phases t in
+  check_phase_agreement t names;
   List.map
     (fun phase ->
       let v = local t phase in

@@ -32,8 +32,11 @@ val phases : t -> string list
 (** Aggregated statistics of one phase across the communicator. *)
 type stats = { phase : string; min : float; mean : float; max : float }
 
-(** [aggregate t] combines all phases across ranks (collective; every rank
-    must have recorded the same phase set). *)
+(** [aggregate t] combines all phases across ranks (collective).  Every
+    rank must have recorded the same phase set; the sets are verified with
+    an internal allgather first, and on disagreement {e every} rank raises
+    an [Mpisim.Errors.Usage_error] naming the missing/extra phases per rank
+    (rather than mismatching collectives or hanging). *)
 val aggregate : t -> stats list
 
 (** [pp_stats fmt stats] prints an aggregate table row. *)

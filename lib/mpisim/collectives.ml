@@ -9,6 +9,35 @@ let record comm name = Profiling.record_call (Comm.world comm).World.prof name
 let record_algo comm name algo =
   Profiling.record_algo (Comm.world comm).World.prof (Printf.sprintf "%s[%s]" name algo)
 
+(* Record a collective call span around [f] on traced runs.  Each span
+   draws a per-(rank, communicator) sequence number; since every rank must
+   issue the same sequence of collectives on a communicator, the k-th
+   collective lines up across ranks — the analysis pass groups spans by
+   (comm, seq) to measure arrival imbalance. *)
+let traced comm ~op f =
+  let w = Comm.world comm in
+  let tr = w.World.trace in
+  if not (Trace.Recorder.active tr) then f ()
+  else begin
+    let rank = Comm.world_rank_of comm (Comm.rank comm) in
+    let cid = Comm.id comm in
+    let seq = Trace.Recorder.next_coll_seq tr ~rank ~comm:cid in
+    let t0 = World.now w in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.Recorder.add_span tr
+          {
+            Trace.Event.sp_rank = rank;
+            sp_op = op;
+            sp_cat = "coll";
+            sp_comm = cid;
+            sp_seq = seq;
+            sp_t0 = t0;
+            sp_t1 = World.now w;
+          })
+      f
+  end
+
 let check_root comm root =
   if root < 0 || root >= Comm.size comm then
     Errors.usage "root %d out of range for communicator of size %d" root (Comm.size comm)
@@ -121,6 +150,7 @@ let barrier comm =
   Comm.check_active comm;
   record comm "MPI_Barrier";
   check_coll comm ~op:"MPI_Barrier" None;
+  traced comm ~op:"MPI_Barrier" @@ fun () ->
   Coll_impl.dissemination comm ~tag:(Comm.next_collective_tag comm)
 
 let bcast ?(pos = 0) ?count comm dt buf ~root =
@@ -130,6 +160,7 @@ let bcast ?(pos = 0) ?count comm dt buf ~root =
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "bcast" count;
   check_coll comm ~op:"MPI_Bcast" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Bcast" @@ fun () ->
   let tags = draw2 comm in
   let algo = select_bcast comm dt count in
   record_algo comm "MPI_Bcast" (Algo.bcast_name algo);
@@ -141,6 +172,7 @@ let reduce ?(pos = 0) ?recvbuf comm dt op ~sendbuf ~count ~root =
   check_root comm root;
   check_count "reduce" count;
   check_coll comm ~op:"MPI_Reduce" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Reduce" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   let acc = Coll_impl.reduce_binomial comm dt op ~sendbuf ~pos ~count ~root ~tag in
   if Comm.rank comm = root then begin
@@ -154,6 +186,7 @@ let allreduce ?(pos = 0) comm dt op ~sendbuf ~recvbuf ~count =
   record comm "MPI_Allreduce";
   check_count "allreduce" count;
   check_coll comm ~op:"MPI_Allreduce" ~count (Some dt);
+  traced comm ~op:"MPI_Allreduce" @@ fun () ->
   let tags = draw3 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Allreduce" (Algo.allreduce_name algo);
@@ -164,6 +197,7 @@ let allgather ?(inplace = false) ?(spos = 0) ?(rpos = 0) comm dt ~sendbuf ~recvb
   record comm "MPI_Allgather";
   check_count "allgather" count;
   check_coll comm ~op:"MPI_Allgather" ~count (Some dt);
+  traced comm ~op:"MPI_Allgather" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   let algo = select_allgather comm dt count in
   record_algo comm "MPI_Allgather" (Algo.allgather_name algo);
@@ -185,6 +219,7 @@ let allgatherv ?(inplace = false) ?(spos = 0) comm dt ~sendbuf ~scount ~recvbuf 
   if scount <> rcounts.(r) then
     Errors.usage "allgatherv: send count %d disagrees with rcounts.(%d) = %d" scount r rcounts.(r);
   check_coll comm ~op:"MPI_Allgatherv" (Some dt);
+  traced comm ~op:"MPI_Allgatherv" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   if not inplace then Array.blit sendbuf spos recvbuf rdispls.(r) scount;
   if p > 1 then begin
@@ -209,6 +244,7 @@ let gather ?(spos = 0) ?(rpos = 0) ?recvbuf comm dt ~sendbuf ~count ~root =
   check_root comm root;
   check_count "gather" count;
   check_coll comm ~op:"MPI_Gather" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Gather" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -231,6 +267,7 @@ let gatherv ?(spos = 0) ?recvbuf ?rcounts ?rdispls comm dt ~sendbuf ~scount ~roo
   check_root comm root;
   check_count "gatherv" scount;
   check_coll comm ~op:"MPI_Gatherv" ~root (Some dt);
+  traced comm ~op:"MPI_Gatherv" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -254,6 +291,7 @@ let scatter ?(spos = 0) ?(rpos = 0) ?sendbuf comm dt ~recvbuf ~count ~root =
   check_root comm root;
   check_count "scatter" count;
   check_coll comm ~op:"MPI_Scatter" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Scatter" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -276,6 +314,7 @@ let scatterv ?(rpos = 0) ?sendbuf ?scounts ?sdispls comm dt ~recvbuf ~rcount ~ro
   check_root comm root;
   check_count "scatterv" rcount;
   check_coll comm ~op:"MPI_Scatterv" ~root (Some dt);
+  traced comm ~op:"MPI_Scatterv" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if r = root then begin
@@ -297,6 +336,7 @@ let alltoall comm dt ~sendbuf ~recvbuf ~count =
   record comm "MPI_Alltoall";
   check_count "alltoall" count;
   check_coll comm ~op:"MPI_Alltoall" ~count (Some dt);
+  traced comm ~op:"MPI_Alltoall" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   let algo = select_alltoall comm dt count in
   record_algo comm "MPI_Alltoall" (Algo.alltoall_name algo);
@@ -314,6 +354,7 @@ let alltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   record comm "MPI_Alltoallv";
   check_v_arrays "alltoallv" comm scounts sdispls rcounts rdispls;
   check_coll comm ~op:"MPI_Alltoallv" (Some dt);
+  traced comm ~op:"MPI_Alltoallv" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   Coll_impl.post_all_exchange comm dt ~tag
     ~scount_of:(fun d -> scounts.(d))
@@ -331,6 +372,7 @@ let alltoallw_style comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispl
   record comm "MPI_Alltoallw";
   check_v_arrays "alltoallw" comm scounts sdispls rcounts rdispls;
   check_coll comm ~op:"MPI_Alltoallw" (Some dt);
+  traced comm ~op:"MPI_Alltoallw" @@ fun () ->
   let p = Comm.size comm in
   let tag = Comm.next_collective_tag comm in
   let type_setup_cost = 0.3e-6 in
@@ -351,6 +393,7 @@ let reduce_scatter_block comm dt op ~sendbuf ~recvbuf ~count =
   record comm "MPI_Reduce_scatter_block";
   check_count "reduce_scatter_block" count;
   check_coll comm ~op:"MPI_Reduce_scatter_block" ~count (Some dt);
+  traced comm ~op:"MPI_Reduce_scatter_block" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let total = p * count in
   let tag = Comm.next_collective_tag comm in
@@ -370,6 +413,7 @@ let scan comm dt op ~sendbuf ~recvbuf ~count =
   record comm "MPI_Scan";
   check_count "scan" count;
   check_coll comm ~op:"MPI_Scan" ~count (Some dt);
+  traced comm ~op:"MPI_Scan" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   Array.blit sendbuf 0 recvbuf 0 count;
@@ -401,6 +445,7 @@ let exscan comm dt op ~sendbuf ~recvbuf ~count =
   record comm "MPI_Exscan";
   check_count "exscan" count;
   check_coll comm ~op:"MPI_Exscan" ~count (Some dt);
+  traced comm ~op:"MPI_Exscan" @@ fun () ->
   let p = Comm.size comm and r = Comm.rank comm in
   let tag = Comm.next_collective_tag comm in
   if p > 1 && count > 0 then begin
@@ -449,6 +494,7 @@ let ibarrier comm =
   Comm.check_active comm;
   record comm "MPI_Ibarrier";
   check_coll comm ~op:"MPI_Ibarrier" None;
+  traced comm ~op:"MPI_Ibarrier" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   spawn_collective comm ~label:"ibarrier" (fun () -> Coll_impl.dissemination comm ~tag)
 
@@ -459,6 +505,7 @@ let ibcast ?(pos = 0) ?count comm dt buf ~root =
   let count = match count with Some c -> c | None -> Array.length buf - pos in
   check_count "ibcast" count;
   check_coll comm ~op:"MPI_Ibcast" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Ibcast" @@ fun () ->
   let tags = draw2 comm in
   let algo = select_bcast comm dt count in
   record_algo comm "MPI_Ibcast" (Algo.bcast_name algo);
@@ -469,6 +516,7 @@ let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
   record comm "MPI_Iallreduce";
   check_count "iallreduce" count;
   check_coll comm ~op:"MPI_Iallreduce" ~count (Some dt);
+  traced comm ~op:"MPI_Iallreduce" @@ fun () ->
   let tags = draw3 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Iallreduce" (Algo.allreduce_name algo);
@@ -480,6 +528,7 @@ let ialltoallv comm dt ~sendbuf ~scounts ~sdispls ~recvbuf ~rcounts ~rdispls =
   record comm "MPI_Ialltoallv";
   check_v_arrays "ialltoallv" comm scounts sdispls rcounts rdispls;
   check_coll comm ~op:"MPI_Ialltoallv" (Some dt);
+  traced comm ~op:"MPI_Ialltoallv" @@ fun () ->
   let tag = Comm.next_collective_tag comm in
   spawn_collective comm ~label:"ialltoallv" (fun () ->
       Coll_impl.post_all_exchange comm dt ~tag
@@ -525,6 +574,7 @@ let dup comm =
   Comm.check_active comm;
   record comm "MPI_Comm_dup";
   check_coll comm ~op:"MPI_Comm_dup" None;
+  traced comm ~op:"MPI_Comm_dup" @@ fun () ->
   let w = Comm.world comm in
   let tag = Comm.next_collective_tag comm in
   let members = Array.init (Comm.size comm) Fun.id in
@@ -537,6 +587,7 @@ let split comm ~color ~key =
   Comm.check_active comm;
   record comm "MPI_Comm_split";
   check_coll comm ~op:"MPI_Comm_split" None;
+  traced comm ~op:"MPI_Comm_split" @@ fun () ->
   let w = Comm.world comm in
   let p = Comm.size comm and r = Comm.rank comm in
   let dt = Datatype.triple Datatype.int Datatype.int Datatype.int in

@@ -9,19 +9,64 @@ type 'a run_result = {
   profile : Profiling.snapshot;
   events : int;
   diagnostics : Checker.diagnostic list;
+  trace : Trace.Event.data option;
 }
 
-let run ?(net = Netmodel.default) ?node ?(failures = []) ~ranks f =
-  let w = World.create ?node ~net_params:net ~size:ranks () in
+type run_summary = {
+  rs_sim_time : float;
+  rs_events : int;
+  rs_profile : Profiling.snapshot;
+}
+
+(* Tee of every completed run's summary, for tests that drive polymorphic
+   programs through a uniform harness (mirrors Checker.with_collector). *)
+let run_collector : (run_summary -> unit) option ref = ref None
+
+let with_run_collector f =
+  let acc = ref [] in
+  let old = !run_collector in
+  run_collector := Some (fun s -> acc := s :: !acc);
+  let finish () = run_collector := old in
+  match f () with
+  | v ->
+      finish ();
+      (v, List.rev !acc)
+  | exception e ->
+      finish ();
+      raise e
+
+let run ?(net = Netmodel.default) ?node ?(failures = []) ?trace ~ranks f =
+  let tracing =
+    match trace with Some b -> b | None -> Trace.Recorder.default_enabled ()
+  in
+  let recorder =
+    if tracing then Trace.Recorder.create ~ranks else Trace.Recorder.inert
+  in
+  let w = World.create ?node ~trace:recorder ~net_params:net ~size:ranks () in
+  if Trace.Recorder.active recorder then
+    (* Forward genuine waits (suspensions) of rank fibers to the recorder.
+       Delays are the ranks' own modelled computation, and helper fibers
+       (non-blocking collectives) carry tag -1 — neither is rank waiting
+       time.  Installing the observer adds no events and cannot perturb
+       scheduling, keeping traced runs identical to untraced ones. *)
+    Engine.set_park_observer w.World.engine
+      (Some
+         (fun ~tag ~kind ~parked_at ~resumed_at ->
+           match kind with
+           | Engine.Park_suspend when tag >= 0 ->
+               Trace.Recorder.add_wait recorder ~rank:tag ~t0:parked_at
+                 ~t1:resumed_at
+           | _ -> ()));
   let shared = World.fresh_comm w (Array.init ranks Fun.id) in
   let results = Array.make ranks (Error Rank_died) in
   let fibers =
     Array.init ranks (fun r ->
-        Engine.spawn w.World.engine ~label:(Printf.sprintf "rank%d" r) (fun () ->
+        Engine.spawn w.World.engine ~label:(Printf.sprintf "rank%d" r) ~tag:r (fun () ->
             let comm = Comm.make w shared ~rank:r in
-            match f comm with
+            (match f comm with
             | v -> results.(r) <- Ok v
-            | exception e -> results.(r) <- Error e))
+            | exception e -> results.(r) <- Error e);
+            Trace.Recorder.rank_done recorder ~rank:r ~time:(World.now w)))
   in
   w.World.fibers <- fibers;
   List.iter (fun (at, rank) -> Ulfm.schedule_failure w ~at ~world_rank:rank) failures;
@@ -38,13 +83,29 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ~ranks f =
       ignore
         (Checker.diagnose_deadlock w.World.check ~mailboxes:w.World.mailboxes
            ~parked:(List.rev !parked) ~rank_alive:(World.is_alive w)));
-  {
-    results;
-    sim_time = Engine.now w.World.engine;
-    profile = Profiling.snapshot w.World.prof;
-    events = Engine.events_processed w.World.engine;
-    diagnostics = Checker.diagnostics w.World.check;
-  }
+  let result =
+    {
+      results;
+      sim_time = Engine.now w.World.engine;
+      profile = Profiling.snapshot w.World.prof;
+      events = Engine.events_processed w.World.engine;
+      diagnostics = Checker.diagnostics w.World.check;
+      trace =
+        (if Trace.Recorder.active recorder then
+           Some (Trace.Recorder.finish recorder ~total:(Engine.now w.World.engine))
+         else None);
+    }
+  in
+  (match !run_collector with
+  | Some tee ->
+      tee
+        {
+          rs_sim_time = result.sim_time;
+          rs_events = result.events;
+          rs_profile = result.profile;
+        }
+  | None -> ());
+  result
 
 let results_exn r =
   Array.map (function Ok v -> v | Error e -> raise e) r.results

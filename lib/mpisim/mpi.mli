@@ -17,14 +17,20 @@ type 'a run_result = {
   diagnostics : Checker.diagnostic list;
       (** correctness findings (deadlock, collective mismatch, leaks, ...)
           recorded by {!Checker} at the current checking level *)
+  trace : Trace.Event.data option;
+      (** the recorded event trace when the run was traced, else [None];
+          feed it to {!Trace.Analysis.analyze} or {!Trace.Chrome.to_json} *)
 }
 
-(** [run ?net ?node ?failures ~ranks f] executes the SPMD program.
+(** [run ?net ?node ?failures ?trace ~ranks f] executes the SPMD program.
 
     @param net network cost-model parameters (default {!Simnet.Netmodel.default})
     @param node [(intra-node params, node size)] switches to a hierarchical
     fabric (e.g. [(Simnet.Netmodel.intra_node, 8)])
     @param failures [(time, world_rank)] process failures to inject
+    @param trace record an event trace of the run (default: the
+    [MPISIM_TRACE] environment toggle, see {!Trace.Recorder.default_enabled});
+    tracing is a pure observer — it changes no timing, event count or profile
     @raise Simnet.Engine.Deadlock if the program hangs and the checker level
     is below [Heavy]; at [Heavy] and above the run instead terminates
     normally with a structured {!Checker.Deadlock_cycle} diagnostic (hung
@@ -33,6 +39,7 @@ val run :
   ?net:Simnet.Netmodel.params ->
   ?node:Simnet.Netmodel.params * int ->
   ?failures:(float * int) list ->
+  ?trace:bool ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a run_result
@@ -43,3 +50,21 @@ val run_exn : ?net:Simnet.Netmodel.params -> ranks:int -> (Comm.t -> 'a) -> 'a a
 
 (** [results_exn r] unwraps [r.results], re-raising the first failure. *)
 val results_exn : 'a run_result -> 'a array
+
+(** {1 Run observation}
+
+    A monomorphic digest of a completed run, teed to
+    {!with_run_collector} — lets a test harness compare observable run
+    behaviour (time, event count, profile) across configurations for
+    programs whose ['a run_result] types differ. *)
+
+type run_summary = {
+  rs_sim_time : float;
+  rs_events : int;
+  rs_profile : Profiling.snapshot;
+}
+
+(** [with_run_collector f] runs [f] while collecting a {!run_summary} for
+    every {!run} that completes inside it (in completion order), restoring
+    the previous collector afterwards. *)
+val with_run_collector : (unit -> 'a) -> 'a * run_summary list

@@ -14,6 +14,7 @@ type envelope = {
   bytes : int;
   payload : packed;
   on_matched : (unit -> unit) option;
+  trace : Trace.Event.message option;
 }
 
 type pending_recv = {

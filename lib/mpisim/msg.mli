@@ -29,6 +29,8 @@ type envelope = {
   bytes : int;
   payload : packed;
   on_matched : (unit -> unit) option;  (** synchronous-send completion hook *)
+  trace : Trace.Event.message option;
+      (** tracing record for this message, when the run is traced *)
 }
 
 (** A posted (pending) receive. *)

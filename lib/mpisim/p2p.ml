@@ -31,6 +31,36 @@ let record_mismatch comm ~op ~src ~tag e =
   Checker.record_match_error (Comm.world comm).World.check ~rank:(my_world comm)
     ~comm:(Comm.id comm) ~op ~src ~tag e
 
+(* Record a call span around [f] when this is a user-level call on a traced
+   run.  [Fun.protect] spans the fiber's suspensions, so the span covers the
+   full blocking time of the call; exceptional exits are closed too. *)
+let traced ~ctx comm ~op f =
+  let w = Comm.world comm in
+  if ctx <> Msg.User || not (Trace.Recorder.active w.World.trace) then f ()
+  else begin
+    let rank = my_world comm in
+    let t0 = World.now w in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.Recorder.add_span w.World.trace
+          {
+            Trace.Event.sp_rank = rank;
+            sp_op = op;
+            sp_cat = "p2p";
+            sp_comm = Comm.id comm;
+            sp_seq = -1;
+            sp_t0 = t0;
+            sp_t1 = World.now w;
+          })
+      f
+  end
+
+(* Stamp the receive-side timestamps on a matched message's trace record. *)
+let stamp_env_match (env : Msg.envelope) ~posted ~time =
+  match env.Msg.trace with
+  | Some m -> Trace.Event.stamp_match m ~posted ~time
+  | None -> ()
+
 (* Book the message into the network and schedule its arrival.  Returns the
    injection-complete time (when the sender's buffer is reusable). *)
 let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
@@ -48,6 +78,17 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
     Netmodel.transfer w.World.net ~now ~src:src_world ~dst:dst_world ~bytes
       ~pack_factor:(Datatype.pack_factor dt)
   in
+  (* Record every injected message — internal collective traffic included,
+     so the critical path can thread through collectives.  The arrival time
+     is known now (the network model is deterministic), so no extra event is
+     scheduled: tracing must not perturb the event count. *)
+  let trace_msg =
+    if Trace.Recorder.active w.World.trace then
+      Some
+        (Trace.Recorder.add_message w.World.trace ~src:src_world ~dst:dst_world ~tag ~bytes
+           ~user:(ctx = Msg.User) ~sent:now ~arrived:arrival)
+    else None
+  in
   if World.is_alive w dst_world then begin
     let env =
       {
@@ -60,6 +101,7 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
         bytes;
         payload = Msg.Packed (dt, Array.sub buf pos count);
         on_matched;
+        trace = trace_msg;
       }
     in
     Engine.schedule w.World.engine
@@ -71,6 +113,7 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
 let send ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Send";
+  traced ~ctx comm ~op:"MPI_Send" @@ fun () ->
   let injected = inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched:None in
   Engine.delay w.World.engine (injected -. World.now w)
 
@@ -80,6 +123,7 @@ let isend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   let req = Request.create w.World.engine in
   if ctx = Msg.User then track comm ~op:"MPI_Isend" req;
   let count' = window_bounds ~what:"isend" buf pos count in
+  traced ~ctx comm ~op:"MPI_Isend" @@ fun () ->
   let injected = inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched:None in
   Engine.schedule w.World.engine
     ~delay:(injected -. World.now w)
@@ -100,6 +144,7 @@ let issend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
         Engine.schedule w.World.engine ~delay:latency (fun () ->
             Request.complete req { source = dst; tag; count = count' }))
   in
+  traced ~ctx comm ~op:"MPI_Issend" @@ fun () ->
   ignore (inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched);
   req
 
@@ -150,9 +195,12 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let capacity = window_bounds ~what:"recv" buf pos count in
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Recv";
+  traced ~ctx comm ~op:"MPI_Recv" @@ fun () ->
+  let posted = World.now w in
   let mb = w.World.mailboxes.(my_world comm) in
   match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
   | Some env -> begin
+      stamp_env_match env ~posted ~time:(World.now w);
       match copy_payload env dt buf pos capacity with
       | Ok st -> st
       | Error e ->
@@ -167,6 +215,7 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
       | None ->
           Engine.suspend w.World.engine (fun resumer ->
               let deliver env =
+                stamp_env_match env ~posted ~time:(World.now w);
                 match copy_payload env dt buf pos capacity with
                 | Ok st -> Engine.resume resumer st
                 | Error e ->
@@ -187,8 +236,11 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let req = Request.create w.World.engine in
   if ctx = Msg.User then track comm ~op:"MPI_Irecv" req;
   let mb = w.World.mailboxes.(my_world comm) in
+  traced ~ctx comm ~op:"MPI_Irecv" @@ fun () ->
+  let posted = World.now w in
   (match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
   | Some env -> begin
+      stamp_env_match env ~posted ~time:(World.now w);
       match copy_payload env dt buf pos capacity with
       | Ok st -> Request.complete req st
       | Error e ->
@@ -202,6 +254,7 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
               Request.abort req (Errors.Process_failed { world_rank = wr }))
       | None ->
           let deliver env =
+            stamp_env_match env ~posted ~time:(World.now w);
             match copy_payload env dt buf pos capacity with
             | Ok st -> Request.complete req st
             | Error e ->
@@ -217,6 +270,7 @@ let probe ?(ctx = Msg.User) comm ~src ~tag =
   Comm.check_active comm;
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Probe";
+  traced ~ctx comm ~op:"MPI_Probe" @@ fun () ->
   let mb = w.World.mailboxes.(Comm.world_rank_of comm (Comm.rank comm)) in
   match Msg.peek_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
   | Some env -> { Request.source = env.Msg.src; tag = env.Msg.tag; count = env.Msg.count }
@@ -259,6 +313,7 @@ let sendrecv ?(ctx = Msg.User) comm dt ~send:sbuf ?(send_pos = 0) ?send_count ~d
     ?(recv_pos = 0) ?recv_count ~src ~rtag () =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Sendrecv";
+  traced ~ctx comm ~op:"MPI_Sendrecv" @@ fun () ->
   let sreq = isend ~ctx ~pos:send_pos ?count:send_count comm dt sbuf ~dst ~tag:stag in
   let status = recv ~ctx ~pos:recv_pos ?count:recv_count comm dt rbuf ~src ~tag:rtag in
   ignore (Request.wait sreq);
@@ -267,6 +322,7 @@ let sendrecv ?(ctx = Msg.User) comm dt ~send:sbuf ?(send_pos = 0) ?send_count ~d
 let sendrecv_replace ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~stag ~src ~rtag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Sendrecv_replace";
+  traced ~ctx comm ~op:"MPI_Sendrecv_replace" @@ fun () ->
   (* the outgoing data is snapshotted at injection time (the runtime copies
      payloads eagerly), so receiving into the same window is safe *)
   let sreq = isend ~ctx ~pos ?count comm dt buf ~dst ~tag:stag in

@@ -17,6 +17,7 @@ type t = {
   agree_memo : (int * int, agree_cell) Hashtbl.t;
   tuning : Coll_algos.Select.t;
   check : Checker.state;
+  trace : Trace.Recorder.t;
   comms : (int, comm_shared) Hashtbl.t;
 }
 
@@ -26,7 +27,7 @@ and agree_cell = {
   mutable agree_waiters : int Engine.resumer list;
 }
 
-let create ?node ~net_params ~size () =
+let create ?node ?(trace = Trace.Recorder.inert) ~net_params ~size () =
   if size <= 0 then Errors.usage "World.create: size %d must be positive" size;
   let alive = Ds.Bitset.create size in
   Ds.Bitset.fill alive;
@@ -50,6 +51,7 @@ let create ?node ~net_params ~size () =
     agree_memo = Hashtbl.create 8;
     tuning = Coll_algos.Select.create ();
     check = Checker.create ();
+    trace;
     comms = Hashtbl.create 8;
   }
 

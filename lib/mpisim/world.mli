@@ -29,6 +29,7 @@ type t = {
   tuning : Coll_algos.Select.t;
       (** per-communicator collective-algorithm overrides and selection *)
   check : Checker.state;  (** correctness-checker state for this world *)
+  trace : Trace.Recorder.t;  (** event recorder ({!Trace.Recorder.inert} when off) *)
   comms : (int, comm_shared) Hashtbl.t;
       (** cid -> shared state, for finalize-time revocation queries *)
 }
@@ -43,9 +44,15 @@ and agree_cell = {
 
 (** [create ~net_params ~size ()] builds a world of [size] ranks, all
     alive; [node] switches to a hierarchical fabric of
-    [(intra-node params, node size)]. *)
+    [(intra-node params, node size)]; [trace] installs an event recorder
+    (default: the inert one — tracing off). *)
 val create :
-  ?node:Simnet.Netmodel.params * int -> net_params:Simnet.Netmodel.params -> size:int -> unit -> t
+  ?node:Simnet.Netmodel.params * int ->
+  ?trace:Trace.Recorder.t ->
+  net_params:Simnet.Netmodel.params ->
+  size:int ->
+  unit ->
+  t
 
 (** [now w] is the simulated clock. *)
 val now : t -> float

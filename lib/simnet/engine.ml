@@ -6,7 +6,12 @@ exception Deadlock of string list
 
 type fiber_state = Running | Parked | Done | Dead
 
-type fiber = { flabel : string; mutable state : fiber_state }
+type fiber = { flabel : string; ftag : int; mutable state : fiber_state }
+
+type park_kind = Park_delay | Park_suspend
+
+type park_observer =
+  tag:int -> kind:park_kind -> parked_at:float -> resumed_at:float -> unit
 
 type t = {
   mutable clock : float;
@@ -15,6 +20,7 @@ type t = {
   mutable events : int;
   mutable next_fid : int;
   mutable fibers : fiber list; (* for deadlock diagnostics *)
+  mutable park_observer : park_observer option;
 }
 
 type 'a resumer = { deliver : ('a, exn) result -> unit }
@@ -26,7 +32,16 @@ type _ Effect.t +=
   | Suspend : t * ('a resumer -> unit) -> 'a Effect.t
 
 let create () =
-  { clock = 0.0; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0; fibers = [] }
+  { clock = 0.0; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0; fibers = [];
+    park_observer = None }
+
+let set_park_observer t obs = t.park_observer <- obs
+
+let notify_park t fiber kind parked_at =
+  match t.park_observer with
+  | None -> ()
+  | Some f ->
+      f ~tag:fiber.ftag ~kind ~parked_at ~resumed_at:t.clock
 
 let now t = t.clock
 let events_processed t = t.events
@@ -45,9 +60,11 @@ let label fiber = fiber.flabel
 
 let kill _t fiber = if alive fiber then fiber.state <- Dead
 
-let spawn t ?(label = "fiber") f =
+let spawn t ?(label = "fiber") ?(tag = -1) f =
   t.next_fid <- t.next_fid + 1;
-  let fiber = { flabel = Printf.sprintf "%s#%d" label t.next_fid; state = Running } in
+  let fiber =
+    { flabel = Printf.sprintf "%s#%d" label t.next_fid; ftag = tag; state = Running }
+  in
   t.fibers <- fiber :: t.fibers;
   let handler : (unit, unit) handler =
     {
@@ -66,9 +83,11 @@ let spawn t ?(label = "fiber") f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   fiber.state <- Parked;
+                  let parked_at = t.clock in
                   push t ~at:(t.clock +. d) (fun () ->
                       if fiber.state = Dead then discontinue k Killed
                       else begin
+                        notify_park t fiber Park_delay parked_at;
                         fiber.state <- Running;
                         continue k ()
                       end))
@@ -76,6 +95,7 @@ let spawn t ?(label = "fiber") f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   fiber.state <- Parked;
+                  let parked_at = t.clock in
                   let used = ref false in
                   let deliver result =
                     if not !used then begin
@@ -83,6 +103,7 @@ let spawn t ?(label = "fiber") f =
                       push t ~at:t.clock (fun () ->
                           if fiber.state = Dead then discontinue k Killed
                           else begin
+                            notify_park t fiber Park_suspend parked_at;
                             fiber.state <- Running;
                             match result with
                             | Ok v -> continue k v

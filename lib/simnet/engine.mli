@@ -37,10 +37,12 @@ val events_processed : t -> int
     Unlike a fiber, a callback must not block. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 
-(** [spawn t ~label f] creates a fiber executing [f], starting at the
+(** [spawn t ~label ~tag f] creates a fiber executing [f], starting at the
     current simulated time.  An exception escaping [f] (other than {!Killed})
-    propagates out of {!run}. *)
-val spawn : t -> ?label:string -> (unit -> unit) -> fiber
+    propagates out of {!run}.  [tag] (default [-1]) is an opaque integer
+    reported to the {{!set_park_observer} park observer}; the MPI layer tags
+    rank fibers with their world rank and leaves helpers at [-1]. *)
+val spawn : t -> ?label:string -> ?tag:int -> (unit -> unit) -> fiber
 
 (** [kill t fiber] marks [fiber] dead: its next resumption raises {!Killed}
     inside it.  A parked fiber stays parked until something resumes it (the
@@ -61,6 +63,26 @@ val label : fiber -> string
 (** [run t] executes events until the queue is empty.
     @raise Deadlock if fibers remain parked with no pending event. *)
 val run : t -> unit
+
+(** {1 Observation}
+
+    A park observer sees every fiber suspension interval: it fires at the
+    moment a parked fiber resumes, with the park time, resume time, the
+    fiber's spawn [tag], and whether the park was a {!delay} (modelled
+    computation) or a {!suspend} (a genuine wait for an external event).
+    Observation is passive — it cannot alter scheduling, and costs one
+    option check per resumption when disabled.  Used by the tracing
+    subsystem to attribute waiting time to ranks. *)
+
+type park_kind =
+  | Park_delay  (** the fiber was advancing its own clock via [delay] *)
+  | Park_suspend  (** the fiber was blocked on an external event *)
+
+type park_observer =
+  tag:int -> kind:park_kind -> parked_at:float -> resumed_at:float -> unit
+
+(** [set_park_observer t (Some f)] installs [f]; [None] removes it. *)
+val set_park_observer : t -> park_observer option -> unit
 
 (** {1 Fiber-side operations}
 

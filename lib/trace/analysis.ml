@@ -1,0 +1,296 @@
+type wait_class = Late_sender | Late_receiver | Wait_at_collective
+
+type wait_state = {
+  ws_class : wait_class;
+  ws_rank : int;
+  ws_peer : int;
+  ws_op : string;
+  ws_time : float;
+  ws_amount : float;
+}
+
+type rank_stats = {
+  rank : int;
+  span : float;
+  waiting : float;
+  working : float;
+  late_sender : float;
+  late_receiver : float;
+  coll_wait : float;
+}
+
+type step_kind = Run | Blocked | Transfer
+
+type step = {
+  st_kind : step_kind;
+  st_rank : int;
+  st_t0 : float;
+  st_t1 : float;
+  st_op : string;
+}
+
+type report = {
+  data : Event.data;
+  wait_states : wait_state list;
+  per_rank : rank_stats array;
+  critical_path : step list;
+}
+
+let op_at (d : Event.data) ~rank ~time =
+  (* Innermost enclosing span: smallest duration among those covering
+     [time].  Linear scan — traces are per-run and modest. *)
+  let best = ref None in
+  List.iter
+    (fun (s : Event.span) ->
+      if s.sp_rank = rank && s.sp_t0 <= time && time <= s.sp_t1 then
+        match !best with
+        | Some (b : Event.span) when b.sp_t1 -. b.sp_t0 <= s.sp_t1 -. s.sp_t0
+          ->
+            ()
+        | _ -> best := Some s)
+    d.spans;
+  match !best with Some s -> s.sp_op | None -> "(wait)"
+
+(* --- Wait-state classification ------------------------------------- *)
+
+let classify_messages (d : Event.data) acc =
+  List.iter
+    (fun (m : Event.message) ->
+      if m.Event.msg_user && Event.matched m then
+        if m.msg_posted >= 0.0 && m.msg_posted < m.msg_arrived then
+          (* Receiver was ready first: it idled on the late sender. *)
+          acc :=
+            {
+              ws_class = Late_sender;
+              ws_rank = m.msg_dst;
+              ws_peer = m.msg_src;
+              (* Sample inside the wait interval: the match instant is
+                 also the start of whatever runs next. *)
+              ws_op =
+                op_at d ~rank:m.msg_dst
+                  ~time:((m.msg_posted +. m.msg_matched) /. 2.0);
+              ws_time = m.msg_matched;
+              ws_amount = m.msg_matched -. m.msg_posted;
+            }
+            :: !acc
+        else if m.msg_posted > m.msg_arrived then
+          (* Payload sat in the mailbox: charge the exposure to the
+             sender, whose data was produced too early. *)
+          acc :=
+            {
+              ws_class = Late_receiver;
+              ws_rank = m.msg_src;
+              ws_peer = m.msg_dst;
+              ws_op = op_at d ~rank:m.msg_src ~time:m.msg_sent;
+              ws_time = m.msg_matched;
+              ws_amount = m.msg_matched -. m.msg_arrived;
+            }
+            :: !acc)
+    d.messages
+
+let classify_collectives (d : Event.data) acc =
+  (* Group collective spans by (comm, seq): the k-th collective a rank
+     enters on a communicator is the same logical call on every rank. *)
+  let groups : (int * int, Event.span list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (s : Event.span) ->
+      if s.sp_seq >= 0 && s.sp_cat = "coll" then
+        let key = (s.sp_comm, s.sp_seq) in
+        match Hashtbl.find_opt groups key with
+        | Some r -> r := s :: !r
+        | None -> Hashtbl.add groups key (ref [ s ]))
+    d.spans;
+  Hashtbl.iter
+    (fun _ r ->
+      match !r with
+      | [] | [ _ ] -> ()
+      | members ->
+          let max_t0 =
+            List.fold_left
+              (fun a (s : Event.span) -> Float.max a s.sp_t0)
+              neg_infinity members
+          in
+          List.iter
+            (fun (s : Event.span) ->
+              let w =
+                Float.min (max_t0 -. s.sp_t0) (s.sp_t1 -. s.sp_t0)
+              in
+              if w > 0.0 then
+                acc :=
+                  {
+                    ws_class = Wait_at_collective;
+                    ws_rank = s.sp_rank;
+                    ws_peer = -1;
+                    ws_op = s.sp_op;
+                    ws_time = max_t0;
+                    ws_amount = w;
+                  }
+                  :: !acc)
+            members)
+    groups
+
+(* --- Per-rank stats -------------------------------------------------- *)
+
+let per_rank_stats (d : Event.data) wait_states =
+  Array.init d.ranks (fun r ->
+      let span = d.rank_end.(r) in
+      let waiting =
+        List.fold_left
+          (fun a (w : Event.wait) ->
+            if w.w_rank = r then a +. (w.w_t1 -. w.w_t0) else a)
+          0.0 d.waits
+      in
+      let sum cls =
+        List.fold_left
+          (fun a ws ->
+            if ws.ws_rank = r && ws.ws_class = cls then a +. ws.ws_amount
+            else a)
+          0.0 wait_states
+      in
+      {
+        rank = r;
+        span;
+        waiting;
+        working = span -. waiting;
+        late_sender = sum Late_sender;
+        late_receiver = sum Late_receiver;
+        coll_wait = sum Wait_at_collective;
+      })
+
+(* --- Critical path --------------------------------------------------- *)
+
+let critical_path (d : Event.data) =
+  (* Per-rank waits sorted by end time, for "latest wait ending <= t". *)
+  let waits_of = Array.make (max d.ranks 1) [||] in
+  for r = 0 to d.ranks - 1 do
+    let ws =
+      List.filter (fun (w : Event.wait) -> w.w_rank = r) d.waits
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (a : Event.wait) (b : Event.wait) -> compare a.w_t1 b.w_t1)
+      ws;
+    waits_of.(r) <- ws
+  done;
+  let latest_wait rank t =
+    let ws = waits_of.(rank) in
+    let best = ref None in
+    (* Arrays are sorted ascending by w_t1; scan from the back. *)
+    (try
+       for i = Array.length ws - 1 downto 0 do
+         if ws.(i).Event.w_t1 <= t then begin
+           best := Some ws.(i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !best
+  in
+  (* Messages matched at (dst, time): the resume of a blocking receive
+     coincides with the delivery event, so match times equal wait ends
+     exactly (both read the same engine clock at the same event). *)
+  let matches : (int, Event.message list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (m : Event.message) ->
+      if Event.matched m then
+        match Hashtbl.find_opt matches m.Event.msg_dst with
+        | Some r -> r := m :: !r
+        | None -> Hashtbl.add matches m.Event.msg_dst (ref [ m ]))
+    d.messages;
+  let message_into rank t =
+    (* The binding in-edge: a message delivered exactly at [t] whose
+       injection strictly precedes [t] (guarantees backward progress).
+       Among candidates take the latest injection — the tightest chain. *)
+    match Hashtbl.find_opt matches rank with
+    | None -> None
+    | Some r ->
+        List.fold_left
+          (fun best (m : Event.message) ->
+            if m.Event.msg_matched = t && m.msg_sent < t then
+              match best with
+              | Some (b : Event.message) when b.msg_sent >= m.msg_sent ->
+                  best
+              | _ -> Some m
+            else best)
+          None !r
+  in
+  let start_rank = ref 0 in
+  for r = 1 to d.ranks - 1 do
+    if d.rank_end.(r) > d.rank_end.(!start_rank) then start_rank := r
+  done;
+  let steps = ref [] in
+  let rank = ref !start_rank and t = ref d.total in
+  let guard = ref (List.length d.waits + List.length d.messages + 16) in
+  while !t > 0.0 && !guard > 0 do
+    decr guard;
+    match latest_wait !rank !t with
+    | None ->
+        steps :=
+          {
+            st_kind = Run;
+            st_rank = !rank;
+            st_t0 = 0.0;
+            st_t1 = !t;
+            st_op = op_at d ~rank:!rank ~time:!t;
+          }
+          :: !steps;
+        t := 0.0
+    | Some w ->
+        if w.Event.w_t1 < !t then
+          steps :=
+            {
+              st_kind = Run;
+              st_rank = !rank;
+              st_t0 = w.w_t1;
+              st_t1 = !t;
+              st_op = op_at d ~rank:!rank ~time:!t;
+            }
+            :: !steps;
+        let tend = w.Event.w_t1 in
+        (match message_into !rank tend with
+        | Some m ->
+            steps :=
+              {
+                st_kind = Transfer;
+                st_rank = m.Event.msg_src;
+                st_t0 = m.msg_sent;
+                st_t1 = tend;
+                st_op = Printf.sprintf "msg %d->%d" m.msg_src m.msg_dst;
+              }
+              :: !steps;
+            rank := m.Event.msg_src;
+            t := m.msg_sent
+        | None ->
+            steps :=
+              {
+                st_kind = Blocked;
+                st_rank = !rank;
+                st_t0 = w.w_t0;
+                st_t1 = tend;
+                st_op = "(idle)";
+              }
+              :: !steps;
+            t := w.Event.w_t0)
+  done;
+  !steps
+
+let analyze (d : Event.data) =
+  let acc = ref [] in
+  classify_messages d acc;
+  classify_collectives d acc;
+  let wait_states =
+    List.sort (fun a b -> compare b.ws_amount a.ws_amount) !acc
+  in
+  {
+    data = d;
+    wait_states;
+    per_rank = per_rank_stats d wait_states;
+    critical_path = critical_path d;
+  }
+
+let critical_length r =
+  List.fold_left (fun a s -> a +. (s.st_t1 -. s.st_t0)) 0.0 r.critical_path

@@ -1,0 +1,98 @@
+open Serde
+
+let us t = t *. 1e6
+
+let events ?(pid = 0) ?(process_name = "mpisim") (d : Event.data) =
+  let num f = Json.Num f in
+  let str s = Json.Str s in
+  let acc = ref [] in
+  let push e = acc := e :: !acc in
+  (* Metadata: name the process and one thread track per rank. *)
+  push
+    (Json.Obj
+       [
+         ("name", str "process_name");
+         ("ph", str "M");
+         ("pid", num (float_of_int pid));
+         ("args", Json.Obj [ ("name", str process_name) ]);
+       ]);
+  for r = 0 to d.ranks - 1 do
+    push
+      (Json.Obj
+         [
+           ("name", str "thread_name");
+           ("ph", str "M");
+           ("pid", num (float_of_int pid));
+           ("tid", num (float_of_int r));
+           ("args", Json.Obj [ ("name", str (Printf.sprintf "rank %d" r)) ]);
+         ])
+  done;
+  (* Complete events for call spans. *)
+  List.iter
+    (fun (s : Event.span) ->
+      push
+        (Json.Obj
+           [
+             ("name", str s.sp_op);
+             ("cat", str s.sp_cat);
+             ("ph", str "X");
+             ("pid", num (float_of_int pid));
+             ("tid", num (float_of_int s.sp_rank));
+             ("ts", num (us s.sp_t0));
+             ("dur", num (us (s.sp_t1 -. s.sp_t0)));
+           ]))
+    d.spans;
+  (* Complete events for suspension intervals. *)
+  List.iter
+    (fun (w : Event.wait) ->
+      push
+        (Json.Obj
+           [
+             ("name", str "(wait)");
+             ("cat", str "wait");
+             ("ph", str "X");
+             ("pid", num (float_of_int pid));
+             ("tid", num (float_of_int w.w_rank));
+             ("ts", num (us w.w_t0));
+             ("dur", num (us (w.w_t1 -. w.w_t0)));
+           ]))
+    d.waits;
+  (* Flow arrows for every matched message: "s" at injection on the
+     sender track, "f" at delivery on the receiver track, tied by id. *)
+  List.iter
+    (fun (m : Event.message) ->
+      if Event.matched m then begin
+        let name = Printf.sprintf "msg tag=%d" m.Event.msg_tag in
+        let id = num (float_of_int m.msg_id) in
+        push
+          (Json.Obj
+             [
+               ("name", str name);
+               ("cat", str "msg");
+               ("ph", str "s");
+               ("id", id);
+               ("pid", num (float_of_int pid));
+               ("tid", num (float_of_int m.msg_src));
+               ("ts", num (us m.msg_sent));
+             ]);
+        push
+          (Json.Obj
+             [
+               ("name", str name);
+               ("cat", str "msg");
+               ("ph", str "f");
+               ("bp", str "e");
+               ("id", id);
+               ("pid", num (float_of_int pid));
+               ("tid", num (float_of_int m.msg_dst));
+               ("ts", num (us m.msg_matched));
+             ])
+      end)
+    d.messages;
+  List.rev !acc
+
+let wrap evs =
+  Json.Obj
+    [ ("traceEvents", Json.List evs); ("displayTimeUnit", Json.Str "ms") ]
+
+let to_json d = wrap (events d)

@@ -1,0 +1,21 @@
+(** Chrome trace-event JSON export ([chrome://tracing] / Perfetto).
+
+    Each rank becomes one thread track ([pid], [tid = rank]) of complete
+    ("X") events for call spans and wait intervals; every matched message
+    becomes a flow-arrow pair ("s" at injection on the sender track, "f"
+    at delivery on the receiver track) sharing the message id.  Timestamps
+    are microseconds, as the format requires. *)
+
+(** [events ?pid ?process_name data] is the flat list of trace-event
+    objects for [data].  [pid] (default 0) and [process_name] (default
+    ["mpisim"]) let several runs coexist in one file as separate process
+    groups. *)
+val events :
+  ?pid:int -> ?process_name:string -> Event.data -> Serde.Json.t list
+
+(** [wrap events] packages event objects as the standard
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] envelope. *)
+val wrap : Serde.Json.t list -> Serde.Json.t
+
+(** [to_json data] = [wrap (events data)]. *)
+val to_json : Event.data -> Serde.Json.t

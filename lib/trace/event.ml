@@ -1,0 +1,39 @@
+type span = {
+  sp_rank : int;
+  sp_op : string;
+  sp_cat : string;
+  sp_comm : int;
+  sp_seq : int;
+  sp_t0 : float;
+  sp_t1 : float;
+}
+
+type message = {
+  msg_id : int;
+  msg_src : int;
+  msg_dst : int;
+  msg_tag : int;
+  msg_bytes : int;
+  msg_user : bool;
+  msg_sent : float;
+  msg_arrived : float;
+  mutable msg_posted : float;
+  mutable msg_matched : float;
+}
+
+type wait = { w_rank : int; w_t0 : float; w_t1 : float }
+
+type data = {
+  ranks : int;
+  spans : span list;
+  messages : message list;
+  waits : wait list;
+  rank_end : float array;
+  total : float;
+}
+
+let stamp_match m ~posted ~time =
+  m.msg_posted <- posted;
+  m.msg_matched <- time
+
+let matched m = m.msg_matched >= 0.0

@@ -1,0 +1,67 @@
+(** Event recorder: the write side of the tracing subsystem.
+
+    A recorder is either {e active} (allocated per traced run, accumulates
+    events) or the shared {!inert} instance that every hook point treats as
+    "tracing disabled".  All recording entry points first check {!active},
+    so a disabled recorder costs one load and branch per hook — the same
+    zero-overhead discipline the correctness checker follows. *)
+
+type t
+
+(** The shared disabled recorder.  [active inert = false]; recording into
+    it is a no-op. *)
+val inert : t
+
+(** [create ~ranks] allocates an empty active recorder for a world of
+    [ranks] ranks. *)
+val create : ranks:int -> t
+
+val active : t -> bool
+
+(** [add_span t span] appends a completed call span. *)
+val add_span : t -> Event.span -> unit
+
+(** [next_coll_seq t ~rank ~comm] draws the next collective sequence number
+    for [(rank, comm)] — the k-th collective a rank enters on a communicator
+    gets index k, which lines the same logical collective up across ranks. *)
+val next_coll_seq : t -> rank:int -> comm:int -> int
+
+(** [add_message t ~src ~dst ~tag ~bytes ~user ~sent ~arrived] records an
+    injected message and returns the (mutable) record so the receive side
+    can stamp it later via {!Event.stamp_match}. *)
+val add_message :
+  t ->
+  src:int ->
+  dst:int ->
+  tag:int ->
+  bytes:int ->
+  user:bool ->
+  sent:float ->
+  arrived:float ->
+  Event.message
+
+(** [add_wait t ~rank ~t0 ~t1] records a suspension interval of [rank]'s
+    fiber.  Zero-length intervals are dropped. *)
+val add_wait : t -> rank:int -> t0:float -> t1:float -> unit
+
+(** [rank_done t ~rank ~time] stamps the finish time of [rank]'s main
+    fiber. *)
+val rank_done : t -> rank:int -> time:float -> unit
+
+(** [finish t ~total] freezes the recorder into an immutable {!Event.data}.
+    Ranks that never stamped {!rank_done} get [total] as their end time. *)
+val finish : t -> total:float -> Event.data
+
+(** {2 Process-wide default}
+
+    Mirrors [Checker]'s environment gating: the default used by
+    [Mpisim.Mpi.run] when no explicit [?trace] is given comes from the
+    [MPISIM_TRACE] environment variable ([1], [true], [on], [yes] — case
+    insensitive — enable it). *)
+
+val default_enabled : unit -> bool
+val set_default : bool -> unit
+
+(** [with_default b f] runs [f] with the process-wide default forced to
+    [b], restoring the previous value afterwards (also on exceptions). *)
+val with_default : bool -> (unit -> 'a) -> 'a

@@ -136,6 +136,40 @@ let test_measurement_misuse () =
            | () -> false
            | exception Mpisim.Errors.Usage_error _ -> true)))
 
+let test_measurement_phase_mismatch () =
+  (* Ranks recorded different phase sets: [aggregate] must diagnose the
+     disagreement on EVERY rank (naming the offending rank and phases)
+     instead of hanging in mismatched collectives. *)
+  let messages =
+    wrapped ~ranks:2 (fun comm ->
+        let timer = Measurement.create comm in
+        Measurement.time timer "a" (fun () -> Comm.compute comm 1.0e-6);
+        if Comm.rank comm = 0 then Measurement.time timer "b" (fun () -> Comm.compute comm 1.0e-6);
+        match Measurement.aggregate timer with
+        | _ -> "no error"
+        | exception Mpisim.Errors.Usage_error msg -> msg)
+  in
+  Array.iteri
+    (fun r msg ->
+      let mem needle =
+        Alcotest.(check bool)
+          (Printf.sprintf "rank %d message mentions %S" r needle)
+          true
+          (let len = String.length needle in
+           let ok = ref false in
+           String.iteri
+             (fun i _ ->
+               if (not !ok) && i + len <= String.length msg then
+                 if String.sub msg i len = needle then ok := true)
+             msg;
+           !ok)
+      in
+      mem "different phase sets";
+      mem "rank 1";
+      mem "missing";
+      mem "b")
+    messages
+
 (* ---------- distributed vector ---------- *)
 
 module DV = Kamping_plugins.Dist_vector
@@ -216,6 +250,8 @@ let suite =
     Alcotest.test_case "measurement phases" `Quick test_measurement_phases;
     Alcotest.test_case "measurement skew aggregation" `Quick test_measurement_skew;
     Alcotest.test_case "measurement misuse" `Quick test_measurement_misuse;
+    Alcotest.test_case "measurement phase-set mismatch diagnosed" `Quick
+      test_measurement_phase_mismatch;
     Alcotest.test_case "dist_vector map/filter/reduce" `Quick test_dist_vector_pipeline;
     Alcotest.test_case "dist_vector balance" `Quick test_dist_vector_balance;
     Alcotest.test_case "dist_vector sort" `Quick test_dist_vector_sort;

@@ -601,6 +601,60 @@ let test_profiling_counts () =
   Alcotest.(check int) "recv calls" 1 (Profiling.calls_of "MPI_Recv" prof);
   Alcotest.(check bool) "messages flowed" true (prof.Profiling.messages > 0)
 
+let test_profiling_edge_cases () =
+  (* empty snapshots: diff of nothing is nothing, lookups are zero *)
+  let empty = Profiling.snapshot (Profiling.create ()) in
+  let d0 = Profiling.diff ~before:empty ~after:empty in
+  Alcotest.(check (list (pair string int))) "empty diff: no calls" [] d0.Profiling.calls;
+  Alcotest.(check (list (pair string int))) "empty diff: no algos" [] d0.algo_calls;
+  Alcotest.(check int) "empty diff: no messages" 0 d0.messages;
+  Alcotest.(check int) "missing call name counts zero" 0 (Profiling.calls_of "MPI_Nope" empty);
+  Alcotest.(check int) "missing algo name counts zero" 0
+    (Profiling.algo_calls_of "MPI_Nope[x]" empty);
+  (* annotated algorithm names: [calls_of] falls through to the algorithm
+     table so callers need not know whether a collective was annotated *)
+  let t = Profiling.create () in
+  Profiling.record_call t "MPI_Send";
+  Profiling.record_algo t "MPI_Allreduce[rabenseifner]";
+  Profiling.record_message t ~bytes:64;
+  let s = Profiling.snapshot t in
+  Alcotest.(check int) "plain name via calls_of" 1 (Profiling.calls_of "MPI_Send" s);
+  Alcotest.(check int) "annotated name transparent via calls_of" 1
+    (Profiling.calls_of "MPI_Allreduce[rabenseifner]" s);
+  Alcotest.(check int) "annotated name via algo_calls_of" 1
+    (Profiling.algo_calls_of "MPI_Allreduce[rabenseifner]" s);
+  Alcotest.(check int) "annotated name absent from plain table" 0
+    (match List.assoc_opt "MPI_Allreduce[rabenseifner]" s.Profiling.calls with
+    | Some n -> n
+    | None -> 0);
+  (* diff against the empty baseline reproduces the snapshot *)
+  let d = Profiling.diff ~before:empty ~after:s in
+  Alcotest.(check (list (pair string int))) "diff calls" [ ("MPI_Send", 1) ] d.Profiling.calls;
+  Alcotest.(check (list (pair string int)))
+    "diff algo calls"
+    [ ("MPI_Allreduce[rabenseifner]", 1) ]
+    d.algo_calls;
+  Alcotest.(check int) "diff messages" 1 d.messages;
+  Alcotest.(check int) "diff bytes" 64 d.bytes;
+  (* a reversed diff is the negation *)
+  let neg = Profiling.diff ~before:s ~after:empty in
+  Alcotest.(check (list (pair string int))) "negated calls" [ ("MPI_Send", -1) ] neg.Profiling.calls;
+  Alcotest.(check int) "negated bytes" (-64) neg.bytes;
+  (* reset drops everything; diff across a reset reports the removals *)
+  Profiling.reset t;
+  let after_reset = Profiling.snapshot t in
+  Alcotest.(check (list (pair string int))) "reset clears calls" [] after_reset.Profiling.calls;
+  Alcotest.(check int) "reset clears messages" 0 after_reset.messages;
+  let across = Profiling.diff ~before:s ~after:after_reset in
+  Alcotest.(check (list (pair string int)))
+    "diff across reset shows removal" [ ("MPI_Send", -1) ] across.Profiling.calls;
+  (* equal non-empty snapshots diff to nothing *)
+  Profiling.record_call t "MPI_Bcast";
+  let s1 = Profiling.snapshot t in
+  let d_same = Profiling.diff ~before:s1 ~after:s1 in
+  Alcotest.(check (list (pair string int))) "identical snapshots: empty diff" []
+    d_same.Profiling.calls
+
 let test_run_determinism () =
   let go () =
     Tutil.run_full ~ranks:8 (fun comm ->
@@ -652,5 +706,6 @@ let suite =
     Alcotest.test_case "comm split" `Quick test_split;
     Alcotest.test_case "comm split undefined" `Quick test_split_undefined;
     Alcotest.test_case "profiling counts" `Quick test_profiling_counts;
+    Alcotest.test_case "profiling edge cases" `Quick test_profiling_edge_cases;
     Alcotest.test_case "simulation determinism" `Quick test_run_determinism;
   ]

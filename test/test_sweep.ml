@@ -39,6 +39,7 @@ let suite =
     example "halo_exchange" Gallery.Halo_exchange.run;
     example "word_count" Gallery.Word_count.run;
     example "one_sided" Gallery.One_sided.run;
+    example "tracing_example" Gallery.Tracing_example.run;
     Alcotest.test_case "overhead: PMPI equality under checker" `Quick test_overhead_profiles;
     Alcotest.test_case "overhead: sort kernel clean" `Quick test_overhead_sort_kernel;
   ]
