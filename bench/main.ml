@@ -4,9 +4,10 @@
 
    Usage:  dune exec bench/main.exe -- experiment ...
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
-                ulfm reprored ablation colltuning trace micro all
+                ulfm reprored ablation colltuning trace ckpt micro all
    "colltuning" writes BENCH_collectives.json; "trace" writes
-   BENCH_trace.json.  With no arguments (or --help) the usage is printed. *)
+   BENCH_trace.json; "ckpt" writes BENCH_ckpt.json.  With no arguments
+   (or --help) the usage is printed. *)
 
 module K = Kamping.Comm
 module D = Mpisim.Datatype
@@ -125,6 +126,7 @@ let experiments =
     ("ablation", Experiments.Ablation.run);
     ("colltuning", colltuning);
     ("trace", Experiments.Trace_exp.run);
+    ("ckpt", Experiments.Ckpt_exp.run);
     ("micro", microbench);
   ]
 

@@ -26,3 +26,10 @@ MPISIM_TRACE=1 dune runtest --force
 # check exits non-zero).
 dune exec bench/main.exe -- trace
 test -s BENCH_trace.json
+
+# Checkpoint/restart smoke test: interval x failure-rate sweep over the
+# restartable apps; the experiment self-validates recovered-vs-reference
+# bit-identity, Daly-interval minimality and the <10% overhead bound,
+# and exits non-zero on any violation.
+dune exec bench/main.exe -- ckpt
+test -s BENCH_ckpt.json

@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/checkpoint_restart.ml. *)
+let () = Gallery.Checkpoint_restart.run ()

@@ -1,0 +1,151 @@
+(** Application-level in-memory checkpoint/restart on top of ULFM.
+
+    The subsystem turns the ULFM primitives (revoke/shrink/agree, paper
+    Sec. V-B) into survivable applications:
+
+    - {b Registration.}  The application declares its restartable state
+      through a {!Registry}: named pieces, each with a serde codec and
+      save/restore closures, keyed by {e shard}.
+
+    - {b Shards.}  State is partitioned into [n_shards] virtual ranks,
+      fixed for the lifetime of the computation.  Each physical rank
+      owns a set of shards (initially [shard mod p]); after a failure
+      the survivors adopt the orphaned shards.  Because the partition is
+      independent of the physical rank count, a recovered run computes
+      {e bit-identical} results to a failure-free one.
+
+    - {b Checkpointing.}  {!checkpoint} packs every owned shard into one
+      snapshot ({!Snapshot}), keeps it in memory, and exchanges it with
+      a buddy rank (XOR partner: [rank lxor 1]) via [sendrecv] of
+      length-prefixed byte buffers, so every snapshot survives any
+      single-rank failure per buddy pair.  With an odd communicator
+      size, the self-paired last rank additionally ships its copy to
+      rank 0.  The engine keeps the two most recent epochs: a failure
+      mid-checkpoint can always fall back to the previous one.
+
+    - {b Recovery.}  On a detected failure, {!run_resilient} revokes and
+      shrinks, then survivors allgather an index of their stored
+      snapshots, deterministically compute the newest globally complete
+      epoch (every shard covered by some survivor's copy), confirm it
+      with ULFM [agree], restore — each shard by a deterministically
+      designated holder — and immediately write a fresh checkpoint under
+      the new buddy pairing before resuming.
+
+    - {b Scheduling.}  {!maybe_checkpoint} consults a {!Schedule}
+      (Young/Daly-optimal interval derived from the LogGP-predicted
+      checkpoint cost and the injected failure rate) using only local,
+      deterministic state, so all ranks checkpoint at the same
+      iteration without extra communication. *)
+
+module Snapshot = Snapshot
+module Registry = Registry
+module Schedule = Schedule
+
+(** [register registry ~name codec ~save ~restore] — see
+    {!Registry.register} (re-exported so application code reads
+    [Ckpt.register]). *)
+val register :
+  Registry.t ->
+  name:string ->
+  'a Serde.Codec.t ->
+  save:(shard:int -> 'a) ->
+  restore:(shard:int -> 'a -> unit) ->
+  unit
+
+(** The per-rank checkpoint engine handed to the body of
+    {!run_resilient}.  Valid only inside that body; [comm ctx] is the
+    current (possibly shrunk) communicator. *)
+type ctx
+
+(** Raised by {!run_resilient} when the failure/recovery cycle repeated
+    [max_attempts] times without the body completing. *)
+exception Attempts_exhausted of { attempts : int }
+
+(** Raised when recovery is impossible: no globally complete epoch
+    survives (e.g. both members of a buddy pair died between two
+    checkpoints), the survivors disagree on the recovery epoch, or a
+    stored snapshot is missing state the index promised. *)
+exception Unrecoverable of string
+
+(** {1 Inspection} *)
+
+val comm : ctx -> Kamping.Comm.t
+val n_shards : ctx -> int
+
+(** [shards ctx] are the shards this rank currently owns, ascending. *)
+val shards : ctx -> int list
+
+(** [owner_of ctx shard] is the communicator rank currently owning
+    [shard] (for routing cross-shard messages).
+    @raise Mpisim.Errors.Usage_error if [shard] is out of range. *)
+val owner_of : ctx -> int -> int
+
+(** [epoch ctx] is the epoch the next checkpoint will write (0 before
+    {!establish}; recovery rolls it back to the restored epoch + 1). *)
+val epoch : ctx -> int
+
+val schedule : ctx -> Schedule.t
+
+(** [predicted_ckpt_cost ctx] is the LogGP-predicted cost of one
+    checkpoint round (0. before the first checkpoint measured the
+    snapshot size). *)
+val predicted_ckpt_cost : ctx -> float
+
+(** [checkpoints_taken ctx] / [recoveries ctx] count completed
+    checkpoints and recovery rounds on this rank. *)
+val checkpoints_taken : ctx -> int
+
+val recoveries : ctx -> int
+
+(** {1 Checkpointing} *)
+
+(** [establish ctx] writes the initial epoch-0 checkpoint; a no-op when
+    an epoch already exists (i.e. after recovery).  Call it right after
+    the application state is initialized or restored — state from
+    before the first [establish] cannot be recovered. *)
+val establish : ctx -> unit
+
+(** [checkpoint ctx] forces a checkpoint now (collective: every member
+    must call it at the same iteration). *)
+val checkpoint : ctx -> unit
+
+(** [maybe_checkpoint ctx] records one completed application iteration
+    and checkpoints iff the schedule says so.  Deterministic across
+    ranks, so calling it once per iteration on every rank keeps the
+    collective checkpoint calls aligned. *)
+val maybe_checkpoint : ctx -> unit
+
+(** {1 The resilient driver} *)
+
+(** [run_resilient ~registry ~n_shards comm f] runs [f ctx ~restored]
+    under the recovery protocol, generalizing
+    [Kamping_plugins.Ulfm.with_recovery]:
+
+    - on the first attempt [restored = false]: [f] must initialize its
+      state for [shards ctx] and call {!establish};
+    - on a detected failure ([Process_failed] / [Comm_revoked] escaping
+      [f]), the engine revokes, shrinks, restores the newest complete
+      epoch (reassigning orphaned shards), and calls
+      [f ctx ~restored:true] on the shrunk communicator — [f] must then
+      rebuild derived (unregistered) structures for its possibly-grown
+      shard set and resume from the restored state;
+    - failures striking during recovery itself re-enter the same loop.
+
+    [policy] (default [Daly]) and [failure_rate] (whole-system failures
+    per simulated second, default [0.]) parameterize the schedule;
+    [max_attempts] (default 8) bounds the number of recovery rounds.
+
+    @raise Attempts_exhausted after [max_attempts] failed attempts.
+    @raise Unrecoverable when no complete epoch survives or no rank
+    does.
+    @raise Mpisim.Errors.Usage_error on [n_shards <= 0] or
+    [max_attempts <= 0]. *)
+val run_resilient :
+  ?policy:Schedule.policy ->
+  ?failure_rate:float ->
+  ?max_attempts:int ->
+  registry:Registry.t ->
+  n_shards:int ->
+  Kamping.Comm.t ->
+  (ctx -> restored:bool -> 'a) ->
+  'a

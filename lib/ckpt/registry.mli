@@ -1,0 +1,48 @@
+(** The typed snapshot registry.
+
+    Applications declare {e what} makes up their restartable state by
+    registering named pieces, each with a serde codec and a pair of
+    closures: [save] reads the live state of one shard out of the
+    application, [restore] writes a decoded value back in.  The registry
+    erases the per-entry type behind the codec, so the checkpoint engine
+    only ever moves opaque byte bundles.
+
+    State is keyed by {e shard} (a virtual rank, see {!Ckpt}): one bundle
+    packs every registered entry for one shard, in registration order,
+    each tagged with its name so a mismatched registry is detected at
+    restore time instead of producing garbage. *)
+
+type t
+
+(** [create ()] is an empty registry. *)
+val create : unit -> t
+
+(** [register t ~name codec ~save ~restore] adds one named piece of
+    restartable state.  Registration order is the bundle order; every
+    rank must register the same entries in the same order.
+    @raise Mpisim.Errors.Usage_error on a duplicate [name]. *)
+val register :
+  t ->
+  name:string ->
+  'a Serde.Codec.t ->
+  save:(shard:int -> 'a) ->
+  restore:(shard:int -> 'a -> unit) ->
+  unit
+
+(** [names t] lists registered entry names in registration order. *)
+val names : t -> string list
+
+(** [is_empty t] is true when nothing has been registered. *)
+val is_empty : t -> bool
+
+(** [save_shard t ~shard] packs every entry's current value for [shard]
+    into one bundle. *)
+val save_shard : t -> shard:int -> Bytes.t
+
+(** [restore_shard t ~shard b] unpacks a bundle produced by
+    {!save_shard} and feeds each entry's value back through its
+    [restore] closure.
+    @raise Serde.Archive.Corrupt when the bundle's entry names or count
+    disagree with the registry (snapshot from a different program
+    version) or the payload is malformed. *)
+val restore_shard : t -> shard:int -> Bytes.t -> unit

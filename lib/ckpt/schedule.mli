@@ -1,0 +1,78 @@
+(** Checkpoint-interval scheduling (Young/Daly).
+
+    Writing a checkpoint costs [delta] seconds; failures strike with a
+    mean time between failures of [M] seconds.  Checkpointing too often
+    wastes time on snapshots, too rarely wastes time on lost work.
+    Young's first-order optimum is [sqrt (2 * delta * M)]; Daly's
+    higher-order refinement (used by the [Daly] policy) corrects it for
+    non-negligible [delta / M].
+
+    The schedule is driven purely by local, deterministic quantities
+    (iteration counts and an allreduced per-iteration cost), so every
+    rank takes the checkpoint decision at the same iteration without any
+    per-iteration communication — the same zero-overhead discipline as
+    the tuned-collective selection layer. *)
+
+type policy =
+  | Every_n of int  (** checkpoint after every [n] iterations *)
+  | Interval of float
+      (** target a fixed wall-clock interval in simulated seconds;
+          [Interval infinity] never checkpoints (failure-free baseline) *)
+  | Daly  (** target the Daly-optimal interval for the given cost/MTBF *)
+
+val policy_name : policy -> string
+
+(** [young_interval ~ckpt_cost ~mtbf] is Young's first-order optimum
+    [sqrt (2 * ckpt_cost * mtbf)] ([infinity] when [mtbf] is). *)
+val young_interval : ckpt_cost:float -> mtbf:float -> float
+
+(** [daly_interval ~ckpt_cost ~mtbf] is Daly's higher-order optimum; it
+    falls back to [mtbf] when [ckpt_cost >= 2 * mtbf] (checkpointing
+    costs more than the expected loss) and to [infinity] when [mtbf]
+    is. *)
+val daly_interval : ckpt_cost:float -> mtbf:float -> float
+
+(** [predict_ckpt_cost params ~p ~bytes] is the LogGP prediction of one
+    checkpoint round: serializing [bytes] of state, the buddy
+    [sendrecv] exchange, and the one allreduce the engine uses to agree
+    on the per-iteration cost.  Pure: every rank computes the same
+    value. *)
+val predict_ckpt_cost : Simnet.Netmodel.params -> p:int -> bytes:int -> float
+
+type t
+
+(** [create policy ~ckpt_cost ~failure_rate] resolves [policy] against
+    the per-checkpoint cost and the whole-system failure rate
+    ([failures / second]; [0.] means no failures, MTBF [infinity]).
+    @raise Mpisim.Errors.Usage_error on [Every_n n] with [n <= 0], a
+    non-positive [Interval], or a negative [failure_rate]. *)
+val create : policy -> ckpt_cost:float -> failure_rate:float -> t
+
+val policy : t -> policy
+
+(** [target_interval t] is the resolved wall-clock interval in simulated
+    seconds ([infinity] for [Interval infinity] or a failure-free
+    [Daly]; [nan]-free). [Every_n] resolves to [infinity] — it is
+    iteration-counted, not time-based. *)
+val target_interval : t -> float
+
+(** [tick t] records that one application iteration completed. *)
+val tick : t -> unit
+
+(** [reset t] clears the iteration counter without touching the period
+    (used after a recovery rollback). *)
+val reset : t -> unit
+
+(** [due t] is true when the policy calls for a checkpoint now.  Purely
+    local and deterministic: identical across ranks as long as they
+    [tick] in lockstep. *)
+val due : t -> bool
+
+(** [record_checkpoint t ~iter_cost] resets the iteration counter and,
+    for time-based policies, re-derives the checkpoint period (in
+    iterations) from the agreed per-iteration cost [iter_cost] (pass the
+    allreduced maximum so every rank derives the same period). *)
+val record_checkpoint : t -> iter_cost:float -> unit
+
+(** [period t] is the current checkpoint period in iterations. *)
+val period : t -> int

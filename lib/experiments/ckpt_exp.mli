@@ -1,0 +1,19 @@
+(** The [ckpt] experiment: checkpoint-interval × failure-rate sweep over
+    the restartable label-propagation app (lib/ckpt), plus recovered-vs-
+    reference bit-identity checks for both restartable apps.
+
+    For every injected failure rate the sweep runs the Daly-scheduled
+    policy against fixed intervals bracketing it (1/4x to 4x), an
+    every-iteration policy and a no-checkpoint baseline, all under the
+    same deterministic time-based failure schedule.  The table reports
+    completion time, checkpoints taken and recovery rounds; every run's
+    output is compared bit for bit against the failure-free reference.
+
+    The results are written to [BENCH_ckpt.json] and self-validated:
+    the experiment exits non-zero unless (a) every run — BFS and label
+    propagation, with and without failures — is bit-identical to its
+    reference, (b) the Daly interval achieves the minimal completion
+    time of its sweep column, and (c) checkpoint overhead at the Daly
+    interval is below 10% of the failure-free runtime. *)
+
+val run : unit -> unit

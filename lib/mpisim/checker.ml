@@ -308,13 +308,14 @@ let diagnose_deadlock st ~mailboxes ~parked ~rank_alive =
 (* Finalize leak checks.                                               *)
 (* ------------------------------------------------------------------ *)
 
-let finalize st ~mailboxes ~rank_alive ~comm_revoked =
+let finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_damaged =
   if enabled Heavy then begin
     V.iter
       (fun tr ->
         if
           rank_alive tr.tr_rank
           && (not (comm_revoked tr.tr_comm))
+          && (not (comm_damaged tr.tr_comm))
           && (not (Request.was_observed tr.tr_req))
           && not (Request.is_failed tr.tr_req)
         then
@@ -332,7 +333,8 @@ let finalize st ~mailboxes ~rank_alive ~comm_revoked =
         Msg.iter_unexpected mb (fun (env : Msg.envelope) ->
             if
               env.Msg.ctx = Msg.User && rank_alive dst && rank_alive env.Msg.src_world
-              && not (comm_revoked env.Msg.comm_id)
+              && (not (comm_revoked env.Msg.comm_id))
+              && not (comm_damaged env.Msg.comm_id)
             then
               report st
                 {

@@ -138,15 +138,21 @@ val diagnose_deadlock :
   rank_alive:(int -> bool) ->
   diagnostic
 
-(** [finalize st ~mailboxes ~rank_alive ~comm_revoked] runs the end-of-run
-    leak checks: unobserved requests, never-matched user sends and unfreed
-    windows.  State owned by dead ranks or revoked communicators is
-    skipped (ULFM failure injection leaves it behind legitimately). *)
+(** [finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_damaged] runs
+    the end-of-run leak checks: unobserved requests, never-matched user
+    sends and unfreed windows.  State owned by dead ranks or revoked
+    communicators is skipped (ULFM failure injection leaves it behind
+    legitimately), and so is traffic on a {e damaged} communicator — one
+    with a dead member ([comm_damaged], see [World.comm_has_failed]):
+    two live survivors may legitimately abandon an exchange (e.g. a
+    buddy checkpoint [sendrecv]) when a third member's failure aborts
+    the surrounding protocol before revocation. *)
 val finalize :
   state ->
   mailboxes:Msg.mailbox array ->
   rank_alive:(int -> bool) ->
   comm_revoked:(int -> bool) ->
+  comm_damaged:(int -> bool) ->
   unit
 
 (** {1 Cross-world collection}

@@ -35,7 +35,7 @@ let with_run_collector f =
       finish ();
       raise e
 
-let run ?(net = Netmodel.default) ?node ?(failures = []) ?trace ~ranks f =
+let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace ~ranks f =
   let tracing =
     match trace with Some b -> b | None -> Trace.Recorder.default_enabled ()
   in
@@ -70,11 +70,12 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ?trace ~ranks f =
   in
   w.World.fibers <- fibers;
   List.iter (fun (at, rank) -> Ulfm.schedule_failure w ~at ~world_rank:rank) failures;
+  Ulfm.schedule_failures w ~fail_at;
   (match Engine.run w.World.engine with
   | () ->
       (* clean quiesce: run the end-of-run leak checks *)
       Checker.finalize w.World.check ~mailboxes:w.World.mailboxes ~rank_alive:(World.is_alive w)
-        ~comm_revoked:(World.comm_revoked w)
+        ~comm_revoked:(World.comm_revoked w) ~comm_damaged:(World.comm_has_failed w)
   | exception Engine.Deadlock _ when Checker.enabled Heavy ->
       (* diagnose instead of hanging the caller with an opaque exception:
          the run terminates normally, carrying the structured report *)

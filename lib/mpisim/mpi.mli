@@ -28,6 +28,9 @@ type 'a run_result = {
     @param node [(intra-node params, node size)] switches to a hierarchical
     fabric (e.g. [(Simnet.Netmodel.intra_node, 8)])
     @param failures [(time, world_rank)] process failures to inject
+    @param fail_at [(world_rank, time)] deterministic time-based failure
+    schedule, armed via {!Ulfm.schedule_failures} (validated up front;
+    both parameters may be combined)
     @param trace record an event trace of the run (default: the
     [MPISIM_TRACE] environment toggle, see {!Trace.Recorder.default_enabled});
     tracing is a pure observer — it changes no timing, event count or profile
@@ -39,6 +42,7 @@ val run :
   ?net:Simnet.Netmodel.params ->
   ?node:Simnet.Netmodel.params * int ->
   ?failures:(float * int) list ->
+  ?fail_at:(int * float) list ->
   ?trace:bool ->
   ranks:int ->
   (Comm.t -> 'a) ->

@@ -10,6 +10,21 @@
     simulated time [at]. *)
 val schedule_failure : World.t -> at:float -> world_rank:int -> unit
 
+(** [schedule_failures world ~fail_at] arms a deterministic {e time-based}
+    failure schedule: each [(world_rank, sim_time)] entry kills
+    [world_rank] at simulated time [sim_time] (clamped to "now" when
+    already past, as in {!schedule_failure}).
+
+    Determinism semantics: the kills are discrete events on the
+    simulated clock, so a given schedule produces the same failure
+    points — relative to every rank's progress — on every run of a
+    deterministic program.  Entries firing at the same instant are
+    processed in list order; killing an already-dead rank is a no-op, so
+    duplicate entries are harmless.  The whole schedule is validated
+    before any kill is armed.
+    @raise Errors.Usage_error on an out-of-range rank or a NaN time. *)
+val schedule_failures : World.t -> fail_at:(int * float) list -> unit
+
 (** [revoke comm] marks the communicator revoked on all ranks; pending and
     future operations on it raise {!Errors.Comm_revoked}. *)
 val revoke : Comm.t -> unit

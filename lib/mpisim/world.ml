@@ -69,6 +69,11 @@ let comm_revoked w cid =
 
 let is_alive w r = Ds.Bitset.mem w.alive r
 
+let comm_has_failed w cid =
+  match Hashtbl.find_opt w.comms cid with
+  | Some s -> Array.exists (fun r -> not (is_alive w r)) s.group
+  | None -> false
+
 let any_dead w group =
   let n = Array.length group in
   let rec go i = if i >= n then None else if is_alive w group.(i) then go (i + 1) else Some group.(i)

@@ -65,6 +65,12 @@ val fresh_comm : t -> int array -> comm_shared
     revoked (checker query). *)
 val comm_revoked : t -> int -> bool
 
+(** [comm_has_failed w cid] is true when communicator [cid] exists and at
+    least one of its members has died — even if the communicator was
+    never revoked (checker query: traffic abandoned on such a
+    communicator is a legitimate ULFM casualty, not a leak). *)
+val comm_has_failed : t -> int -> bool
+
 (** [is_alive w r] is rank [r]'s liveness. *)
 val is_alive : t -> int -> bool
 

@@ -185,6 +185,44 @@ let test_unmatched_send () =
       | _ -> false)
     res
 
+(* Buddy-checkpoint style traffic abandoned because a THIRD rank failed:
+   rank 0's isend to rank 1 is never matched — rank 1 aborted the
+   exchange when it observed rank 2's death.  Both endpoints are alive,
+   but the communicator is damaged, so the finalize leak scan must not
+   flag the in-flight message (regression for the ULFM exclusions). *)
+let test_damaged_comm_traffic_not_flagged () =
+  let res =
+    with_heavy (fun () ->
+        Mpi.run ~ranks:3 ~fail_at:[ (2, 10.0e-6) ] (fun comm ->
+            match Comm.rank comm with
+            | 0 -> ignore (P2p.isend comm Datatype.int [| 1 |] ~dst:1 ~tag:7)
+            | 1 -> (
+                try ignore (P2p.recv comm Datatype.int [| 0 |] ~src:2 ~tag:0)
+                with Errors.Process_failed _ -> ())
+            | _ ->
+                (* blocks forever; killed at 10us *)
+                ignore (P2p.recv comm Datatype.int [| 0 |] ~src:0 ~tag:99)))
+  in
+  (match res.Mpi.diagnostics with
+  | [] -> ()
+  | diags -> Alcotest.failf "damaged-comm traffic flagged:\n%s" (pp_diags diags));
+  (* The exclusion is scoped to damaged communicators: the same abandoned
+     isend with every member alive is still a leak and an unmatched
+     send. *)
+  let healthy =
+    with_heavy (fun () ->
+        Mpi.run ~ranks:3 (fun comm ->
+            if Comm.rank comm = 0 then
+              ignore (P2p.isend comm Datatype.int [| 1 |] ~dst:1 ~tag:7)))
+  in
+  check_found "request-leak on healthy comm"
+    (fun d -> match d.Ck.detail with Ck.Request_leak -> d.Ck.rank = 0 | _ -> false)
+    healthy;
+  check_found "unmatched-send on healthy comm"
+    (fun d ->
+      match d.Ck.detail with Ck.Unmatched_send { dst = 1; tag = 7; _ } -> true | _ -> false)
+    healthy
+
 let test_window_leak_and_free () =
   let leaked =
     with_heavy (fun () ->
@@ -357,6 +395,8 @@ let suite =
     Alcotest.test_case "request leak" `Quick test_request_leak;
     Alcotest.test_case "waited request is clean" `Quick test_waited_request_is_clean;
     Alcotest.test_case "unmatched send" `Quick test_unmatched_send;
+    Alcotest.test_case "damaged-comm traffic not flagged" `Quick
+      test_damaged_comm_traffic_not_flagged;
     Alcotest.test_case "window leak / freed is clean" `Quick test_window_leak_and_free;
     Alcotest.test_case "busy clean program: zero diagnostics" `Quick test_busy_clean_program;
     Alcotest.test_case "nonblocking collectives clean" `Quick test_nonblocking_collectives_clean;

@@ -15,6 +15,7 @@ let () =
       ("win", Test_win.suite);
       ("building-blocks", Test_building_blocks.suite);
       ("checker", Test_checker.suite);
+      ("ckpt", Test_ckpt.suite);
       ("trace", Test_trace.suite);
       ("sweep", Test_sweep.suite);
       ("properties", Test_properties.suite);

@@ -445,6 +445,55 @@ let test_ulfm_with_recovery_combinator () =
         | Error e -> raise e)
     res.Mpisim.Mpi.results
 
+(* A persistent failure schedule: one rank dies in every attempt.  With
+   [?max_attempts] the combinator must stop with a diagnostic exception
+   naming the attempt count instead of silently looping or returning
+   [None]. *)
+let test_ulfm_max_attempts_exhausted () =
+  let res =
+    Mpisim.Mpi.run ~ranks:4
+      ~fail_at:[ (1, 10.0e-6); (2, 100.0e-6); (3, 200.0e-6) ]
+      (fun raw ->
+        let comm = Comm.wrap raw in
+        match
+          Kamping_plugins.Ulfm.with_recovery ~max_attempts:3 comm (fun c ->
+              while true do
+                Comm.compute c 20.0e-6;
+                ignore (Comm.allreduce_single c D.int Mpisim.Op.int_sum 1)
+              done)
+        with
+        | _ -> `Completed
+        | exception Kamping_plugins.Ulfm.Recovery_exhausted { attempts } ->
+            `Exhausted attempts)
+  in
+  (match res.Mpisim.Mpi.results.(0) with
+  | Ok (`Exhausted 3) -> ()
+  | Ok `Completed -> Alcotest.fail "infinite body cannot complete"
+  | Ok (`Exhausted n) -> Alcotest.failf "expected 3 attempts, got %d" n
+  | Error e -> raise e);
+  (* Bounded attempts still succeed when the failures stop. *)
+  let ok =
+    Mpisim.Mpi.run ~ranks:4 ~fail_at:[ (1, 10.0e-6) ] (fun raw ->
+        let comm = Comm.wrap raw in
+        if Comm.rank comm = 1 then None
+        else
+          Kamping_plugins.Ulfm.with_recovery ~max_attempts:3 comm (fun c ->
+              Comm.compute c 30.0e-6;
+              Comm.allreduce_single c D.int Mpisim.Op.int_sum 1)
+          |> Option.map fst)
+  in
+  (match ok.Mpisim.Mpi.results.(0) with
+  | Ok (Some 3) -> ()
+  | Ok _ -> Alcotest.fail "bounded recovery should have completed over 3 survivors"
+  | Error e -> raise e);
+  Alcotest.(check bool) "max_attempts = 0 rejected" true
+    (match
+       Mpisim.Mpi.run_exn ~ranks:1 (fun raw ->
+           Kamping_plugins.Ulfm.with_recovery ~max_attempts:0 (Comm.wrap raw) (fun _ -> ()))
+     with
+    | _ -> false
+    | exception Mpisim.Errors.Usage_error _ -> true)
+
 let test_ulfm_agree () =
   let res =
     Tutil.run_full ~ranks:4
@@ -495,5 +544,6 @@ let suite =
     Alcotest.test_case "ulfm: failure detection" `Quick test_ulfm_failure_detected;
     Alcotest.test_case "ulfm: Fig. 12 revoke+shrink recovery" `Quick test_ulfm_fig12_recovery;
     Alcotest.test_case "ulfm: with_recovery combinator" `Quick test_ulfm_with_recovery_combinator;
+    Alcotest.test_case "ulfm: max_attempts exhaustion" `Quick test_ulfm_max_attempts_exhausted;
     Alcotest.test_case "ulfm: agreement" `Quick test_ulfm_agree;
   ]

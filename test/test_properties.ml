@@ -340,6 +340,65 @@ let prop_checker_flags_collective_mismatch =
       in
       has_detail (function Mpisim.Checker.Collective_mismatch _ -> true | _ -> false) diags)
 
+(* ---------- checkpoint/restart recovery (lib/ckpt) ---------- *)
+
+(* Random single-failure schedules over the restartable BFS: whatever
+   rank dies at whatever point of the run, the survivors must reproduce
+   the failure-free reference bit for bit, with zero checker diagnostics
+   at [Communication] level. *)
+let ckpt_n_shards = 4
+
+let ckpt_bfs_args = (Graphgen.Generators.Erdos_renyi, 96, 4, 11, 0)
+
+let ckpt_reference =
+  lazy
+    (let family, global_n, avg_degree, seed, src = ckpt_bfs_args in
+     run ~ranks:ckpt_n_shards (fun comm ->
+         let g =
+           Graphgen.Generators.generate family ~rank:(Mpisim.Comm.rank comm)
+             ~comm_size:ckpt_n_shards ~global_n ~avg_degree ~seed
+         in
+         Apps.Bfs_kamping.bfs comm g ~src))
+
+let ckpt_run ?fail_at ~ranks () =
+  let family, global_n, avg_degree, seed, src = ckpt_bfs_args in
+  Mpisim.Mpi.run ?fail_at ~ranks (fun comm ->
+      Apps.Bfs_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (Comm.wrap comm) ~family
+        ~n_shards:ckpt_n_shards ~global_n ~avg_degree ~seed ~src)
+
+let ckpt_baseline_time =
+  let cache = Hashtbl.create 4 in
+  fun ~ranks ->
+    match Hashtbl.find_opt cache ranks with
+    | Some t -> t
+    | None ->
+        let t = (ckpt_run ~ranks ()).Mpisim.Mpi.sim_time in
+        Hashtbl.add cache ranks t;
+        t
+
+let prop_ckpt_recovery_bit_identical =
+  Tutil.qtest ~count:12 "random single failure: BFS recovers bit-identically"
+    QCheck2.Gen.(triple (int_range 2 5) (int_range 0 5) (int_range 20 80))
+    (fun (p, victim_seed, pct) ->
+      let victim = victim_seed mod p in
+      let t_fail = float_of_int pct /. 100. *. ckpt_baseline_time ~ranks:p in
+      let res =
+        Mpisim.Checker.with_level Mpisim.Checker.Communication (fun () ->
+            ckpt_run ~ranks:p ~fail_at:[ (victim, t_fail) ] ())
+      in
+      let reference = Lazy.force ckpt_reference in
+      let got = Hashtbl.create 8 in
+      Array.iter
+        (function
+          | Ok pairs -> List.iter (fun (s, arr) -> Hashtbl.replace got s arr) pairs
+          | Error _ -> ())
+        res.Mpisim.Mpi.results;
+      res.Mpisim.Mpi.diagnostics = []
+      && Hashtbl.length got = ckpt_n_shards
+      && List.for_all
+           (fun s -> Hashtbl.find got s = reference.(s))
+           (List.init ckpt_n_shards Fun.id))
+
 let suite =
   [
     prop_bcast;
@@ -357,4 +416,5 @@ let suite =
     prop_checker_random_schedules_clean;
     prop_checker_flags_dropped_recv;
     prop_checker_flags_collective_mismatch;
+    prop_ckpt_recovery_bit_identical;
   ]

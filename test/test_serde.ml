@@ -98,6 +98,66 @@ let test_json_numbers () =
   | _ -> Alcotest.fail "expected number");
   Alcotest.(check string) "integral printing" "42" (Json.to_string (Json.Num 42.0))
 
+(* ---------- checkpoint snapshot wire format (lib/ckpt) ---------- *)
+
+let snap epoch rank payload = { Ckpt.Snapshot.epoch; rank; payload = Bytes.of_string payload }
+
+let check_snap name expected actual =
+  let open Ckpt.Snapshot in
+  Alcotest.(check int) (name ^ ": epoch") expected.epoch actual.epoch;
+  Alcotest.(check int) (name ^ ": rank") expected.rank actual.rank;
+  Alcotest.(check string) (name ^ ": payload")
+    (Bytes.to_string expected.payload)
+    (Bytes.to_string actual.payload)
+
+let rejects_corrupt name b =
+  Alcotest.(check bool) name true
+    (match Ckpt.Snapshot.decode b with
+    | (_ : Ckpt.Snapshot.t) -> false
+    | exception Archive.Corrupt _ -> true)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun s ->
+      let name = Printf.sprintf "epoch %d rank %d" s.Ckpt.Snapshot.epoch s.Ckpt.Snapshot.rank in
+      check_snap name s (Ckpt.Snapshot.decode (Ckpt.Snapshot.encode s));
+      check_snap (name ^ " via codec") s (roundtrip Ckpt.Snapshot.codec s))
+    [ snap 0 0 ""; snap 3 1 "payload bytes"; snap 4096 63 (String.make 2000 '\xab') ]
+
+let test_snapshot_rejects_corrupt () =
+  let b = Ckpt.Snapshot.encode (snap 5 2 "some state") in
+  (* Truncation anywhere — inside the header or inside the payload — is
+     caught, as are trailing bytes and a clobbered magic tag. *)
+  for len = 0 to Bytes.length b - 1 do
+    rejects_corrupt (Printf.sprintf "truncated to %d" len) (Bytes.sub b 0 len)
+  done;
+  rejects_corrupt "trailing byte" (Bytes.cat b (Bytes.make 1 'x'));
+  let bad_magic = Bytes.copy b in
+  Bytes.set bad_magic 0 '\x00';
+  rejects_corrupt "bad magic" bad_magic;
+  Alcotest.(check bool) "negative header fields rejected" true
+    (match roundtrip Ckpt.Snapshot.codec (snap (-1) 0 "") with
+    | (_ : Ckpt.Snapshot.t) -> false
+    | exception Archive.Corrupt _ -> true)
+
+let test_snapshot_wrong_epoch () =
+  let b = Ckpt.Snapshot.encode (snap 7 1 "state") in
+  check_snap "matching epoch accepted" (snap 7 1 "state")
+    (Ckpt.Snapshot.decode_expect ~epoch:7 b);
+  Alcotest.(check bool) "wrong epoch rejected" true
+    (match Ckpt.Snapshot.decode_expect ~epoch:8 b with
+    | (_ : Ckpt.Snapshot.t) -> false
+    | exception Ckpt.Snapshot.Wrong_epoch { expected = 8; got = 7 } -> true)
+
+let prop_snapshot_roundtrip =
+  Tutil.qtest "snapshot header roundtrip"
+    QCheck2.Gen.(triple nat nat (string_size (int_bound 64)))
+    (fun (epoch, rank, payload) ->
+      let s = snap epoch rank payload in
+      let back = Ckpt.Snapshot.decode (Ckpt.Snapshot.encode s) in
+      back.Ckpt.Snapshot.epoch = epoch && back.rank = rank
+      && Bytes.to_string back.payload = payload)
+
 let prop_codec_int_list =
   Tutil.qtest "codec int list roundtrip" QCheck2.Gen.(list int) (fun l ->
       roundtrip Codec.(list int) l = l)
@@ -128,6 +188,11 @@ let suite =
     Alcotest.test_case "json print/parse" `Quick test_json_print_parse;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot rejects corrupt buffers" `Quick
+      test_snapshot_rejects_corrupt;
+    Alcotest.test_case "snapshot wrong-epoch guard" `Quick test_snapshot_wrong_epoch;
+    prop_snapshot_roundtrip;
     prop_codec_int_list;
     prop_codec_string_json;
     prop_codec_float;

@@ -304,4 +304,5 @@ let suite =
     observer "halo_exchange" Gallery.Halo_exchange.run;
     observer "word_count" Gallery.Word_count.run;
     observer "one_sided" Gallery.One_sided.run;
+    observer "checkpoint_restart" Gallery.Checkpoint_restart.run;
   ]
