@@ -29,6 +29,7 @@ type ctx = {
   mutable shards : int list;  (* ascending *)
   mutable owners : int array;  (* shard -> current comm rank *)
   mutable epoch : int;  (* epoch the next checkpoint writes *)
+  mutable resched : bool;  (* re-resolve the schedule at the next checkpoint *)
   mutable ckpt_cost : float;  (* LogGP prediction, 0. until first measured *)
   mutable last_ckpt_time : float;
   mutable iters_since : int;
@@ -108,11 +109,22 @@ let checkpoint ctx =
   let my_world = Mpisim.Comm.world_rank_of raw me in
   let snap = Snapshot.encode { epoch = ctx.epoch; rank = my_world; payload } in
   ser_cost comm (Bytes.length snap);
-  if ctx.n_checkpoints = 0 then begin
-    (* First checkpoint reveals the snapshot size: resolve the schedule
-       against the LogGP-predicted per-checkpoint cost. *)
-    ctx.ckpt_cost <- Schedule.predict_ckpt_cost (net_params comm) ~p ~bytes:(Bytes.length snap);
-    ctx.sched <- Schedule.create ctx.policy ~ckpt_cost:ctx.ckpt_cost ~failure_rate:ctx.failure_rate
+  if ctx.resched then begin
+    (* The checkpoint reveals the snapshot size: resolve the schedule
+       against the LogGP-predicted per-checkpoint cost.  Snapshot sizes
+       differ across ranks (varint payloads, uneven shard counts), so
+       agree on the largest one — a locally derived Daly period would
+       diverge between ranks and desynchronize the collective checkpoint
+       calls.  Redone after recovery, when the shard distribution (and
+       with it the sizes) changed. *)
+    let bytes =
+      if p > 1 then
+        KC.allreduce_single comm Mpisim.Datatype.int Mpisim.Op.int_max (Bytes.length snap)
+      else Bytes.length snap
+    in
+    ctx.ckpt_cost <- Schedule.predict_ckpt_cost (net_params comm) ~p ~bytes;
+    ctx.sched <- Schedule.create ctx.policy ~ckpt_cost:ctx.ckpt_cost ~failure_rate:ctx.failure_rate;
+    ctx.resched <- false
   end;
   Hashtbl.replace ctx.mine ctx.epoch { snap; covered = ctx.shards };
   (if p > 1 then
@@ -153,9 +165,15 @@ let checkpoint ctx =
          store_held ctx (bytes_of_chars buf len.(0))
        end);
   (* Agree on the per-iteration cost so every rank derives the same
-     checkpoint period (max is the conservative, deterministic choice). *)
-  let iters = Int.max 1 ctx.iters_since in
-  let local = (KC.now comm -. ctx.last_ckpt_time) /. float_of_int iters in
+     checkpoint period (max is the conservative, deterministic choice).
+     The establish and post-recovery checkpoints ([iters_since = 0])
+     timed setup or restore work, not an application iteration: they
+     contribute 0, which leaves the period unchanged, instead of a
+     bogus sample. *)
+  let local =
+    if ctx.iters_since = 0 then 0.0
+    else (KC.now comm -. ctx.last_ckpt_time) /. float_of_int ctx.iters_since
+  in
   let iter_cost =
     if p > 1 then KC.allreduce_single comm Mpisim.Datatype.float Mpisim.Op.float_max local
     else local
@@ -278,6 +296,9 @@ let recover ctx =
   Schedule.reset ctx.sched;
   ctx.iters_since <- 0;
   ctx.last_ckpt_time <- KC.now comm;
+  (* The shard redistribution changed the snapshot sizes: resolve the
+     schedule afresh at the next checkpoint. *)
+  ctx.resched <- true;
   (* Fresh checkpoint under the new buddy pairing before resuming, so a
      second failure cannot orphan the just-adopted shards. *)
   checkpoint ctx
@@ -301,6 +322,7 @@ let run_resilient ?(policy = Schedule.Daly) ?(failure_rate = 0.0) ?(max_attempts
       shards = List.filter (fun s -> s mod p = KC.rank comm) (List.init n_shards Fun.id);
       owners = Array.init n_shards (fun s -> s mod p);
       epoch = 0;
+      resched = true;
       ckpt_cost = 0.0;
       last_ckpt_time = KC.now comm;
       iters_since = 0;

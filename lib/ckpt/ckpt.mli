@@ -33,9 +33,13 @@
 
     - {b Scheduling.}  {!maybe_checkpoint} consults a {!Schedule}
       (Young/Daly-optimal interval derived from the LogGP-predicted
-      checkpoint cost and the injected failure rate) using only local,
-      deterministic state, so all ranks checkpoint at the same
-      iteration without extra communication. *)
+      checkpoint cost and the injected failure rate).  The schedule is
+      resolved from values agreed across the communicator (an
+      [allreduce]-max of the snapshot size at the first checkpoint and
+      after every recovery, and of the measured per-iteration cost at
+      each checkpoint), so every rank derives the same period and all
+      ranks checkpoint at the same iteration; between checkpoints the
+      decision is purely local. *)
 
 module Snapshot = Snapshot
 module Registry = Registry

@@ -80,7 +80,13 @@ let pp fmt d = Format.pp_print_string fmt (to_string d)
 
 type window_token = { mutable freed : bool }
 
-type tracked_request = { tr_rank : int; tr_comm : int; tr_op : string; tr_req : Request.t }
+type tracked_request = {
+  tr_rank : int;
+  tr_comm : int;
+  tr_op : string;
+  tr_at : float;  (* simulated time the request was created *)
+  tr_req : Request.t;
+}
 type tracked_window = { tw_rank : int; tw_comm : int; tw_tok : window_token }
 
 type state = {
@@ -195,8 +201,9 @@ let record_match_error st ~rank ~comm ~op ~src ~tag e =
 (* Resource tracking.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let track_request st ~rank ~comm ~op req =
-  if enabled Heavy then V.push st.reqs { tr_rank = rank; tr_comm = comm; tr_op = op; tr_req = req }
+let track_request st ~rank ~comm ~op ~at req =
+  if enabled Heavy then
+    V.push st.reqs { tr_rank = rank; tr_comm = comm; tr_op = op; tr_at = at; tr_req = req }
 
 let inert_token = { freed = true }
 
@@ -308,14 +315,24 @@ let diagnose_deadlock st ~mailboxes ~parked ~rank_alive =
 (* Finalize leak checks.                                               *)
 (* ------------------------------------------------------------------ *)
 
-let finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_damaged =
+let finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_failed_at =
+  (* Traffic that was already in flight when a member of its communicator
+     died may have been legitimately abandoned (e.g. one half of a buddy
+     [sendrecv] whose surrounding protocol a third rank's failure tore
+     down before any revocation).  Traffic initiated {e after} the
+     failure has no such excuse: a live-to-live leak on a damaged
+     communicator is still a leak. *)
+  let abandoned ~comm ~at =
+    let failed = comm_failed_at comm in
+    failed < infinity && at <= failed
+  in
   if enabled Heavy then begin
     V.iter
       (fun tr ->
         if
           rank_alive tr.tr_rank
           && (not (comm_revoked tr.tr_comm))
-          && (not (comm_damaged tr.tr_comm))
+          && (not (abandoned ~comm:tr.tr_comm ~at:tr.tr_at))
           && (not (Request.was_observed tr.tr_req))
           && not (Request.is_failed tr.tr_req)
         then
@@ -334,7 +351,7 @@ let finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_damaged =
             if
               env.Msg.ctx = Msg.User && rank_alive dst && rank_alive env.Msg.src_world
               && (not (comm_revoked env.Msg.comm_id))
-              && not (comm_damaged env.Msg.comm_id)
+              && not (abandoned ~comm:env.Msg.comm_id ~at:env.Msg.sent_at)
             then
               report st
                 {

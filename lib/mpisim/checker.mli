@@ -114,9 +114,11 @@ val record_collective :
 val record_match_error :
   state -> rank:int -> comm:int -> op:string -> src:int -> tag:int -> exn -> unit
 
-(** [track_request st ~rank ~comm ~op req] registers a user-visible request
-    for the finalize leak check.  Active at {!Heavy}. *)
-val track_request : state -> rank:int -> comm:int -> op:string -> Request.t -> unit
+(** [track_request st ~rank ~comm ~op ~at req] registers a user-visible
+    request for the finalize leak check; [at] is the simulated creation
+    time (used to scope the damaged-communicator exemption).  Active at
+    {!Heavy}. *)
+val track_request : state -> rank:int -> comm:int -> op:string -> at:float -> Request.t -> unit
 
 (** Handle for one rank's view of an RMA window, used by the leak check. *)
 type window_token
@@ -138,21 +140,24 @@ val diagnose_deadlock :
   rank_alive:(int -> bool) ->
   diagnostic
 
-(** [finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_damaged] runs
-    the end-of-run leak checks: unobserved requests, never-matched user
-    sends and unfreed windows.  State owned by dead ranks or revoked
+(** [finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_failed_at]
+    runs the end-of-run leak checks: unobserved requests, never-matched
+    user sends and unfreed windows.  State owned by dead ranks or revoked
     communicators is skipped (ULFM failure injection leaves it behind
-    legitimately), and so is traffic on a {e damaged} communicator — one
-    with a dead member ([comm_damaged], see [World.comm_has_failed]):
-    two live survivors may legitimately abandon an exchange (e.g. a
-    buddy checkpoint [sendrecv]) when a third member's failure aborts
-    the surrounding protocol before revocation. *)
+    legitimately).  On a {e damaged} communicator — one with a dead
+    member ([comm_failed_at], see [World.comm_failed_at]) — only traffic
+    already in flight at the failure time is exempt: two live survivors
+    may legitimately abandon an exchange (e.g. a buddy checkpoint
+    [sendrecv]) when a third member's failure aborts the surrounding
+    protocol before revocation, but traffic initiated {e after} the
+    failure is still held to the usual rules, so a genuine live-to-live
+    leak is reported even when an unrelated member died earlier. *)
 val finalize :
   state ->
   mailboxes:Msg.mailbox array ->
   rank_alive:(int -> bool) ->
   comm_revoked:(int -> bool) ->
-  comm_damaged:(int -> bool) ->
+  comm_failed_at:(int -> float) ->
   unit
 
 (** {1 Cross-world collection}

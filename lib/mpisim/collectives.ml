@@ -482,7 +482,7 @@ let spawn_collective comm ~label body =
   let req = Request.create w.World.engine in
   Checker.track_request w.World.check
     ~rank:(Comm.world_rank_of comm (Comm.rank comm))
-    ~comm:(Comm.id comm) ~op:label req;
+    ~comm:(Comm.id comm) ~op:label ~at:(World.now w) req;
   let _ : Engine.fiber =
     Engine.spawn w.World.engine ~label (fun () ->
         body ();

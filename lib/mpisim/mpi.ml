@@ -75,7 +75,7 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace 
   | () ->
       (* clean quiesce: run the end-of-run leak checks *)
       Checker.finalize w.World.check ~mailboxes:w.World.mailboxes ~rank_alive:(World.is_alive w)
-        ~comm_revoked:(World.comm_revoked w) ~comm_damaged:(World.comm_has_failed w)
+        ~comm_revoked:(World.comm_revoked w) ~comm_failed_at:(World.comm_failed_at w)
   | exception Engine.Deadlock _ when Checker.enabled Heavy ->
       (* diagnose instead of hanging the caller with an opaque exception:
          the run terminates normally, carrying the structured report *)

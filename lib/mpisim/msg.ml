@@ -12,6 +12,7 @@ type envelope = {
   ctx : ctx;
   count : int;
   bytes : int;
+  sent_at : float;
   payload : packed;
   on_matched : (unit -> unit) option;
   trace : Trace.Event.message option;

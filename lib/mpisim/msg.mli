@@ -27,6 +27,7 @@ type envelope = {
   ctx : ctx;
   count : int;
   bytes : int;
+  sent_at : float;  (** injection time (for the checker's finalize scan) *)
   payload : packed;
   on_matched : (unit -> unit) option;  (** synchronous-send completion hook *)
   trace : Trace.Event.message option;

@@ -24,8 +24,9 @@ let record w name = Profiling.record_call w.World.prof name
 let my_world comm = Comm.world_rank_of comm (Comm.rank comm)
 
 let track comm ~op req =
-  Checker.track_request (Comm.world comm).World.check ~rank:(my_world comm) ~comm:(Comm.id comm)
-    ~op req
+  let w = Comm.world comm in
+  Checker.track_request w.World.check ~rank:(my_world comm) ~comm:(Comm.id comm) ~op
+    ~at:(World.now w) req
 
 let record_mismatch comm ~op ~src ~tag e =
   Checker.record_match_error (Comm.world comm).World.check ~rank:(my_world comm)
@@ -99,6 +100,7 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
         ctx;
         count;
         bytes;
+        sent_at = now;
         payload = Msg.Packed (dt, Array.sub buf pos count);
         on_matched;
         trace = trace_msg;

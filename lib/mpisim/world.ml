@@ -11,6 +11,7 @@ type t = {
   prof : Profiling.t;
   mutable next_comm_id : int;
   alive : Ds.Bitset.t;
+  death_times : float array;  (* world rank -> kill time; infinity while alive *)
   mutable fibers : Engine.fiber array;
   detection_delay : float;
   shrink_memo : (int * int, comm_shared) Hashtbl.t;
@@ -45,6 +46,7 @@ let create ?node ?(trace = Trace.Recorder.inert) ~net_params ~size () =
     prof = Profiling.create ();
     next_comm_id = 0;
     alive;
+    death_times = Array.make size infinity;
     fibers = [||];
     detection_delay = 10.0e-6;
     shrink_memo = Hashtbl.create 8;
@@ -74,6 +76,11 @@ let comm_has_failed w cid =
   | Some s -> Array.exists (fun r -> not (is_alive w r)) s.group
   | None -> false
 
+let comm_failed_at w cid =
+  match Hashtbl.find_opt w.comms cid with
+  | Some s -> Array.fold_left (fun acc r -> Float.min acc w.death_times.(r)) infinity s.group
+  | None -> infinity
+
 let any_dead w group =
   let n = Array.length group in
   let rec go i = if i >= n then None else if is_alive w group.(i) then go (i + 1) else Some group.(i)
@@ -83,6 +90,7 @@ let any_dead w group =
 let kill w r =
   if is_alive w r then begin
     Ds.Bitset.clear w.alive r;
+    w.death_times.(r) <- now w;
     if r < Array.length w.fibers then Engine.kill w.engine w.fibers.(r);
     (* The dead rank's own posted receives will never be resumed. *)
     Array.iter (fun mb -> Msg.drop_owned mb ~world_rank:r) w.mailboxes;

@@ -20,6 +20,8 @@ type t = {
   prof : Profiling.t;
   mutable next_comm_id : int;
   alive : Ds.Bitset.t;
+  death_times : float array;
+      (** world rank -> kill time; [infinity] while alive *)
   mutable fibers : Simnet.Engine.fiber array;
   detection_delay : float;  (** simulated failure-detection latency *)
   shrink_memo : (int * int, comm_shared) Hashtbl.t;
@@ -67,9 +69,16 @@ val comm_revoked : t -> int -> bool
 
 (** [comm_has_failed w cid] is true when communicator [cid] exists and at
     least one of its members has died — even if the communicator was
-    never revoked (checker query: traffic abandoned on such a
-    communicator is a legitimate ULFM casualty, not a leak). *)
+    never revoked. *)
 val comm_has_failed : t -> int -> bool
+
+(** [comm_failed_at w cid] is the earliest simulated time at which a
+    member of communicator [cid] died, or [infinity] when all members
+    are alive (or [cid] is unknown).  Checker query: traffic already in
+    flight at that time may have been legitimately abandoned when the
+    failure tore down the surrounding protocol, whereas traffic
+    initiated afterwards is still held to the usual leak rules. *)
+val comm_failed_at : t -> int -> float
 
 (** [is_alive w r] is rank [r]'s liveness. *)
 val is_alive : t -> int -> bool

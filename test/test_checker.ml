@@ -223,6 +223,34 @@ let test_damaged_comm_traffic_not_flagged () =
       match d.Ck.detail with Ck.Unmatched_send { dst = 1; tag = 7; _ } -> true | _ -> false)
     healthy
 
+(* The damaged-comm exemption is temporal: only traffic already in
+   flight when the member died may have been abandoned because of the
+   failure.  A leak between two live ranks initiated long AFTER an
+   unrelated third member's death is still a genuine leak. *)
+let test_leak_after_unrelated_failure_still_flagged () =
+  let res =
+    with_heavy (fun () ->
+        Mpi.run ~ranks:3 ~fail_at:[ (2, 1.0e-6) ] (fun comm ->
+            match Comm.rank comm with
+            | 0 ->
+                (* compute well past rank 2's death, then leak a send *)
+                Comm.compute comm 1.0e-3;
+                ignore (P2p.isend comm Datatype.int [| 1 |] ~dst:1 ~tag:8)
+            | 1 ->
+                (* stays alive past the leak; never posts the receive *)
+                Comm.compute comm 2.0e-3
+            | _ ->
+                (* blocks forever; killed at 1us *)
+                ignore (P2p.recv comm Datatype.int [| 0 |] ~src:0 ~tag:99)))
+  in
+  check_found "request-leak after unrelated failure"
+    (fun d -> match d.Ck.detail with Ck.Request_leak -> d.Ck.rank = 0 | _ -> false)
+    res;
+  check_found "unmatched-send after unrelated failure"
+    (fun d ->
+      match d.Ck.detail with Ck.Unmatched_send { dst = 1; tag = 8; _ } -> true | _ -> false)
+    res
+
 let test_window_leak_and_free () =
   let leaked =
     with_heavy (fun () ->
@@ -397,6 +425,8 @@ let suite =
     Alcotest.test_case "unmatched send" `Quick test_unmatched_send;
     Alcotest.test_case "damaged-comm traffic not flagged" `Quick
       test_damaged_comm_traffic_not_flagged;
+    Alcotest.test_case "leak after unrelated failure still flagged" `Quick
+      test_leak_after_unrelated_failure_still_flagged;
     Alcotest.test_case "window leak / freed is clean" `Quick test_window_leak_and_free;
     Alcotest.test_case "busy clean program: zero diagnostics" `Quick test_busy_clean_program;
     Alcotest.test_case "nonblocking collectives clean" `Quick test_nonblocking_collectives_clean;

@@ -255,6 +255,41 @@ let test_bfs_recovers_odd_size () =
         reference res ~n_shards)
     [ 0; 4; 2 ]
 
+(* Daly scheduling with an uneven shard distribution (p does not divide
+   n_shards, so per-rank snapshot sizes differ).  The schedule must be
+   resolved from the allreduce-agreed maximum snapshot size: a locally
+   derived Daly period diverges between ranks, desynchronizing the
+   collective checkpoint calls into a deadlock (regression for the
+   schedule-resolution fix).  Swept across failure rates so the period
+   lands in several rounding regimes, failure-free and with a mid-run
+   kill. *)
+let test_bfs_daly_uneven_shards () =
+  let n_shards = 8 in
+  let ranks = 6 in
+  let reference = bfs_reference ~n_shards in
+  List.iter
+    (fun failure_rate ->
+      let res =
+        run_resilient_bfs ~ranks ~n_shards ~policy:S.Daly ~failure_rate ()
+      in
+      check_against_reference
+        (Printf.sprintf "daly uneven failure-free rate=%g" failure_rate)
+        reference res ~n_shards)
+    [ 1e3; 1e4; 1e5; 1e6 ];
+  let base = run_resilient_bfs ~ranks ~n_shards ~policy:S.Daly ~failure_rate:1e4 () in
+  let t = base.Mpisim.Mpi.sim_time in
+  List.iter
+    (fun victim ->
+      let res =
+        run_resilient_bfs ~ranks ~n_shards ~policy:S.Daly ~failure_rate:1e4
+          ~fail_at:[ (victim, 0.5 *. t) ]
+          ()
+      in
+      check_against_reference
+        (Printf.sprintf "daly uneven victim %d" victim)
+        reference res ~n_shards)
+    [ 0; 5 ]
+
 (* Two failures in sequence (separated enough for a recovery in
    between): survivors keep shrinking and still finish. *)
 let test_bfs_recovers_twice () =
@@ -426,6 +461,7 @@ let suite =
     Alcotest.test_case "bfs: recovers from each single failure" `Quick
       test_bfs_recovers_from_each_single_failure;
     Alcotest.test_case "bfs: recovers at odd size" `Quick test_bfs_recovers_odd_size;
+    Alcotest.test_case "bfs: daly with uneven shards" `Quick test_bfs_daly_uneven_shards;
     Alcotest.test_case "bfs: recovers twice" `Quick test_bfs_recovers_twice;
     Alcotest.test_case "attempts exhausted" `Quick test_attempts_exhausted;
     Alcotest.test_case "unrecoverable buddy-pair loss" `Quick
