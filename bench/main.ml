@@ -4,9 +4,10 @@
 
    Usage:  dune exec bench/main.exe -- experiment ...
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
-                ulfm reprored ablation colltuning trace ckpt micro all
+                ulfm reprored ablation colltuning trace ckpt explore micro all
    "colltuning" writes BENCH_collectives.json; "trace" writes
-   BENCH_trace.json; "ckpt" writes BENCH_ckpt.json.  With no arguments
+   BENCH_trace.json; "ckpt" writes BENCH_ckpt.json; "explore" writes
+   BENCH_explore.json.  With no arguments
    (or --help) the usage is printed. *)
 
 module K = Kamping.Comm
@@ -127,6 +128,7 @@ let experiments =
     ("colltuning", colltuning);
     ("trace", Experiments.Trace_exp.run);
     ("ckpt", Experiments.Ckpt_exp.run);
+    ("explore", Experiments.Explore_exp.run);
     ("micro", microbench);
   ]
 

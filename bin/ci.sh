@@ -33,3 +33,22 @@ test -s BENCH_trace.json
 # and exits non-zero on any violation.
 dune exec bench/main.exe -- ckpt
 test -s BENCH_ckpt.json
+
+# Fourth pass under randomized schedule exploration (lib/explore): every
+# Mpi.run in the whole suite takes its don't-care decisions (same-time
+# event order, wildcard matching, wait-any completion) from a seeded RNG,
+# with the checker again at its strictest level.  A fixed seed keeps the
+# pass reproducible; bump it deliberately, not per-run.
+MPISIM_EXPLORE=random:42 MPISIM_CHECK=communication dune runtest --force
+
+# Mutation smoke as a hard gate: the explore suite re-introduces the PR-4
+# Daly-divergence bug behind a test-only flag and fails unless random
+# exploration finds it and shrinks the counterexample (see
+# test/test_explore.ml).
+dune exec test/test_main.exe -- test explore
+
+# Exploration-overhead smoke: Default-strategy hooks must be a pure
+# observer (bit-identical simulated time, events and profile) and random
+# schedules must agree on the workload's result; self-validating.
+dune exec bench/main.exe -- explore
+test -s BENCH_explore.json

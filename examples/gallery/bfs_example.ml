@@ -5,7 +5,7 @@
 
 module Gen = Graphgen.Generators
 
-let run_strategy name bfs family ~ranks ~global_n =
+let run_strategy ?(verbose = true) name bfs family ~ranks ~global_n =
   let result =
     Mpisim.Mpi.run ~ranks (fun comm ->
         let graph =
@@ -21,9 +21,25 @@ let run_strategy name bfs family ~ranks ~global_n =
   let time = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 parts in
   let reached = Array.fold_left (fun acc d -> if d <> Apps.Bfs_common.undef then acc + 1 else acc) 0 dist in
   let max_level = Array.fold_left (fun acc d -> if d <> Apps.Bfs_common.undef then max acc d else acc) 0 dist in
-  Printf.printf "  %-12s reached %4d/%d vertices, eccentricity %2d, %8.1f us simulated\n" name
-    reached global_n max_level (1e6 *. time);
+  if verbose then
+    Printf.printf "  %-12s reached %4d/%d vertices, eccentricity %2d, %8.1f us simulated\n" name
+      reached global_n max_level (1e6 *. time);
   dist
+
+let digest () =
+  (* the full run () is sized for demonstration; the digest keeps all
+     three graph families and all three exchange strategies on a smaller
+     instance so many explored schedules stay cheap *)
+  let ranks = 8 and global_n = 512 in
+  [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ]
+  |> List.map (fun family ->
+         let dist strategy = run_strategy ~verbose:false "" strategy family ~ranks ~global_n in
+         let reference = dist Apps.Bfs_kamping.bfs in
+         let sparse = dist Apps.Bfs_strategies.bfs_sparse in
+         let grid = dist Apps.Bfs_strategies.bfs_grid in
+         Printf.sprintf "%s=%d/%b/%b" (Gen.family_name family)
+           (Gallery_digest.ints reference) (sparse = reference) (grid = reference))
+  |> String.concat ";"
 
 let run () =
   let ranks = 16 and global_n = 4096 in

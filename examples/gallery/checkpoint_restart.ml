@@ -32,6 +32,18 @@ let collect res =
     res.Mpisim.Mpi.results;
   List.init n_shards (fun s -> Hashtbl.find by_shard s)
 
+let digest () =
+  (* the recovered shard distances must be bitwise those of the
+     failure-free run regardless of schedule; recovery cost is timing *)
+  let reference = search () in
+  let t_fail = 0.5 *. reference.Mpisim.Mpi.sim_time in
+  let recovered = search ~fail_at:[ (1, t_fail) ] () in
+  let checksum res =
+    collect res |> List.map Gallery_digest.ints |> Gallery_digest.int_list
+  in
+  Printf.sprintf "%d/identical=%b" (checksum reference)
+    (collect recovered = collect reference)
+
 let run () =
   let reference = search () in
   Printf.printf "failure-free search: %.0f us simulated\n"

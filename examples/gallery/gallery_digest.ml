@@ -1,0 +1,17 @@
+(* Helpers for the gallery [digest] entry points.
+
+   Each example exposes [digest : unit -> string]: a compact fingerprint of
+   its schedule-independent semantic results (sorted data, distances,
+   histogram counts, ...) that excludes anything legitimately
+   schedule-dependent (simulated times, poll counts, profiles).  The
+   exploration suite (test/test_explore.ml) compares digests across many
+   explored schedules: any difference is a schedule-dependence bug in the
+   example or the runtime. *)
+
+let combine a x = ((a * 31) + x) land 0x3FFFFFFF
+let ints arr = Array.fold_left combine 17 arr
+let int_list l = ints (Array.of_list l)
+
+(* bitwise: reproducibility claims are exact, not approximate *)
+let float_bits x = Int64.to_int (Int64.bits_of_float x) land 0x3FFFFFFF
+let floats arr = Array.fold_left (fun a x -> combine a (float_bits x)) 17 arr

@@ -6,10 +6,8 @@
 
 module D = Mpisim.Datatype
 
-let run () =
-  let ranks = 8 and samples_per_rank = 1000 and buckets_per_rank = 4 in
+let compute ~ranks ~samples_per_rank ~buckets_per_rank () =
   let total_buckets = ranks * buckets_per_rank in
-  let result =
     Mpisim.Mpi.run ~ranks (fun comm ->
         let r = Mpisim.Comm.rank comm in
         (* every rank owns a slice of the histogram *)
@@ -39,7 +37,17 @@ let run () =
           Array.to_list gets
           |> List.concat_map (function Some g -> Array.to_list (Mpisim.Win.get_result g) | None -> [])
         else [])
-  in
+
+let digest () =
+  (* integer accumulate is commutative and associative, so the final
+     histogram is schedule-independent no matter the RMA arrival order *)
+  let result = compute ~ranks:8 ~samples_per_rank:200 ~buckets_per_rank:4 () in
+  let histogram = (Mpisim.Mpi.results_exn result).(0) in
+  String.concat "," (List.map string_of_int histogram)
+
+let run () =
+  let ranks = 8 and samples_per_rank = 1000 in
+  let result = compute ~ranks ~samples_per_rank ~buckets_per_rank:4 () in
   let histogram = (Mpisim.Mpi.results_exn result).(0) in
   let total = List.fold_left ( + ) 0 histogram in
   Printf.printf "distributed histogram of %d samples (one-sided):\n" total;

@@ -10,9 +10,8 @@ module K = Kamping.Comm
 module D = Mpisim.Datatype
 module V = Ds.Vec
 
-let run () =
-  let result =
-    Mpisim.Mpi.run ~ranks:8 (fun raw ->
+let compute () =
+  Mpisim.Mpi.run ~ranks:8 (fun raw ->
         let comm = K.wrap raw in
         let rank = K.rank comm in
 
@@ -39,7 +38,15 @@ let run () =
         (* a one-line reduction for good measure *)
         let total = K.allreduce_single comm D.int Mpisim.Op.int_sum (V.length v) in
         (V.length v_global, total))
-  in
+
+let digest () =
+  Mpisim.Mpi.results_exn (compute ())
+  |> Array.to_list
+  |> List.map (fun (global_len, total) -> Printf.sprintf "%d/%d" global_len total)
+  |> String.concat ";"
+
+let run () =
+  let result = compute () in
   let per_rank = Mpisim.Mpi.results_exn result in
   Array.iteri
     (fun r (global_len, total) ->

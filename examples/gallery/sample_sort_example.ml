@@ -2,27 +2,37 @@
 
    Run with:  dune exec examples/sample_sort_example.exe *)
 
+let compute ~ranks ~n_per_rank () =
+  Mpisim.Mpi.run ~ranks (fun comm ->
+      let data =
+        Apps.Ss_common.generate_input ~rank:(Mpisim.Comm.rank comm) ~n_per_rank ~seed:42
+      in
+      let t0 = Mpisim.Comm.now comm in
+      let sorted = Apps.Ss_kamping.sort comm data in
+      let elapsed = Mpisim.Comm.now comm -. t0 in
+      (* check the local slice and the boundary with the next rank *)
+      for i = 1 to Array.length sorted - 1 do
+        assert (sorted.(i - 1) <= sorted.(i))
+      done;
+      (sorted, elapsed))
+
+let digest () =
+  (* semantic fingerprint: slice sizes and contents, never simulated times *)
+  Mpisim.Mpi.results_exn (compute ~ranks:8 ~n_per_rank:500 ())
+  |> Array.to_list
+  |> List.map (fun (sorted, _) ->
+         Printf.sprintf "%d/%d" (Array.length sorted) (Gallery_digest.ints sorted))
+  |> String.concat ";"
+
 let run () =
   let ranks = 16 and n_per_rank = 5_000 in
-  let result =
-    Mpisim.Mpi.run ~ranks (fun comm ->
-        let data =
-          Apps.Ss_common.generate_input ~rank:(Mpisim.Comm.rank comm) ~n_per_rank ~seed:42
-        in
-        let t0 = Mpisim.Comm.now comm in
-        let sorted = Apps.Ss_kamping.sort comm data in
-        let elapsed = Mpisim.Comm.now comm -. t0 in
-        (* check the local slice and the boundary with the next rank *)
-        for i = 1 to Array.length sorted - 1 do
-          assert (sorted.(i - 1) <= sorted.(i))
-        done;
-        (Array.length sorted, elapsed))
-  in
-  let per_rank = Mpisim.Mpi.results_exn result in
-  let total = Array.fold_left (fun acc (n, _) -> acc + n) 0 per_rank in
+  let per_rank = Mpisim.Mpi.results_exn (compute ~ranks ~n_per_rank ()) in
+  let total = Array.fold_left (fun acc (s, _) -> acc + Array.length s) 0 per_rank in
   Printf.printf "sorted %d integers across %d ranks\n" total ranks;
   Array.iteri
-    (fun r (n, t) -> Printf.printf "  rank %2d: %5d elements, %.1f us simulated\n" r n (1e6 *. t))
+    (fun r (s, t) ->
+      Printf.printf "  rank %2d: %5d elements, %.1f us simulated\n" r (Array.length s)
+        (1e6 *. t))
     per_rank;
   assert (total = ranks * n_per_rank);
   print_endline "globally sorted: yes"

@@ -7,25 +7,42 @@ module K = Kamping.Comm
 
 let dict_codec = Serde.Codec.(assoc string)
 
-let run () =
-  ignore
-    (Mpisim.Mpi.run_exn ~ranks:4 (fun raw ->
-         let comm = K.wrap raw in
-         (* point-to-point, Fig. 5 *)
-         if K.rank comm = 0 then begin
-           let data = [ ("hello", "world"); ("kamping", "ocaml") ] in
-           K.send_serialized comm dict_codec data ~dst:1
-         end
-         else if K.rank comm = 1 then begin
-           let dict = K.recv_serialized comm dict_codec ~src:0 in
-           Printf.printf "rank 1 received: %s\n"
-             (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) dict))
-         end;
-         (* broadcast of an arbitrary object, Fig. 11 *)
-         let payload = if K.is_root comm then [ ("model", "GTR+G"); ("taxa", "4242") ] else [] in
-         let model = K.bcast_serialized comm dict_codec payload in
-         Printf.printf "rank %d has the model: %s\n" (K.rank comm)
-           (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) model));
-         (* the same codecs also speak JSON (Cereal's text archives) *)
-         if K.is_root comm then
-           Printf.printf "as JSON: %s\n" (Serde.Codec.encode_json dict_codec model)))
+let body ~verbose raw =
+  let comm = K.wrap raw in
+  (* point-to-point, Fig. 5 *)
+  let received =
+    if K.rank comm = 0 then begin
+      let data = [ ("hello", "world"); ("kamping", "ocaml") ] in
+      K.send_serialized comm dict_codec data ~dst:1;
+      []
+    end
+    else if K.rank comm = 1 then begin
+      let dict = K.recv_serialized comm dict_codec ~src:0 in
+      if verbose then
+        Printf.printf "rank 1 received: %s\n"
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) dict));
+      dict
+    end
+    else []
+  in
+  (* broadcast of an arbitrary object, Fig. 11 *)
+  let payload = if K.is_root comm then [ ("model", "GTR+G"); ("taxa", "4242") ] else [] in
+  let model = K.bcast_serialized comm dict_codec payload in
+  if verbose then begin
+    Printf.printf "rank %d has the model: %s\n" (K.rank comm)
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) model));
+    (* the same codecs also speak JSON (Cereal's text archives) *)
+    if K.is_root comm then
+      Printf.printf "as JSON: %s\n" (Serde.Codec.encode_json dict_codec model)
+  end;
+  (received, model)
+
+let compute ~verbose () = Mpisim.Mpi.run_exn ~ranks:4 (body ~verbose)
+
+let digest () =
+  let pairs l = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l) in
+  compute ~verbose:false () |> Array.to_list
+  |> List.map (fun (received, model) -> pairs received ^ "/" ^ pairs model)
+  |> String.concat ";"
+
+let run () = ignore (compute ~verbose:true ())

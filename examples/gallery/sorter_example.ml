@@ -11,20 +11,30 @@ module V = Ds.Vec
 let dt = D.pair D.float D.int
 let cmp (s1, i1) (s2, i2) = match compare s2 s1 with 0 -> compare i1 i2 | c -> c
 
+let compute () =
+  Mpisim.Mpi.run_exn ~ranks:8 (fun raw ->
+      let comm = K.wrap raw in
+      let rng = Simnet.Rng.split (Simnet.Rng.create 11L) (K.rank comm) in
+      let records = V.init 100 (fun i -> (Simnet.Rng.float rng, (K.rank comm * 100) + i)) in
+      let sorted = Kamping_plugins.Sorter.sort comm dt ~cmp records in
+      assert (Kamping_plugins.Sorter.is_globally_sorted comm dt ~cmp sorted);
+      let top = List.init (min 5 (V.length sorted)) (V.get sorted) in
+      K.barrier comm;
+      (V.length sorted, top))
+
+let digest () =
+  compute () |> Array.to_list
+  |> List.map (fun (len, top) ->
+         Printf.sprintf "%d/%d" len
+           (Gallery_digest.int_list
+              (List.map (fun (s, id) -> Gallery_digest.combine (Gallery_digest.float_bits s) id) top)))
+  |> String.concat ";"
+
 let run () =
-  ignore
-    (Mpisim.Mpi.run_exn ~ranks:8 (fun raw ->
-         let comm = K.wrap raw in
-         let rng = Simnet.Rng.split (Simnet.Rng.create 11L) (K.rank comm) in
-         let records = V.init 100 (fun i -> (Simnet.Rng.float rng, (K.rank comm * 100) + i)) in
-         let sorted = Kamping_plugins.Sorter.sort comm dt ~cmp records in
-         assert (Kamping_plugins.Sorter.is_globally_sorted comm dt ~cmp sorted);
-         if K.rank comm = 0 then begin
-           Printf.printf "rank 0 holds the top %d scores:\n" (min 5 (V.length sorted));
-           for i = 0 to min 4 (V.length sorted - 1) do
-             let score, id = V.get sorted i in
-             Printf.printf "  #%d: %.4f (record %d)\n" (i + 1) score id
-           done
-         end;
-         K.barrier comm;
-         if K.rank comm = 0 then print_endline "globally sorted across all ranks: yes"))
+  let per_rank = compute () in
+  let _, top = per_rank.(0) in
+  Printf.printf "rank 0 holds the top %d scores:\n" (List.length top);
+  List.iteri
+    (fun i (score, id) -> Printf.printf "  #%d: %.4f (record %d)\n" (i + 1) score id)
+    top;
+  print_endline "globally sorted across all ranks: yes"

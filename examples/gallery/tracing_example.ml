@@ -16,9 +16,8 @@ module V = Ds.Vec
 
 let stage_cost = 100e-6 (* seconds of modelled work per stage *)
 
-let run () =
-  let res =
-    Mpisim.Mpi.run ~trace:true ~ranks:4 (fun raw ->
+let compute () =
+  Mpisim.Mpi.run ~trace:true ~ranks:4 (fun raw ->
         let comm = K.wrap raw in
         let rank = K.rank comm and size = K.size comm in
         assert (K.tracing comm);
@@ -33,7 +32,29 @@ let run () =
         (* pass it on *)
         if rank < size - 1 then
           K.send comm D.int ~send_buf:(V.map (fun x -> x + 1) token) ~dst:(rank + 1))
+
+let digest () =
+  (* event counts and wait durations shift with the schedule; the structural
+     invariants of a serial pipeline with a slow head stage do not *)
+  let res = compute () in
+  ignore (Mpisim.Mpi.results_exn res);
+  let data = Option.get res.Mpisim.Mpi.trace in
+  let report = Trace.Analysis.analyze data in
+  let serial_path =
+    Float.abs (Trace.Analysis.critical_length report -. data.Trace.Event.total) < 1e-9
   in
+  let has_late_senders =
+    List.exists
+      (fun ws -> ws.Trace.Analysis.ws_class = Trace.Analysis.Late_sender)
+      report.Trace.Analysis.wait_states
+  in
+  let json = Trace.Chrome.to_json data in
+  let round_trips = Serde.Json.equal (Serde.Json.parse (Serde.Json.to_string json)) json in
+  Printf.sprintf "serial_path=%b/late_senders=%b/chrome_roundtrip=%b" serial_path
+    has_late_senders round_trips
+
+let run () =
+  let res = compute () in
   ignore (Mpisim.Mpi.results_exn res);
   let data = Option.get res.Mpisim.Mpi.trace in
   let report = Trace.Analysis.analyze data in

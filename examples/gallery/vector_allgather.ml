@@ -56,9 +56,8 @@ let version2 kc v =
    returned by value — the one-liner. *)
 let version3 kc v = (K.allgatherv kc D.int ~send_buf:v).K.recv_buf
 
-let run () =
-  let result =
-    Mpisim.Mpi.run ~ranks:6 (fun comm ->
+let compute () =
+  Mpisim.Mpi.run ~ranks:6 (fun comm ->
         let kc = K.wrap comm in
         let r = K.rank kc in
         let data = Array.init ((2 * r) + 1) (fun i -> (100 * r) + i) in
@@ -70,9 +69,17 @@ let run () =
         assert (V.to_array v1 = reference);
         assert (V.to_array v2 = reference);
         assert (V.to_array v3 = reference);
-        Array.length reference)
-  in
-  let lengths = Mpisim.Mpi.results_exn result in
+        (Array.length reference, Gallery_digest.ints reference))
+
+let digest () =
+  Mpisim.Mpi.results_exn (compute ())
+  |> Array.to_list
+  |> List.map (fun (len, h) -> Printf.sprintf "%d/%d" len h)
+  |> String.concat ";"
+
+let run () =
+  let result = compute () in
+  let lengths = Array.map fst (Mpisim.Mpi.results_exn result) in
   Printf.printf "all migration stages agree on every rank; global size = %d\n" lengths.(0);
   Printf.printf "MPI calls issued in total:\n";
   List.iter

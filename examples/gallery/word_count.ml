@@ -26,9 +26,7 @@ let corpus =
     "zero overhead bindings for the message passing interface";
   |]
 
-let run () =
-  let ranks = 4 in
-  let result =
+let compute ~ranks () =
     Mpisim.Mpi.run ~ranks (fun raw ->
         let comm = K.wrap raw in
         let r = K.rank comm and p = K.size comm in
@@ -76,7 +74,12 @@ let run () =
           |> List.sort cmp
           |> List.map (fun (c, h) -> (Hashtbl.find dictionary h, c))
         else [])
-  in
-  let per_rank = Mpisim.Mpi.results_exn result in
+
+let digest () =
+  let per_rank = Mpisim.Mpi.results_exn (compute ~ranks:4 ()) in
+  per_rank.(0) |> List.map (fun (w, c) -> Printf.sprintf "%s=%d" w c) |> String.concat ","
+
+let run () =
+  let per_rank = Mpisim.Mpi.results_exn (compute ~ranks:4 ()) in
   print_endline "most frequent words:";
   List.iter (fun (w, c) -> Printf.printf "  %-12s %d\n" w c) per_rank.(0)

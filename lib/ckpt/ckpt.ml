@@ -9,6 +9,14 @@ let register = Registry.register
 exception Attempts_exhausted of { attempts : int }
 exception Unrecoverable of string
 
+(* Test-only mutation switch: when set, schedule resolution uses the LOCAL
+   snapshot size instead of the collectively agreed (allreduce-max) one —
+   reintroducing the Daly-period divergence bug fixed after PR 4.  Exists
+   solely so the schedule-exploration harness can prove it detects the bug
+   (see test/test_explore.ml's mutation smoke and bin/ci.sh's gate).  Never
+   set this outside tests. *)
+let test_resched_local_size = ref false
+
 (* Engine-reserved tags, far away from the apps' small tag spaces. *)
 let tag_len = 0x7c01
 let tag_payload = 0x7c02
@@ -118,7 +126,7 @@ let checkpoint ctx =
        calls.  Redone after recovery, when the shard distribution (and
        with it the sizes) changed. *)
     let bytes =
-      if p > 1 then
+      if p > 1 && not !test_resched_local_size then
         KC.allreduce_single comm Mpisim.Datatype.int Mpisim.Op.int_max (Bytes.length snap)
       else Bytes.length snap
     in

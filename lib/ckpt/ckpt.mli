@@ -71,6 +71,13 @@ exception Attempts_exhausted of { attempts : int }
     stored snapshot is missing state the index promised. *)
 exception Unrecoverable of string
 
+(** {b Test-only} mutation switch for the schedule-exploration harness:
+    when set, schedule resolution uses the local snapshot size instead of
+    the collectively agreed (allreduce-max) one, reintroducing the
+    Daly-period divergence bug fixed after PR 4 so that exploration can
+    demonstrate it finds it.  Never set outside tests. *)
+val test_resched_local_size : bool ref
+
 (** {1 Inspection} *)
 
 val comm : ctx -> Kamping.Comm.t

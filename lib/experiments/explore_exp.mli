@@ -1,0 +1,16 @@
+(** The [explore] experiment: overhead smoke for the schedule-exploration
+    harness (lib/explore).
+
+    Runs the same sample-sort workload repeatedly with exploration off,
+    under the [Default] strategy (decision hooks installed but answering
+    0 everywhere) and under [Random] exploration, and reports the host
+    wall-clock per run alongside the simulated time and event count.
+
+    The results are written to [BENCH_explore.json] and self-validated:
+    the experiment exits non-zero unless (a) the [Default] strategy is a
+    pure observer — simulated time, event count and MPI-call profile are
+    bit-identical to the exploration-off run — and (b) every random
+    schedule produces the reference result digest (the workload is
+    schedule-independent). *)
+
+val run : unit -> unit

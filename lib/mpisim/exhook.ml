@@ -1,0 +1,19 @@
+(* Exploration hooks threaded from Mpi.run into the simulator internals.
+
+   This record is the narrow waist between the MPI layer and lib/explore:
+   mpisim never depends on the explore library; instead, explore (when
+   linked and activated, e.g. via MPISIM_EXPLORE) registers a [factory]
+   that Mpi.run consults for every run it starts.  With no factory and no
+   explicit [?hooks] argument, runs behave exactly as before. *)
+
+type t = {
+  choose : kind:Simnet.Engine.decision_kind -> ids:int array -> int;
+      (** decision procedure for every nondeterminism point *)
+  arrival_adjust : (src:int -> dst:int -> arrival:float -> float) option;
+      (** chaos-layer latency jitter: maps a message's modelled arrival
+          time to a (possibly later) one.  The p2p layer guarantees
+          per-(src,dst) FIFO by clamping, so the adjustment can be
+          arbitrary. *)
+}
+
+let factory : (unit -> t option) ref = ref (fun () -> None)

@@ -1,0 +1,23 @@
+(** Exploration hooks: the narrow waist between [Mpi.run] and the
+    schedule-exploration subsystem ([lib/explore]).
+
+    mpisim never depends on explore.  Explore registers a {!factory} (for
+    env-driven activation à la [MPISIM_EXPLORE]) or passes a hook record
+    explicitly through [Mpi.run ?hooks]; with neither, runs keep the
+    incumbent deterministic schedule untouched. *)
+
+type t = {
+  choose : kind:Simnet.Engine.decision_kind -> ids:int array -> int;
+      (** decision procedure for every nondeterminism point: same-time
+          ready sets, wildcard-receive matching, wait-any completion
+          order, chaos draws.  Receives candidate identifiers; returns the
+          index of its pick (clamped by the engine). *)
+  arrival_adjust : (src:int -> dst:int -> arrival:float -> float) option;
+      (** chaos-layer latency jitter applied to each message's modelled
+          arrival time.  The p2p layer preserves per-(src,dst) FIFO order
+          by clamping, so any adjustment is safe. *)
+}
+
+(** Consulted by [Mpi.run] when no explicit [?hooks] is given.  Default
+    returns [None] (no exploration). *)
+val factory : (unit -> t option) ref

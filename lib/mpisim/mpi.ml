@@ -35,14 +35,24 @@ let with_run_collector f =
       finish ();
       raise e
 
-let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace ~ranks f =
+let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace ?hooks ?deadline
+    ~ranks f =
   let tracing =
     match trace with Some b -> b | None -> Trace.Recorder.default_enabled ()
   in
   let recorder =
     if tracing then Trace.Recorder.create ~ranks else Trace.Recorder.inert
   in
-  let w = World.create ?node ~trace:recorder ~net_params:net ~size:ranks () in
+  (* Exploration hooks: an explicit argument wins; otherwise consult the
+     registered factory (env-driven activation, e.g. MPISIM_EXPLORE). *)
+  let exhook = match hooks with Some _ -> hooks | None -> !Exhook.factory () in
+  let w = World.create ?node ~trace:recorder ?exhook ~net_params:net ~size:ranks () in
+  (match exhook with
+  | Some h ->
+      Engine.set_chooser w.World.engine
+        (Some (fun ~kind ~ids -> h.Exhook.choose ~kind ~ids))
+  | None -> ());
+  (match deadline with Some d -> Engine.set_deadline w.World.engine d | None -> ());
   if Trace.Recorder.active recorder then
     (* Forward genuine waits (suspensions) of rank fibers to the recorder.
        Delays are the ranks' own modelled computation, and helper fibers

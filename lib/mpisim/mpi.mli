@@ -34,6 +34,15 @@ type 'a run_result = {
     @param trace record an event trace of the run (default: the
     [MPISIM_TRACE] environment toggle, see {!Trace.Recorder.default_enabled});
     tracing is a pure observer — it changes no timing, event count or profile
+    @param hooks schedule-exploration hooks routing every nondeterminism
+    point (same-time ready sets, wildcard matching, completion order,
+    chaos draws) through a decision procedure; default: whatever
+    {!Exhook.factory} returns (set by [lib/explore] under [MPISIM_EXPLORE],
+    [None] otherwise — the incumbent deterministic schedule)
+    @param deadline simulated-time watchdog: the run raises
+    {!Simnet.Engine.Limit_exceeded} once the clock passes this many
+    simulated seconds (default: none) — turns livelocks into diagnosable
+    failures
     @raise Simnet.Engine.Deadlock if the program hangs and the checker level
     is below [Heavy]; at [Heavy] and above the run instead terminates
     normally with a structured {!Checker.Deadlock_cycle} diagnostic (hung
@@ -44,6 +53,8 @@ val run :
   ?failures:(float * int) list ->
   ?fail_at:(int * float) list ->
   ?trace:bool ->
+  ?hooks:Exhook.t ->
+  ?deadline:float ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a run_result

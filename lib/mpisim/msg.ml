@@ -112,8 +112,42 @@ let remove_unexpected mb i =
   ignore (Ds.Vec.pop mb.unexpected);
   env
 
-let take_unexpected mb ~src ~tag ~comm ~ctx =
-  match find_unexpected mb ~src ~tag ~comm ~ctx with
+(* Under a wildcard source, MPI only mandates per-(src,dst) non-overtaking:
+   among *different* sources, any interleaving of match order is legal.
+   [candidate_sources] returns the index of the first (oldest) matching
+   envelope per distinct source — each is a legal wildcard match that still
+   preserves every pair's FIFO order. *)
+let candidate_sources mb ~tag ~comm ~ctx =
+  let n = Ds.Vec.length mb.unexpected in
+  let seen = Hashtbl.create 4 in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    let env = Ds.Vec.get mb.unexpected i in
+    if
+      pattern_matches ~src:any_source ~tag ~comm ~ctx env
+      && not (Hashtbl.mem seen env.src_world)
+    then begin
+      Hashtbl.add seen env.src_world ();
+      acc := (i, env.src_world) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let take_unexpected ?choose mb ~src ~tag ~comm ~ctx =
+  let pick =
+    match (choose, src = any_source) with
+    | Some c, true -> (
+        match candidate_sources mb ~tag ~comm ~ctx with
+        | [] -> None
+        | [ (i, _) ] -> Some i
+        | cands ->
+            let arr = Array.of_list cands in
+            let j = c (Array.map snd arr) in
+            let j = if j < 0 || j >= Array.length arr then 0 else j in
+            Some (fst arr.(j)))
+    | _ -> find_unexpected mb ~src ~tag ~comm ~ctx
+  in
+  match pick with
   | Some i ->
       let env = remove_unexpected mb i in
       (match env.on_matched with Some hook -> hook () | None -> ());

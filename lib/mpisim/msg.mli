@@ -76,8 +76,17 @@ val matches : pending_recv -> envelope -> bool
 val arrive : mailbox -> envelope -> unit
 
 (** [take_unexpected mb ~src ~tag ~comm ~ctx] removes and returns the first
-    queued envelope matching the given (possibly wildcard) pattern. *)
-val take_unexpected : mailbox -> src:int -> tag:int -> comm:int -> ctx:ctx -> envelope option
+    queued envelope matching the given (possibly wildcard) pattern.
+
+    When [choose] is given and [src] is {!any_source}, the candidates are
+    the oldest matching envelope of each distinct source (every one a legal
+    wildcard match under MPI's per-pair non-overtaking rule); [choose]
+    receives their source world ranks and picks by index (clamped).
+    Without [choose] the oldest match overall wins — the incumbent
+    behaviour. *)
+val take_unexpected :
+  ?choose:(int array -> int) ->
+  mailbox -> src:int -> tag:int -> comm:int -> ctx:ctx -> envelope option
 
 (** [peek_unexpected mb ~src ~tag ~comm ~ctx] is like {!take_unexpected}
     without removing (probe). *)

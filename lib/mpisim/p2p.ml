@@ -79,6 +79,14 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
     Netmodel.transfer w.World.net ~now ~src:src_world ~dst:dst_world ~bytes
       ~pack_factor:(Datatype.pack_factor dt)
   in
+  (* Chaos-layer latency jitter: the adjusted arrival is used for both the
+     trace record and the delivery event, so traced explored runs stay
+     self-consistent.  The hook preserves per-(src,dst) FIFO order. *)
+  let arrival =
+    match World.arrival_adjust w with
+    | None -> arrival
+    | Some adj -> Float.max arrival (adj ~src:src_world ~dst:dst_world ~arrival)
+  in
   (* Record every injected message — internal collective traffic included,
      so the critical path can thread through collectives.  The arrival time
      is known now (the network model is deterministic), so no extra event is
@@ -200,7 +208,9 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   traced ~ctx comm ~op:"MPI_Recv" @@ fun () ->
   let posted = World.now w in
   let mb = w.World.mailboxes.(my_world comm) in
-  match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
+  match
+    Msg.take_unexpected ?choose:(World.match_chooser w) mb ~src ~tag ~comm:(Comm.id comm) ~ctx
+  with
   | Some env -> begin
       stamp_env_match env ~posted ~time:(World.now w);
       match copy_payload env dt buf pos capacity with
@@ -240,7 +250,9 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let mb = w.World.mailboxes.(my_world comm) in
   traced ~ctx comm ~op:"MPI_Irecv" @@ fun () ->
   let posted = World.now w in
-  (match Msg.take_unexpected mb ~src ~tag ~comm:(Comm.id comm) ~ctx with
+  (match
+     Msg.take_unexpected ?choose:(World.match_chooser w) mb ~src ~tag ~comm:(Comm.id comm) ~ctx
+   with
   | Some env -> begin
       stamp_env_match env ~posted ~time:(World.now w);
       match copy_payload env dt buf pos capacity with

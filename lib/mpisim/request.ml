@@ -67,18 +67,33 @@ let wait_all rs = List.map wait rs
 
 let wait_any rs =
   if rs = [] then Errors.usage "Request.wait_any: empty request list";
+  let arr = Array.of_list rs in
+  let engine = arr.(0).engine in
   let find_ready () =
-    List.find_index is_complete rs
-    |> Option.map (fun i ->
-           match (List.nth rs i).state with
-           | Complete status -> (i, status)
-           | Failed e -> raise e
-           | Pending -> assert false)
+    let ready = ref [] in
+    Array.iteri
+      (fun i r ->
+        match r.state with Pending -> () | Complete _ | Failed _ -> ready := i :: !ready)
+      arr;
+    match List.rev !ready with
+    | [] -> None
+    | ready ->
+        (* Which of several simultaneously complete requests a wait-any
+           observes is a nondeterminism point; without exploration the
+           chooser answers 0, the first ready — the incumbent behaviour.
+           Only the observed request counts as seen for leak checking. *)
+        let ids = Array.of_list ready in
+        let i = ids.(Engine.choose engine ~kind:Completion ~ids) in
+        let r = arr.(i) in
+        r.observed <- true;
+        (match r.state with
+        | Complete status -> Some (i, status)
+        | Failed e -> raise e
+        | Pending -> assert false)
   in
   match find_ready () with
   | Some res -> res
   | None ->
-      let engine = (List.hd rs).engine in
       (* Park once; the engine's resumer is one-shot, so later completions
          of the other requests are recorded in their state but do not wake
          us twice. *)

@@ -20,6 +20,7 @@ type t = {
   check : Checker.state;
   trace : Trace.Recorder.t;
   comms : (int, comm_shared) Hashtbl.t;
+  exhook : Exhook.t option;
 }
 
 and agree_cell = {
@@ -28,7 +29,7 @@ and agree_cell = {
   mutable agree_waiters : int Engine.resumer list;
 }
 
-let create ?node ?(trace = Trace.Recorder.inert) ~net_params ~size () =
+let create ?node ?(trace = Trace.Recorder.inert) ?exhook ~net_params ~size () =
   if size <= 0 then Errors.usage "World.create: size %d must be positive" size;
   let alive = Ds.Bitset.create size in
   Ds.Bitset.fill alive;
@@ -55,9 +56,21 @@ let create ?node ?(trace = Trace.Recorder.inert) ~net_params ~size () =
     check = Checker.create ();
     trace;
     comms = Hashtbl.create 8;
+    exhook;
   }
 
 let now w = Engine.now w.engine
+
+(* Wildcard-receive match chooser: picks among candidate source ranks.
+   None unless exploration is active, so the common path costs one field
+   read. *)
+let match_chooser w =
+  match w.exhook with
+  | Some h -> Some (fun ids -> h.Exhook.choose ~kind:Engine.Match ~ids)
+  | None -> None
+
+let arrival_adjust w =
+  match w.exhook with Some h -> h.Exhook.arrival_adjust | None -> None
 
 let fresh_comm w group =
   let cid = w.next_comm_id in

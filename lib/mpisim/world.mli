@@ -34,6 +34,8 @@ type t = {
   trace : Trace.Recorder.t;  (** event recorder ({!Trace.Recorder.inert} when off) *)
   comms : (int, comm_shared) Hashtbl.t;
       (** cid -> shared state, for finalize-time revocation queries *)
+  exhook : Exhook.t option;
+      (** schedule-exploration hooks; [None] = incumbent deterministic run *)
 }
 
 (** State of one in-progress ULFM agreement: survivors deposit their
@@ -51,6 +53,7 @@ and agree_cell = {
 val create :
   ?node:Simnet.Netmodel.params * int ->
   ?trace:Trace.Recorder.t ->
+  ?exhook:Exhook.t ->
   net_params:Simnet.Netmodel.params ->
   size:int ->
   unit ->
@@ -58,6 +61,14 @@ val create :
 
 (** [now w] is the simulated clock. *)
 val now : t -> float
+
+(** [match_chooser w] is the wildcard-receive source chooser derived from
+    the exploration hooks, or [None] for the incumbent arrival-order
+    matching. *)
+val match_chooser : t -> (int array -> int) option
+
+(** [arrival_adjust w] is the chaos-layer latency-jitter hook, if any. *)
+val arrival_adjust : t -> (src:int -> dst:int -> arrival:float -> float) option
 
 (** [fresh_comm ~world group] registers a new communicator over the given
     world ranks. *)

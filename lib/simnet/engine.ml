@@ -4,6 +4,8 @@ open Effect.Deep
 exception Killed
 exception Deadlock of string list
 
+exception Limit_exceeded of { what : string; time : float; events : int }
+
 type fiber_state = Running | Parked | Done | Dead
 
 type fiber = { flabel : string; ftag : int; mutable state : fiber_state }
@@ -13,14 +15,24 @@ type park_kind = Park_delay | Park_suspend
 type park_observer =
   tag:int -> kind:park_kind -> parked_at:float -> resumed_at:float -> unit
 
+type decision_kind = Ready | Match | Completion | Chaos
+
+type chooser = kind:decision_kind -> ids:int array -> int
+
+(* Queue entries carry the tag of the fiber they will resume (or -1 for
+   detached callbacks) so a chooser can make owner-aware decisions (PCT
+   priorities are per-owner). *)
 type t = {
   mutable clock : float;
-  queue : (unit -> unit) Pqueue.t;
+  queue : (int * (unit -> unit)) Pqueue.t;
   mutable seq : int;
   mutable events : int;
   mutable next_fid : int;
   mutable fibers : fiber list; (* for deadlock diagnostics *)
   mutable park_observer : park_observer option;
+  mutable chooser : chooser option;
+  mutable deadline : float;
+  mutable max_events : int;
 }
 
 type 'a resumer = { deliver : ('a, exn) result -> unit }
@@ -33,9 +45,26 @@ type _ Effect.t +=
 
 let create () =
   { clock = 0.0; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0; fibers = [];
-    park_observer = None }
+    park_observer = None; chooser = None; deadline = infinity; max_events = max_int }
 
 let set_park_observer t obs = t.park_observer <- obs
+let set_chooser t c = t.chooser <- c
+let set_deadline t d = t.deadline <- d
+let set_max_events t n = t.max_events <- n
+
+(* [choose t ~kind ~ids] consults the installed chooser to pick one of the
+   [ids]; with no chooser, or a single candidate, it picks index 0 — the
+   incumbent deterministic behaviour.  Out-of-range answers clamp rather
+   than raise so that replaying a truncated decision trace stays total. *)
+let choose t ~kind ~ids =
+  let n = Array.length ids in
+  if n <= 1 then 0
+  else
+    match t.chooser with
+    | None -> 0
+    | Some c ->
+        let i = c ~kind ~ids in
+        if i < 0 then 0 else if i >= n then n - 1 else i
 
 let notify_park t fiber kind parked_at =
   match t.park_observer with
@@ -46,9 +75,9 @@ let notify_park t fiber kind parked_at =
 let now t = t.clock
 let events_processed t = t.events
 
-let push t ~at f =
+let push ?(owner = -1) t ~at f =
   t.seq <- t.seq + 1;
-  Pqueue.push t.queue ~time:at ~seq:t.seq f
+  Pqueue.push t.queue ~time:at ~seq:t.seq (owner, f)
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -84,7 +113,7 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
                 (fun (k : (a, unit) continuation) ->
                   fiber.state <- Parked;
                   let parked_at = t.clock in
-                  push t ~at:(t.clock +. d) (fun () ->
+                  push ~owner:fiber.ftag t ~at:(t.clock +. d) (fun () ->
                       if fiber.state = Dead then discontinue k Killed
                       else begin
                         notify_park t fiber Park_delay parked_at;
@@ -100,7 +129,7 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
                   let deliver result =
                     if not !used then begin
                       used := true;
-                      push t ~at:t.clock (fun () ->
+                      push ~owner:fiber.ftag t ~at:t.clock (fun () ->
                           if fiber.state = Dead then discontinue k Killed
                           else begin
                             notify_park t fiber Park_suspend parked_at;
@@ -115,7 +144,7 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
           | _ -> None);
     }
   in
-  push t ~at:t.clock (fun () -> match_with f () handler);
+  push ~owner:fiber.ftag t ~at:t.clock (fun () -> match_with f () handler);
   fiber
 
 let delay t dt =
@@ -128,12 +157,51 @@ let resume r v = r.deliver (Ok v)
 let fail r e = r.deliver (Error e)
 
 let run t =
+  let exec f =
+    t.events <- t.events + 1;
+    if t.events > t.max_events then
+      raise (Limit_exceeded { what = "event budget"; time = t.clock; events = t.events });
+    f ()
+  in
   let rec loop () =
     match Pqueue.pop_min t.queue with
-    | Some (time, _, f) ->
+    | Some (time, seq, (_owner, f)) ->
+        if time > t.deadline then
+          raise (Limit_exceeded
+                   { what = "simulated-time deadline"; time; events = t.events });
         t.clock <- time;
-        t.events <- t.events + 1;
-        f ();
+        (match t.chooser with
+        | None -> exec f
+        | Some _ ->
+            (* Gather every event pending at this exact timestamp: together
+               they form the ready set, any one of which a legal scheduler
+               may run next.  The chooser picks one; the others go back with
+               their original (time, seq), so a chooser that always answers
+               0 replays the incumbent schedule bit-identically. *)
+            let rest = ref [] in
+            let rec gather () =
+              match Pqueue.peek_time t.queue with
+              | Some pt when pt = time -> (
+                  match Pqueue.pop_min t.queue with
+                  | Some (_, s, e) ->
+                      rest := (s, e) :: !rest;
+                      gather ()
+                  | None -> ())
+              | _ -> ()
+            in
+            gather ();
+            (match List.rev !rest with
+            | [] -> exec f
+            | more ->
+                let all = Array.of_list ((seq, (_owner, f)) :: more) in
+                let ids = Array.map (fun (_, (o, _)) -> o) all in
+                let pick = choose t ~kind:Ready ~ids in
+                Array.iteri
+                  (fun i (s, e) ->
+                    if i <> pick then Pqueue.push t.queue ~time ~seq:s e)
+                  all;
+                let _, (_, g) = all.(pick) in
+                exec g));
         loop ()
     | None ->
         let parked = List.filter (fun f -> f.state = Parked) t.fibers in

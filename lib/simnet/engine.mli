@@ -23,6 +23,12 @@ exception Killed
     Carries the labels of the parked fibers. *)
 exception Deadlock of string list
 
+(** Raised by {!run} when the simulated clock passes the {!set_deadline}
+    deadline or the executed-event count exceeds {!set_max_events} — the
+    watchdog that turns a livelocking schedule into a diagnosable failure
+    instead of a hung test run. *)
+exception Limit_exceeded of { what : string; time : float; events : int }
+
 (** [create ()] is a fresh engine with clock 0. *)
 val create : unit -> t
 
@@ -83,6 +89,47 @@ type park_observer =
 
 (** [set_park_observer t (Some f)] installs [f]; [None] removes it. *)
 val set_park_observer : t -> park_observer option -> unit
+
+(** {1 Schedule exploration}
+
+    Events scheduled for the same simulated time form a {e ready set}: MPI
+    semantics permit any of them to run next, and the incumbent engine
+    always runs them in scheduling (seq) order.  A {e chooser} intercepts
+    exactly these don't-care points — same-time event order ([Ready]),
+    wildcard-receive message matching ([Match]), completion order among
+    simultaneously ready requests ([Completion]), and chaos-layer draws
+    ([Chaos]) — and picks one candidate by index.  A chooser that always
+    answers [0] reproduces the incumbent schedule bit-identically, which is
+    what makes exploration a pure observer in its default strategy. *)
+
+type decision_kind =
+  | Ready  (** which same-time event fires next *)
+  | Match  (** which source a wildcard receive matches *)
+  | Completion  (** which complete request a wait-any observes *)
+  | Chaos  (** latency-jitter / kill-time draws of the chaos layer *)
+
+(** A chooser receives the candidate identifiers (fiber tags for [Ready],
+    source ranks for [Match], request indices for [Completion]) and returns
+    the index of its pick.  Out-of-range answers are clamped. *)
+type chooser = kind:decision_kind -> ids:int array -> int
+
+(** [set_chooser t (Some c)] routes every nondeterminism point through [c];
+    [None] (the default) keeps the incumbent deterministic schedule with no
+    ready-set bookkeeping at all. *)
+val set_chooser : t -> chooser option -> unit
+
+(** [choose t ~kind ~ids] consults the installed chooser; with no chooser
+    or fewer than two candidates it returns [0].  Subsystems with their own
+    nondeterminism points ([Match], [Completion]) call this directly. *)
+val choose : t -> kind:decision_kind -> ids:int array -> int
+
+(** [set_deadline t d] makes {!run} raise {!Limit_exceeded} when the
+    simulated clock passes [d] seconds (default: no deadline). *)
+val set_deadline : t -> float -> unit
+
+(** [set_max_events t n] bounds the number of executed events (default:
+    [max_int]) — catches livelocks that spin without advancing time. *)
+val set_max_events : t -> int -> unit
 
 (** {1 Fiber-side operations}
 

@@ -21,5 +21,6 @@ let () =
       ("properties", Test_properties.suite);
       ("bindings", Test_bindings.suite);
       ("group", Test_group.suite);
+      ("explore", Test_explore.suite);
       ("stress", Test_stress.suite);
     ]
