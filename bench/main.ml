@@ -4,11 +4,12 @@
 
    Usage:  dune exec bench/main.exe -- experiment ...
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
-                ulfm reprored ablation colltuning trace ckpt explore micro all
+                ulfm reprored ablation colltuning trace ckpt explore serving
+                micro all
    "colltuning" writes BENCH_collectives.json; "trace" writes
    BENCH_trace.json; "ckpt" writes BENCH_ckpt.json; "explore" writes
-   BENCH_explore.json.  With no arguments
-   (or --help) the usage is printed. *)
+   BENCH_explore.json; "serving" writes BENCH_serving.json.  With no
+   arguments (or --help) the usage is printed. *)
 
 module K = Kamping.Comm
 module D = Mpisim.Datatype
@@ -129,6 +130,7 @@ let experiments =
     ("trace", Experiments.Trace_exp.run);
     ("ckpt", Experiments.Ckpt_exp.run);
     ("explore", Experiments.Explore_exp.run);
+    ("serving", Experiments.Serve_exp.run);
     ("micro", microbench);
   ]
 

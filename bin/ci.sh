@@ -52,3 +52,12 @@ dune exec test/test_main.exe -- test explore
 # schedules must agree on the workload's result; self-validating.
 dune exec bench/main.exe -- explore
 test -s BENCH_explore.json
+
+# Fifth pass: request-serving smoke (lib/serve).  The batching sweep,
+# caching and rebalancing comparisons, and the chaos run (jitter + a
+# mid-run kill recovered through lib/ckpt) all self-validate against the
+# host-side workload oracle: BENCH_serving.json is re-read and every
+# entry of its "checks" object must be true, else the experiment exits
+# non-zero.
+dune exec bench/main.exe -- serving
+test -s BENCH_serving.json

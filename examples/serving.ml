@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/serving.ml. *)
+let () = Gallery.Serving.run ()

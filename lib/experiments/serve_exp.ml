@@ -1,0 +1,267 @@
+module J = Serde.Json
+
+let ranks = 6
+
+(* The shared workload: 12 streams at 150 k req/s each over 256 keys for
+   2 ms.  With the contiguous initial placement the Zipf head lands on
+   rank 0, whose per-message overheads (~1 us per request+reply) exceed
+   its arrival rate when requests ship one per message — exactly the
+   regime where batching pays. *)
+let base =
+  {
+    Serve.n_keys = 256;
+    n_shards = 12;
+    zipf_s = 1.2;
+    rate = 1.5e5;
+    write_ratio = 0.1;
+    duration = 2e-3;
+    epoch = 0.5e-3;
+    tick = 10e-6;
+    flush_interval = 25e-6;
+    batch_threshold = 16;
+    cache_capacity = 0;
+    rebalance = false;
+    seed = 42;
+  }
+
+let thresholds = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+type row = { cfg : Serve.config; r : Serve.report; digest_ok : bool }
+
+let observe cfg ~ranks =
+  let r = Serve.run ~ranks cfg in
+  { cfg; r; digest_ok = r.Serve.store_digest = Serve.expected_store_digest cfg }
+
+let us x = 1e6 *. x
+
+(* ---------------- chaos + recovery ---------------- *)
+
+type chaos_result = {
+  c_report : Serve.report;
+  c_killed : int;  (* dead ranks in the final world *)
+  c_digest_ok : bool;
+  c_token : string;
+}
+
+let chaos_run cfg =
+  let victim = 2 in
+  let chaos =
+    {
+      Explore.jitter = 5e-6;
+      jitter_buckets = 8;
+      kills = [ (victim, 0.3 *. cfg.Serve.duration, 0.6 *. cfg.Serve.duration) ];
+      kill_buckets = 16;
+    }
+  in
+  let o =
+    Explore.run ~strategy:(Explore.Random { seed = 2026 }) ~chaos ~ranks (fun comm ->
+        Serve.resilient_body ~policy:(Ckpt.Schedule.Every_n 1) cfg comm)
+  in
+  match o.Explore.outcome with
+  | Explore.Crashed e -> raise e
+  | Explore.Finished res ->
+      let report =
+        Serve.summarize cfg ~ranks ~sim_time:res.Mpisim.Mpi.sim_time res.Mpisim.Mpi.results
+      in
+      let killed =
+        Array.fold_left
+          (fun acc -> function Ok _ -> acc | Error _ -> acc + 1)
+          0 res.Mpisim.Mpi.results
+      in
+      {
+        c_report = report;
+        c_killed = killed;
+        c_digest_ok = report.Serve.store_digest = Serve.expected_store_digest cfg;
+        c_token = Explore.token_to_string o.Explore.token;
+      }
+
+(* ---------------- self-validation ---------------- *)
+
+let validate_json ~path ~json =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if not (J.equal (J.parse text) json) then
+    failwith (Printf.sprintf "serving: %s did not round-trip through Serde.Json" path);
+  let checks =
+    match J.member "checks" (J.parse text) with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> failwith "serving: BENCH_serving.json lacks a checks object"
+  in
+  List.iter
+    (fun (name, v) ->
+      if v <> J.Bool true then failwith (Printf.sprintf "serving: check %S failed" name))
+    checks
+
+let run () =
+  Printf.printf "sharded request serving: %d ranks, %d shards, %d keys, zipf s=%.1f\n"
+    ranks base.Serve.n_shards base.Serve.n_keys base.Serve.zipf_s;
+  Printf.printf "open loop: %.0f req/s per stream for %.1f ms (%d requests total)\n\n"
+    base.Serve.rate (1e3 *. base.Serve.duration) (Serve.expected_issued base);
+
+  (* batching sweep *)
+  let sweep =
+    List.map (fun t -> observe { base with Serve.batch_threshold = t } ~ranks) thresholds
+  in
+  Table_fmt.print_table ~title:"request batching (aggregator threshold sweep)"
+    ~header:[ "block"; "tput req/s"; "p50"; "p99"; "sim time"; "exact" ]
+    (List.map
+       (fun { cfg; r; digest_ok } ->
+         [
+           string_of_int cfg.Serve.batch_threshold;
+           Printf.sprintf "%.3g" r.Serve.throughput;
+           Printf.sprintf "%.1f us" (us r.Serve.p50);
+           Printf.sprintf "%.1f us" (us r.Serve.p99);
+           Table_fmt.seconds r.Serve.sim_time;
+           (if digest_ok then "yes" else "NO");
+         ])
+       sweep);
+  let tputs = List.map (fun { r; _ } -> r.Serve.throughput) sweep in
+  let peak = List.fold_left Float.max 0.0 tputs in
+  let argmax =
+    let rec go i best besti = function
+      | [] -> besti
+      | t :: rest -> if t > best then go (i + 1) t i rest else go (i + 1) best besti rest
+    in
+    go 0 neg_infinity 0 tputs
+  in
+  (* nondecreasing (2% slack) up to the peak, and the peak is a real win *)
+  let monotone =
+    let arr = Array.of_list tputs in
+    let ok = ref true in
+    for i = 0 to argmax - 1 do
+      if arr.(i + 1) < 0.98 *. arr.(i) then ok := false
+    done;
+    !ok
+  in
+  let speedup = peak /. List.hd tputs in
+  Printf.printf "  batching speedup at peak (block %d): %.2fx\n\n"
+    (List.nth thresholds argmax) speedup;
+
+  (* replica caching *)
+  let uncached = observe { base with Serve.cache_capacity = 0 } ~ranks in
+  let cached = observe { base with Serve.cache_capacity = 32 } ~ranks in
+  Printf.printf "replica caching (capacity 32/rank): hit rate %.0f%%, p50 %.1f -> %.1f us, p99 %.1f -> %.1f us\n\n"
+    (100.0 *. cached.r.Serve.hit_rate)
+    (us uncached.r.Serve.p50) (us cached.r.Serve.p50) (us uncached.r.Serve.p99)
+    (us cached.r.Serve.p99);
+
+  (* rebalancing, on a harder skew *)
+  let skewed = { base with Serve.zipf_s = 1.4; seed = 43 } in
+  let rebalanced = observe { skewed with Serve.rebalance = true } ~ranks in
+  Printf.printf "LPT rebalancing at the phase boundary (s=%.1f): imbalance %.2f -> %.2f\n\n"
+    skewed.Serve.zipf_s rebalanced.r.Serve.imbalance_before rebalanced.r.Serve.imbalance_after;
+
+  (* chaos: jitter + a mid-run kill, recovery through lib/ckpt *)
+  let chaos = chaos_run base in
+  Printf.printf
+    "chaos (jitter 5 us, kill rank 2 in [%.1f, %.1f] ms): %d killed, %d recoveries, p99 %.1f us, store %s\n"
+    (1e3 *. 0.3 *. base.Serve.duration)
+    (1e3 *. 0.6 *. base.Serve.duration)
+    chaos.c_killed chaos.c_report.Serve.recoveries
+    (us chaos.c_report.Serve.p99)
+    (if chaos.c_digest_ok then "bit-identical" else "DIVERGED");
+  Printf.printf "  replay token: %s\n\n" chaos.c_token;
+
+  let all_digests_ok =
+    List.for_all (fun { digest_ok; _ } -> digest_ok) sweep
+    && uncached.digest_ok && cached.digest_ok && rebalanced.digest_ok
+  in
+  let caching_cuts_p50 = cached.r.Serve.p50 < uncached.r.Serve.p50 in
+  let rebalance_ok =
+    rebalanced.r.Serve.imbalance_after < rebalanced.r.Serve.imbalance_before
+  in
+  let chaos_p99_finite =
+    Float.is_finite chaos.c_report.Serve.p99 && chaos.c_report.Serve.p99 > 0.0
+  in
+  let chaos_ok =
+    chaos.c_digest_ok && chaos.c_killed = 1 && chaos.c_report.Serve.recoveries >= 1
+  in
+  Printf.printf "  batching monotone to crossover: %b (peak %.2fx)\n" monotone speedup;
+  Printf.printf "  caching cuts p50:               %b\n" caching_cuts_p50;
+  Printf.printf "  rebalancing reduces imbalance:  %b\n" rebalance_ok;
+  Printf.printf "  chaos run recovered exactly:    %b\n" chaos_ok;
+  Printf.printf "  all stores match the oracle:    %b\n" all_digests_ok;
+
+  let json_of_report (r : Serve.report) =
+    J.Obj
+      [
+        ("issued", J.Num (float_of_int r.Serve.issued));
+        ("completed", J.Num (float_of_int r.Serve.completed));
+        ("throughput_rps", J.Num r.Serve.throughput);
+        ("p50_s", J.Num r.Serve.p50);
+        ("p99_s", J.Num r.Serve.p99);
+        ("max_latency_s", J.Num r.Serve.max_latency);
+        ("hit_rate", J.Num r.Serve.hit_rate);
+        ("sim_time_s", J.Num r.Serve.sim_time);
+      ]
+  in
+  let json =
+    J.Obj
+      [
+        ( "config",
+          J.Obj
+            [
+              ("ranks", J.Num (float_of_int ranks));
+              ("n_shards", J.Num (float_of_int base.Serve.n_shards));
+              ("n_keys", J.Num (float_of_int base.Serve.n_keys));
+              ("zipf_s", J.Num base.Serve.zipf_s);
+              ("rate_per_stream", J.Num base.Serve.rate);
+              ("write_ratio", J.Num base.Serve.write_ratio);
+              ("duration_s", J.Num base.Serve.duration);
+              ("requests", J.Num (float_of_int (Serve.expected_issued base)));
+            ] );
+        ( "batching",
+          J.List
+            (List.map
+               (fun { cfg; r; digest_ok } ->
+                 J.Obj
+                   [
+                     ("threshold", J.Num (float_of_int cfg.Serve.batch_threshold));
+                     ("report", json_of_report r);
+                     ("digest_ok", J.Bool digest_ok);
+                   ])
+               sweep) );
+        ( "caching",
+          J.Obj
+            [
+              ("off", json_of_report uncached.r);
+              ("on", json_of_report cached.r);
+              ("capacity", J.Num 32.0);
+            ] );
+        ( "rebalancing",
+          J.Obj
+            [
+              ("zipf_s", J.Num skewed.Serve.zipf_s);
+              ("imbalance_before", J.Num rebalanced.r.Serve.imbalance_before);
+              ("imbalance_after", J.Num rebalanced.r.Serve.imbalance_after);
+              ("report", json_of_report rebalanced.r);
+            ] );
+        ( "chaos",
+          J.Obj
+            [
+              ("killed_ranks", J.Num (float_of_int chaos.c_killed));
+              ("recoveries", J.Num (float_of_int chaos.c_report.Serve.recoveries));
+              ("report", json_of_report chaos.c_report);
+              ("digest_ok", J.Bool chaos.c_digest_ok);
+              ("replay_token", J.Str chaos.c_token);
+            ] );
+        ( "checks",
+          J.Obj
+            [
+              ("batching_monotone_to_crossover", J.Bool monotone);
+              ("batching_speedup_at_peak_over_5_percent", J.Bool (speedup >= 1.05));
+              ("caching_cuts_p50", J.Bool caching_cuts_p50);
+              ("rebalancing_reduces_imbalance", J.Bool rebalance_ok);
+              ("chaos_recovers_bit_identical", J.Bool chaos_ok);
+              ("chaos_p99_finite", J.Bool chaos_p99_finite);
+              ("store_digests_match_oracle", J.Bool all_digests_ok);
+            ] );
+      ]
+  in
+  let path = "BENCH_serving.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  close_out oc;
+  validate_json ~path ~json;
+  Printf.printf "  wrote %s (all checks passed)\n%!" path

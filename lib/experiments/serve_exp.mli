@@ -1,0 +1,24 @@
+(** The [serving] experiment: tail-latency benches of the sharded
+    request-serving subsystem (lib/serve).
+
+    Four measurements over one open-loop Zipf workload:
+
+    - {b Batching} — a sweep over the aggregator block threshold; under
+      per-message overhead the unbatched configuration saturates the hot
+      server, so throughput must improve monotonically with the
+      threshold up to a crossover.
+    - {b Replica caching} — the same workload with and without the
+      client cache; hot-key hits bypass the network, cutting p50.
+    - {b Rebalancing} — a strongly skewed workload with LPT shard
+      migration at the phase boundary; the load imbalance must drop.
+    - {b Chaos + recovery} — the resilient driver under a random
+      schedule with latency jitter and a mid-run kill; the survivors
+      must recover through lib/ckpt and reproduce the oracle store
+      bit-identically with a finite tail.
+
+    Every run's final store is checked against the host-side oracle
+    ({!Serve.expected_store_digest}).  Results go to
+    [BENCH_serving.json]; the file is re-read and its [checks] object
+    must be all-true, otherwise the experiment fails. *)
+
+val run : unit -> unit

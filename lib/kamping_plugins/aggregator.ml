@@ -69,6 +69,28 @@ let send t ~dst item =
     poll t
   end
 
+(* Non-collective flush: ship every partial buffer now, without entering
+   termination.  Receivers pick the blocks up on their next [poll]; the
+   blocks count as part of the current round, so a later [finish] still
+   accounts for them.  This is what bounds batching latency: a time-based
+   flush ships whatever has accumulated instead of waiting for the
+   threshold. *)
+let flush t =
+  for dst = 0 to Array.length t.buffers - 1 do
+    ship t dst
+  done;
+  poll t
+
+(* ULFM semantics: NBX termination depends on every member, so a dead
+   member must surface as [Process_failed] instead of a livelock (a block
+   issend'ed to a dead rank is never matched, and a dead rank never
+   enters the barrier). *)
+let check_failures t =
+  let raw = Kamping.Comm.raw t.comm in
+  match Mpisim.World.any_dead (Mpisim.Comm.world raw) (Mpisim.Comm.group raw) with
+  | Some wr -> raise (Mpisim.Errors.Process_failed { world_rank = wr })
+  | None -> ()
+
 (* NBX-style termination: once this rank's blocks are all matched, enter a
    non-blocking barrier; when it completes, every block of the round has
    been received (matching implies delivery here, since we receive in the
@@ -80,6 +102,7 @@ let finish t =
   let barrier = ref None in
   let finished = ref false in
   while not !finished do
+    check_failures t;
     poll t;
     (match !barrier with
     | None ->

@@ -38,7 +38,18 @@ val pending_items : 'a t -> int
 (** [poll t] delivers whatever blocks have arrived (non-blocking). *)
 val poll : 'a t -> unit
 
+(** [flush t] ships every non-empty partial buffer now, without NBX
+    termination (non-collective, non-blocking).  Receivers deliver the
+    blocks on their next {!poll}; a later {!finish} accounts for them as
+    part of the current round.  Use it to bound batching latency: a
+    time-based flush ships whatever accumulated below the threshold. *)
+val flush : 'a t -> unit
+
 (** [finish t] is collective: flushes all buffers, keeps delivering until
     global termination (every block sent by every rank in this round has
-    been handled), then returns.  The aggregator is reusable afterwards. *)
+    been handled), then returns.  The aggregator is reusable afterwards.
+    @raise Mpisim.Errors.Process_failed when a communicator member has
+    died — termination can never be reached, so the failure surfaces
+    ULFM-style for a recovery layer (e.g. {!Ckpt.run_resilient}) to
+    handle. *)
 val finish : 'a t -> unit

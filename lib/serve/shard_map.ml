@@ -1,0 +1,65 @@
+type t = { n_shards : int; n_keys : int; owner : int array }
+
+let create ~n_shards ~n_keys ~p =
+  if n_shards <= 0 then Mpisim.Errors.usage "Shard_map: n_shards must be positive";
+  if n_shards > n_keys then Mpisim.Errors.usage "Shard_map: more shards than keys";
+  if p <= 0 then Mpisim.Errors.usage "Shard_map: p must be positive";
+  (* contiguous blocks: ranks 0..p-1 each own a run of consecutive shards *)
+  { n_shards; n_keys; owner = Array.init n_shards (fun s -> s * p / n_shards) }
+
+let of_owner ~n_keys owner =
+  if Array.length owner = 0 then Mpisim.Errors.usage "Shard_map: empty ownership table";
+  { n_shards = Array.length owner; n_keys; owner = Array.copy owner }
+
+let n_shards t = t.n_shards
+
+let shard_of_key t k =
+  if k < 0 || k >= t.n_keys then Mpisim.Errors.usage "Shard_map: key %d out of range" k;
+  k * t.n_shards / t.n_keys
+
+let owner_of_shard t s =
+  if s < 0 || s >= t.n_shards then Mpisim.Errors.usage "Shard_map: shard %d out of range" s;
+  t.owner.(s)
+
+let owner_of_key t k = t.owner.(shard_of_key t k)
+
+let shards_of t rank =
+  List.filter (fun s -> t.owner.(s) = rank) (List.init t.n_shards Fun.id)
+
+let apply_plan t plan =
+  if Array.length plan <> t.n_shards then
+    Mpisim.Errors.usage "Shard_map: plan covers %d of %d shards" (Array.length plan) t.n_shards;
+  Array.blit plan 0 t.owner 0 t.n_shards
+
+let server_loads t ~shard_loads ~p =
+  let loads = Array.make p 0 in
+  Array.iteri (fun s l -> loads.(t.owner.(s)) <- loads.(t.owner.(s)) + l) shard_loads;
+  loads
+
+let imbalance loads =
+  let total = Array.fold_left ( + ) 0 loads in
+  if total = 0 then 1.0
+  else
+    let mean = float_of_int total /. float_of_int (Array.length loads) in
+    float_of_int (Array.fold_left Int.max 0 loads) /. mean
+
+let lpt_plan t ~shard_loads ~p =
+  if Array.length shard_loads <> t.n_shards then
+    Mpisim.Errors.usage "Shard_map: %d loads for %d shards" (Array.length shard_loads) t.n_shards;
+  let order = Array.init t.n_shards Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare shard_loads.(b) shard_loads.(a) with 0 -> compare a b | c -> c)
+    order;
+  let bin = Array.make p 0 in
+  let plan = Array.make t.n_shards 0 in
+  Array.iter
+    (fun s ->
+      let best = ref 0 in
+      for r = 1 to p - 1 do
+        if bin.(r) < bin.(!best) then best := r
+      done;
+      plan.(s) <- !best;
+      bin.(!best) <- bin.(!best) + shard_loads.(s))
+    order;
+  plan

@@ -1,0 +1,52 @@
+(** The shard router: key ranges, shard ownership, load accounting and
+    rebalancing plans.
+
+    The key space [0, n_keys) is cut into [n_shards] contiguous ranges
+    ("shards"); each shard is owned by one server rank.  The initial
+    assignment hands out contiguous shard blocks — deliberately naive, so
+    a Zipf workload (whose hot keys cluster at the low end of the key
+    space) overloads the first server and the rebalancer has something to
+    fix.  {!lpt_plan} computes the classic longest-processing-time
+    greedy reassignment from measured per-shard loads; the serving engine
+    migrates shard state accordingly (see {!Serve}). *)
+
+type t
+
+(** [create ~n_shards ~n_keys ~p] assigns contiguous shard blocks to the
+    [p] ranks.  @raise Mpisim.Errors.Usage_error unless
+    [0 < n_shards], [n_shards <= n_keys] and [0 < p]. *)
+val create : n_shards:int -> n_keys:int -> p:int -> t
+
+(** [of_owner ~n_keys owner] wraps an explicit shard->rank table (used in
+    resilient mode, where {!Ckpt} assigns shard owners). *)
+val of_owner : n_keys:int -> int array -> t
+
+val n_shards : t -> int
+
+(** [shard_of_key t k] is the shard whose range contains [k]. *)
+val shard_of_key : t -> int -> int
+
+val owner_of_shard : t -> int -> int
+val owner_of_key : t -> int -> int
+
+(** [shards_of t rank] lists the shards owned by [rank], ascending. *)
+val shards_of : t -> int -> int list
+
+(** [apply_plan t plan] replaces the ownership table. *)
+val apply_plan : t -> int array -> unit
+
+(** [server_loads t ~shard_loads ~p] folds per-shard request counts into
+    per-rank totals under the current assignment. *)
+val server_loads : t -> shard_loads:int array -> p:int -> int array
+
+(** [imbalance loads] is [max/mean] over the per-server loads — 1.0 is
+    perfect balance, [p] is everything on one of [p] servers.  Returns
+    1.0 when the total load is zero. *)
+val imbalance : int array -> float
+
+(** [lpt_plan t ~shard_loads ~p] is the longest-processing-time greedy
+    plan: shards sorted by measured load descending, each assigned to the
+    currently least-loaded server.  Deterministic (ties broken by shard
+    id and rank), so every rank computes the identical plan from the
+    all-reduced load vector. *)
+val lpt_plan : t -> shard_loads:int array -> p:int -> int array

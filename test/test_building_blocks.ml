@@ -38,26 +38,61 @@ let check_rr transport ~ranks =
 let test_rr_dense () = List.iter (fun p -> check_rr RR.Dense ~ranks:p) [ 1; 3; 6 ]
 let test_rr_sparse () = List.iter (fun p -> check_rr RR.Sparse ~ranks:p) [ 1; 3; 6 ]
 
+let transports = [ ("dense", RR.Dense); ("sparse", RR.Sparse) ]
+
 let test_rr_empty_requests () =
   (* some ranks ask nothing; owners still answer others *)
-  ignore
-    (wrapped ~ranks:4 (fun comm ->
-         let r = Comm.rank comm in
-         let keys = if r = 2 then V.of_list [ 0; 1; 2; 3 ] else V.create () in
-         let got = RR.read comm D.int D.int ~owner:(fun k -> k mod 4) ~lookup:(fun k -> -k) keys in
-         if r = 2 then
-           Alcotest.(check (list (pair int int))) "answers" [ (0, 0); (1, -1); (2, -2); (3, -3) ]
-             (V.to_list got)
-         else Alcotest.(check int) "nothing" 0 (V.length got)))
+  List.iter
+    (fun (tname, transport) ->
+      ignore
+        (wrapped ~ranks:4 (fun comm ->
+             let r = Comm.rank comm in
+             let keys = if r = 2 then V.of_list [ 0; 1; 2; 3 ] else V.create () in
+             let got =
+               RR.read ~transport comm D.int D.int ~owner:(fun k -> k mod 4)
+                 ~lookup:(fun k -> -k)
+                 keys
+             in
+             if r = 2 then
+               Alcotest.(check (list (pair int int)))
+                 (tname ^ ": answers")
+                 [ (0, 0); (1, -1); (2, -2); (3, -3) ]
+                 (V.to_list got)
+             else Alcotest.(check int) (tname ^ ": nothing") 0 (V.length got))))
+    transports
+
+let test_rr_all_empty () =
+  (* the degenerate collective: nobody asks anything at all *)
+  List.iter
+    (fun (tname, transport) ->
+      ignore
+        (wrapped ~ranks:3 (fun comm ->
+             let got =
+               RR.read ~transport comm D.int D.int ~owner:(fun k -> k mod 3)
+                 ~lookup:(fun k -> k)
+                 (V.create ())
+             in
+             Alcotest.(check int) (tname ^ ": empty result") 0 (V.length got))))
+    transports
 
 let test_rr_duplicate_keys () =
-  ignore
-    (wrapped ~ranks:3 (fun comm ->
-         let keys = V.of_list [ 5; 5; 5 ] in
-         let got = RR.read comm D.int D.int ~owner:(fun k -> k mod 3) ~lookup:(fun k -> k * k) keys in
-         Alcotest.(check (list (pair int int))) "duplicates answered"
-           [ (5, 25); (5, 25); (5, 25) ]
-           (V.to_list got)))
+  (* duplicates are answered positionally, including duplicates of keys
+     owned by the asking rank itself *)
+  List.iter
+    (fun (tname, transport) ->
+      ignore
+        (wrapped ~ranks:3 (fun comm ->
+             let keys = V.of_list [ 5; 5; 0; 5; 0 ] in
+             let got =
+               RR.read ~transport comm D.int D.int ~owner:(fun k -> k mod 3)
+                 ~lookup:(fun k -> k * k)
+                 keys
+             in
+             Alcotest.(check (list (pair int int)))
+               (tname ^ ": duplicates answered")
+               [ (5, 25); (5, 25); (0, 0); (5, 25); (0, 0) ]
+               (V.to_list got))))
+    transports
 
 let prop_rr_transports_agree =
   Tutil.qtest ~count:15 "request-reply: dense and sparse agree"
@@ -154,14 +189,91 @@ let test_aggregator_threshold_ships_early () =
          end;
          Agg.finish agg))
 
+(* ---------- aggregator flush ---------- *)
+
+let test_aggregator_flush_ships_partial () =
+  (* a flushed partial buffer is delivered before any finish; the
+     flush-only round is checker-clean *)
+  ignore
+    (Tutil.run_checked ~ranks:2 (fun raw ->
+         let comm = Comm.wrap raw in
+         let r = Comm.rank comm in
+         let got = ref [] in
+         let agg =
+           Agg.create ~threshold:1000 comm D.int ~handler:(fun ~src:_ block ->
+               V.iter (fun x -> got := x :: !got) block)
+         in
+         if r = 0 then begin
+           for i = 1 to 4 do
+             Agg.send agg ~dst:1 (10 * i)
+           done;
+           Alcotest.(check int) "buffered below threshold" 4 (Agg.pending_items agg);
+           Agg.flush agg;
+           Alcotest.(check int) "flush ships everything" 0 (Agg.pending_items agg)
+         end
+         else begin
+           (* the block must arrive through plain polling, no finish needed *)
+           let tries = ref 0 in
+           while List.length !got < 4 && !tries < 10_000 do
+             Agg.poll agg;
+             Comm.compute comm 1e-6;
+             incr tries
+           done;
+           Alcotest.(check (list int)) "delivered before finish" [ 40; 30; 20; 10 ] !got
+         end;
+         Agg.finish agg;
+         if r = 1 then Alcotest.(check int) "finish adds nothing" 4 (List.length !got)))
+
+let test_aggregator_finish_after_flush_only_rounds () =
+  (* several rounds whose traffic ships exclusively via flush (the
+     threshold is never reached): every finish terminates and accounts
+     for the flushed blocks, checker-clean *)
+  ignore
+    (Tutil.run_checked ~ranks:3 (fun raw ->
+         let comm = Comm.wrap raw in
+         let r = Comm.rank comm and p = Comm.size comm in
+         let this_round = ref 0 in
+         let agg =
+           Agg.create ~threshold:1000 comm D.int ~handler:(fun ~src:_ block ->
+               this_round := !this_round + V.length block)
+         in
+         for round = 1 to 3 do
+           this_round := 0;
+           for i = 1 to round do
+             Agg.send agg ~dst:((r + 1) mod p) i
+           done;
+           Agg.flush agg;
+           Alcotest.(check int) (Printf.sprintf "round %d: flushed" round) 0 (Agg.pending_items agg);
+           Agg.finish agg;
+           Alcotest.(check int) (Printf.sprintf "round %d: delivered" round) round !this_round
+         done))
+
+let test_aggregator_finish_zero_sends () =
+  (* a round in which nobody sends anything (and an idle flush) still
+     terminates, twice in a row, checker-clean *)
+  ignore
+    (Tutil.run_checked ~ranks:3 (fun raw ->
+         let comm = Comm.wrap raw in
+         let agg = Agg.create comm D.int ~handler:(fun ~src:_ _ -> Alcotest.fail "no traffic") in
+         Agg.flush agg;
+         Agg.finish agg;
+         Agg.finish agg;
+         Alcotest.(check int) "nothing pending" 0 (Agg.pending_items agg)))
+
 let suite =
   [
     Alcotest.test_case "request-reply dense" `Quick test_rr_dense;
     Alcotest.test_case "request-reply sparse (NBX)" `Quick test_rr_sparse;
     Alcotest.test_case "request-reply empty requests" `Quick test_rr_empty_requests;
+    Alcotest.test_case "request-reply all ranks empty" `Quick test_rr_all_empty;
     Alcotest.test_case "request-reply duplicate keys" `Quick test_rr_duplicate_keys;
     prop_rr_transports_agree;
     Alcotest.test_case "aggregator delivers everything" `Quick test_aggregator_delivers_everything;
     Alcotest.test_case "aggregator round boundaries" `Quick test_aggregator_rounds;
     Alcotest.test_case "aggregator threshold" `Quick test_aggregator_threshold_ships_early;
+    Alcotest.test_case "aggregator flush ships partial buffers" `Quick
+      test_aggregator_flush_ships_partial;
+    Alcotest.test_case "aggregator finish after flush-only rounds" `Quick
+      test_aggregator_finish_after_flush_only_rounds;
+    Alcotest.test_case "aggregator finish with zero sends" `Quick test_aggregator_finish_zero_sends;
   ]

@@ -412,7 +412,8 @@ let test_gallery_apps () =
 let test_gallery_resilience () =
   gallery "bfs_example" Gallery.Bfs_example.digest;
   gallery "fault_tolerance" Gallery.Fault_tolerance.digest;
-  gallery "checkpoint_restart" Gallery.Checkpoint_restart.digest
+  gallery "checkpoint_restart" Gallery.Checkpoint_restart.digest;
+  gallery "serving" Gallery.Serving.digest
 
 (* ------------------------------------------------------------------ *)
 (* Mutation smoke: the harness finds a real, reintroduced bug          *)

@@ -22,5 +22,6 @@ let () =
       ("bindings", Test_bindings.suite);
       ("group", Test_group.suite);
       ("explore", Test_explore.suite);
+      ("serve", Test_serve.suite);
       ("stress", Test_stress.suite);
     ]

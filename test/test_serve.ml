@@ -1,0 +1,252 @@
+(* The sharded request-serving subsystem (lib/serve): workload streams,
+   the shard router/rebalancer, the replica cache, the latency metrics,
+   and the full engine against its host-side oracle — including chaos
+   recovery through lib/ckpt. *)
+
+module W = Serve.Workload
+module SM = Serve.Shard_map
+module Cache = Serve.Cache
+module Metrics = Serve.Metrics
+
+(* A deliberately small configuration so a full serving session stays a
+   fraction-of-a-second simulation: 8 streams at 50 k req/s for 1 ms. *)
+let small =
+  {
+    Serve.default with
+    Serve.n_keys = 64;
+    n_shards = 8;
+    zipf_s = 1.1;
+    rate = 5e4;
+    duration = 1e-3;
+    epoch = 0.25e-3;
+    tick = 10e-6;
+    flush_interval = 30e-6;
+    batch_threshold = 8;
+    cache_capacity = 0;
+    rebalance = false;
+    seed = 7;
+  }
+
+let report_of ?fail_at ~ranks cfg body =
+  let res = Mpisim.Mpi.run ?fail_at ~ranks (fun comm -> body cfg comm) in
+  Serve.summarize cfg ~ranks ~sim_time:res.Mpisim.Mpi.sim_time res.Mpisim.Mpi.results
+
+(* ---------- workload ---------- *)
+
+let test_zipf_pmf () =
+  let pmf = W.zipf_pmf ~n_keys:100 ~zipf_s:1.2 in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  Alcotest.(check bool) "sums to 1" true (Float.abs (total -. 1.0) < 1e-9);
+  for k = 1 to 99 do
+    Alcotest.(check bool) "monotone decreasing" true (pmf.(k) <= pmf.(k - 1))
+  done;
+  let uniform = W.zipf_pmf ~n_keys:10 ~zipf_s:0.0 in
+  Alcotest.(check bool) "s=0 is uniform" true (Float.abs (uniform.(0) -. 0.1) < 1e-9)
+
+let drain stream ~limit =
+  let rec go acc =
+    match W.next_due stream ~now:Float.infinity ~limit with
+    | Some r -> go (r :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_stream_deterministic () =
+  let mk () = W.create ~n_keys:64 ~zipf_s:1.1 ~rate:5e4 ~write_ratio:0.3 ~seed:7 ~stream:2 in
+  let a = drain (mk ()) ~limit:2e-3 and b = drain (mk ()) ~limit:2e-3 in
+  Alcotest.(check bool) "same sequence" true (a = b);
+  Alcotest.(check bool) "non-trivial" true (List.length a > 20);
+  List.iter
+    (fun (r : W.request) ->
+      Alcotest.(check bool) "key in range" true (r.W.key >= 0 && r.W.key < 64))
+    a;
+  (* arrivals strictly before the limit, monotone *)
+  let rec mono = function
+    | (a : W.request) :: (b : W.request) :: rest ->
+        Alcotest.(check bool) "monotone arrivals" true (a.W.at <= b.W.at);
+        mono (b :: rest)
+    | _ -> ()
+  in
+  mono a
+
+let test_stream_seek_roundtrip () =
+  let mk () = W.create ~n_keys:64 ~zipf_s:1.1 ~rate:5e4 ~write_ratio:0.3 ~seed:7 ~stream:3 in
+  let reference = mk () in
+  let skipped = drain reference ~limit:1e-3 in
+  let tail = drain reference ~limit:2e-3 in
+  (* a fresh stream, sought to the recorded cursor, continues identically *)
+  let resumed = mk () in
+  W.seek resumed (List.length skipped);
+  Alcotest.(check int) "pos after seek" (List.length skipped) (W.pos resumed);
+  Alcotest.(check bool) "identical continuation" true (drain resumed ~limit:2e-3 = tail);
+  (* seek backwards too *)
+  W.seek resumed 0;
+  Alcotest.(check bool) "rewind replays from scratch" true
+    (drain resumed ~limit:1e-3 = skipped)
+
+(* ---------- shard map ---------- *)
+
+let test_shard_map_basics () =
+  let m = SM.create ~n_shards:8 ~n_keys:64 ~p:4 in
+  (* every key maps to a shard, every shard to a rank; blocks contiguous *)
+  for k = 0 to 63 do
+    let s = SM.shard_of_key m k in
+    Alcotest.(check bool) "shard range" true (s >= 0 && s < 8);
+    Alcotest.(check int) "owner consistent" (SM.owner_of_shard m s) (SM.owner_of_key m k)
+  done;
+  let owned = List.concat_map (fun r -> SM.shards_of m r) [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "partition covers all shards" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare owned);
+  Alcotest.(check int) "contiguous blocks start at rank 0" 0 (SM.owner_of_shard m 0)
+
+let test_lpt_rebalance () =
+  let m = SM.create ~n_shards:8 ~n_keys:64 ~p:4 in
+  (* Zipf-like: shard 0 dominates *)
+  let loads = [| 800; 120; 60; 40; 30; 20; 10; 10 |] in
+  let before = SM.imbalance (SM.server_loads m ~shard_loads:loads ~p:4) in
+  let plan = SM.lpt_plan m ~shard_loads:loads ~p:4 in
+  Alcotest.(check bool) "plan is deterministic" true (plan = SM.lpt_plan m ~shard_loads:loads ~p:4);
+  SM.apply_plan m plan;
+  let after = SM.imbalance (SM.server_loads m ~shard_loads:loads ~p:4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "LPT reduces imbalance (%.2f -> %.2f)" before after)
+    true (after < before);
+  (* the dominant shard is indivisible: LPT's optimum is that shard alone
+     in one bin (800 / 136.25-per-shard-mean-over-4 = 800/272.5) *)
+  Alcotest.(check (float 1e-9)) "LPT reaches the indivisibility floor" (800.0 /. 272.5) after
+
+let test_imbalance_edge_cases () =
+  Alcotest.(check (float 1e-9)) "all equal" 1.0 (SM.imbalance [| 5; 5; 5 |]);
+  Alcotest.(check (float 1e-9)) "zero load" 1.0 (SM.imbalance [| 0; 0 |]);
+  Alcotest.(check (float 1e-9)) "one hot" 3.0 (SM.imbalance [| 9; 0; 0 |])
+
+(* ---------- metrics ---------- *)
+
+let test_percentiles () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Metrics.percentile samples 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Metrics.percentile samples 0.99);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Metrics.percentile samples 1.0);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Metrics.percentile [||] 0.5))
+
+(* ---------- cache ---------- *)
+
+let test_cache_ops () =
+  let c = Cache.create ~capacity:2 () in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c 1 = None);
+  Cache.insert c ~key:1 ~value:10;
+  Cache.insert c ~key:5 ~value:50;
+  Alcotest.(check bool) "hit" true (Cache.find c 1 = Some 10);
+  (* full: inserting a new key evicts the largest (coldest) key, 5 *)
+  Cache.insert c ~key:3 ~value:30;
+  Alcotest.(check bool) "victim evicted" true (Cache.find c 5 = None);
+  Alcotest.(check bool) "hot key kept" true (Cache.find c 1 = Some 10);
+  Cache.invalidate c 1;
+  Alcotest.(check bool) "invalidated" true (Cache.find c 1 = None);
+  Alcotest.(check int) "lookups counted" 5 (Cache.lookups c);
+  Alcotest.(check int) "hits counted" 2 (Cache.hits c)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.insert c ~key:1 ~value:10;
+  Alcotest.(check bool) "never hits" true (Cache.find c 1 = None);
+  Alcotest.(check int) "no lookups counted" 0 (Cache.lookups c)
+
+(* ---------- the engine against its oracle ---------- *)
+
+let test_serve_matches_oracle () =
+  let cfg = small in
+  let r =
+    Tutil.check_clean "serve baseline" (fun () -> report_of ~ranks:4 cfg Serve.body)
+  in
+  Alcotest.(check int) "every request issued" (Serve.expected_issued cfg) r.Serve.issued;
+  Alcotest.(check int) "every request completed" r.Serve.issued r.Serve.completed;
+  Alcotest.(check int) "store matches oracle" (Serve.expected_store_digest cfg)
+    r.Serve.store_digest;
+  Alcotest.(check bool) "has latency samples" true (r.Serve.p99 > 0.0);
+  Alcotest.(check bool) "p50 <= p99" true (r.Serve.p50 <= r.Serve.p99)
+
+let test_serve_caching_preserves_semantics () =
+  let cfg = { small with Serve.cache_capacity = 16; zipf_s = 1.3 } in
+  let r =
+    Tutil.check_clean "serve cached" (fun () -> report_of ~ranks:4 cfg Serve.body)
+  in
+  Alcotest.(check int) "digest unchanged by caching" (Serve.expected_store_digest cfg)
+    r.Serve.store_digest;
+  Alcotest.(check bool) "cache actually used" true (r.Serve.hit_rate > 0.0);
+  Alcotest.(check int) "every request completed" r.Serve.issued r.Serve.completed
+
+let test_serve_rebalance_preserves_semantics () =
+  let cfg = { small with Serve.rebalance = true; zipf_s = 1.4 } in
+  let r =
+    Tutil.check_clean "serve rebalanced" (fun () -> report_of ~ranks:4 cfg Serve.body)
+  in
+  Alcotest.(check int) "digest unchanged by migration" (Serve.expected_store_digest cfg)
+    r.Serve.store_digest;
+  let control = { cfg with Serve.rebalance = false } in
+  let c =
+    Tutil.check_clean "serve control" (fun () -> report_of ~ranks:4 control Serve.body)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "imbalance drops (%.2f -> %.2f, control %.2f)" r.Serve.imbalance_before
+       r.Serve.imbalance_after c.Serve.imbalance_after)
+    true
+    (r.Serve.imbalance_after < c.Serve.imbalance_after);
+  Alcotest.(check bool) "skew was real" true (r.Serve.imbalance_before > 1.2)
+
+let test_serve_ranks_invariance () =
+  (* the oracle (and therefore the digest) is independent of how many
+     ranks serve the shards *)
+  let cfg = small in
+  List.iter
+    (fun ranks ->
+      let r = report_of ~ranks cfg Serve.body in
+      Alcotest.(check int)
+        (Printf.sprintf "digest at p=%d" ranks)
+        (Serve.expected_store_digest cfg) r.Serve.store_digest)
+    [ 1; 2; 8 ]
+
+let test_serve_recovers_from_kill () =
+  let cfg = small in
+  let r =
+    report_of
+      ~fail_at:[ (1, 0.6 *. cfg.Serve.duration) ]
+      ~ranks:4 cfg
+      (fun cfg comm -> Serve.resilient_body ~policy:(Ckpt.Schedule.Every_n 1) cfg comm)
+  in
+  Alcotest.(check bool) "a recovery happened" true (r.Serve.recoveries >= 1);
+  Alcotest.(check int) "survivors rebuilt the exact store" (Serve.expected_store_digest cfg)
+    r.Serve.store_digest;
+  Alcotest.(check int) "all streams fully replayed" (Serve.expected_issued cfg) r.Serve.issued;
+  Alcotest.(check bool) "tail latency is finite" true (Float.is_finite r.Serve.p99)
+
+let test_serve_resilient_failure_free () =
+  (* without failures the resilient driver must agree with the oracle too *)
+  let cfg = small in
+  let r =
+    report_of ~ranks:4 cfg (fun cfg comm ->
+        Serve.resilient_body ~policy:(Ckpt.Schedule.Every_n 2) cfg comm)
+  in
+  Alcotest.(check int) "digest" (Serve.expected_store_digest cfg) r.Serve.store_digest;
+  Alcotest.(check int) "no recoveries" 0 r.Serve.recoveries
+
+let suite =
+  [
+    Alcotest.test_case "zipf pmf" `Quick test_zipf_pmf;
+    Alcotest.test_case "stream determinism" `Quick test_stream_deterministic;
+    Alcotest.test_case "stream seek round-trip" `Quick test_stream_seek_roundtrip;
+    Alcotest.test_case "shard map basics" `Quick test_shard_map_basics;
+    Alcotest.test_case "LPT rebalance" `Quick test_lpt_rebalance;
+    Alcotest.test_case "imbalance edge cases" `Quick test_imbalance_edge_cases;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "cache ops and eviction" `Quick test_cache_ops;
+    Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+    Alcotest.test_case "engine matches oracle" `Quick test_serve_matches_oracle;
+    Alcotest.test_case "caching preserves semantics" `Quick test_serve_caching_preserves_semantics;
+    Alcotest.test_case "rebalancing preserves semantics" `Quick
+      test_serve_rebalance_preserves_semantics;
+    Alcotest.test_case "digest independent of rank count" `Quick test_serve_ranks_invariance;
+    Alcotest.test_case "chaos: kill mid-run, recover bit-identically" `Quick
+      test_serve_recovers_from_kill;
+    Alcotest.test_case "resilient driver, failure-free" `Quick test_serve_resilient_failure_free;
+  ]

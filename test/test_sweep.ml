@@ -41,6 +41,7 @@ let suite =
     example "one_sided" Gallery.One_sided.run;
     example "tracing_example" Gallery.Tracing_example.run;
     example "checkpoint_restart" Gallery.Checkpoint_restart.run;
+    example "serving" Gallery.Serving.run;
     Alcotest.test_case "overhead: PMPI equality under checker" `Quick test_overhead_profiles;
     Alcotest.test_case "overhead: sort kernel clean" `Quick test_overhead_sort_kernel;
   ]
