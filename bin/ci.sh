@@ -61,3 +61,14 @@ test -s BENCH_explore.json
 # non-zero.
 dune exec bench/main.exe -- serving
 test -s BENCH_serving.json
+
+# Sixth pass: engine scale smoke.  The synthetic halo exchange runs on
+# the frozen pre-refactor engine (binary heap, boxed entries, unpruned
+# fibers) and the calendar-queue engine; BENCH_engine.json is re-read
+# and every entry of its "checks" object must be true — the >=5x
+# speedup at p=4096, the events/sec floor, flat ranks-scaling through
+# p=16384 inside the time budget, the zero-alloc steady state, and the
+# profiler-off-vs-fine pure-observer equality — else the experiment
+# exits non-zero.
+dune exec bench/main.exe -- engine
+test -s BENCH_engine.json

@@ -81,7 +81,10 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace 
   w.World.fibers <- fibers;
   List.iter (fun (at, rank) -> Ulfm.schedule_failure w ~at ~world_rank:rank) failures;
   Ulfm.schedule_failures w ~fail_at;
-  (match Engine.run w.World.engine with
+  (* [Simnet.Profile.span] is the host profiler: exactly [Engine.run] when
+     profiling is off, wall-time attribution when on.  Fine-level envelope
+     pool stats ride along — a pure observation either way. *)
+  (match Simnet.Profile.span "mpi.run" (fun () -> Engine.run w.World.engine) with
   | () ->
       (* clean quiesce: run the end-of-run leak checks *)
       Checker.finalize w.World.check ~mailboxes:w.World.mailboxes ~rank_alive:(World.is_alive w)
@@ -94,6 +97,11 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace 
       ignore
         (Checker.diagnose_deadlock w.World.check ~mailboxes:w.World.mailboxes
            ~parked:(List.rev !parked) ~rank_alive:(World.is_alive w)));
+  if Simnet.Profile.fine () then begin
+    let made, reused = Msg.pool_stats w.World.env_pool in
+    Simnet.Profile.record_max "mpi.envelopes_made" made;
+    Simnet.Profile.record_max "mpi.envelopes_reused" reused
+  end;
   let result =
     {
       results;

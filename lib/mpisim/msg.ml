@@ -4,18 +4,24 @@ let any_tag = -1
 type ctx = User | Internal
 type packed = Packed : 'a Datatype.t * 'a array -> packed
 
+(* Envelopes are mutable so the runtime can recycle them through a
+   free-list pool: at 10k+ ranks the per-message envelope allocation was
+   a measurable share of minor-heap churn.  [pooled] guards against
+   double-release; an envelope sitting in the free list must never be
+   read. *)
 type envelope = {
-  src : int;
-  src_world : int;
-  tag : int;
-  comm_id : int;
-  ctx : ctx;
-  count : int;
-  bytes : int;
-  sent_at : float;
-  payload : packed;
-  on_matched : (unit -> unit) option;
-  trace : Trace.Event.message option;
+  mutable src : int;
+  mutable src_world : int;
+  mutable tag : int;
+  mutable comm_id : int;
+  mutable ctx : ctx;
+  mutable count : int;
+  mutable bytes : int;
+  mutable sent_at : float;
+  mutable payload : packed;
+  mutable on_matched : (unit -> unit) option;
+  mutable trace : Trace.Event.message option;
+  mutable pooled : bool;
 }
 
 type pending_recv = {
@@ -52,6 +58,52 @@ type mailbox = {
 
 let create () = { unexpected = Ds.Vec.create (); posted = []; probes = [] }
 
+(* {2 Envelope pool} *)
+
+type pool = { free : envelope Ds.Vec.t; mutable made : int; mutable reused : int }
+
+let create_pool () = { free = Ds.Vec.create (); made = 0; reused = 0 }
+
+let empty_payload = Packed (Datatype.int, [||])
+
+let make_envelope pool ~src ~src_world ~tag ~comm_id ~ctx ~count ~bytes ~sent_at ~payload
+    ~on_matched ~trace =
+  if Ds.Vec.is_empty pool.free then begin
+    pool.made <- pool.made + 1;
+    { src; src_world; tag; comm_id; ctx; count; bytes; sent_at; payload; on_matched; trace;
+      pooled = false }
+  end
+  else begin
+    pool.reused <- pool.reused + 1;
+    let e = Ds.Vec.pop pool.free in
+    e.pooled <- false;
+    e.src <- src;
+    e.src_world <- src_world;
+    e.tag <- tag;
+    e.comm_id <- comm_id;
+    e.ctx <- ctx;
+    e.count <- count;
+    e.bytes <- bytes;
+    e.sent_at <- sent_at;
+    e.payload <- payload;
+    e.on_matched <- on_matched;
+    e.trace <- trace;
+    e
+  end
+
+let release pool env =
+  if not env.pooled then begin
+    env.pooled <- true;
+    (* drop payload / closure / trace references so the pool retains no
+       dead data between messages *)
+    env.payload <- empty_payload;
+    env.on_matched <- None;
+    env.trace <- None;
+    Ds.Vec.push pool.free env
+  end
+
+let pool_stats pool = (pool.made, pool.reused)
+
 let matches pr env =
   pr.want_comm = env.comm_id
   && pr.want_ctx = env.ctx
@@ -70,7 +122,7 @@ let probe_matches pw env =
   && (pw.p_src = any_source || pw.p_src = env.src)
   && (pw.p_tag = any_tag || pw.p_tag = env.tag)
 
-let arrive mb env =
+let arrive pool mb env =
   (* Probe waiters observe the message without consuming it. *)
   let notified, waiting = List.partition (fun pw -> pw.p_live && probe_matches pw env) mb.probes in
   mb.probes <- waiting;
@@ -90,7 +142,12 @@ let arrive mb env =
   | Some pr ->
       pr.live <- false;
       (match env.on_matched with Some hook -> hook () | None -> ());
-      pr.deliver env
+      pr.deliver env;
+      (* deliver consumes the envelope synchronously (copy into the
+         receive window, then resume/complete), so it can go back to the
+         pool.  Unexpected envelopes stay queued and are released by the
+         take_unexpected fast paths in {!P2p}. *)
+      release pool env
   | None -> Ds.Vec.push mb.unexpected env
 
 let find_unexpected mb ~src ~tag ~comm ~ctx =

@@ -19,19 +19,25 @@ type ctx = User | Internal
     with its datatype (the witness lets the receiver copy type-safely). *)
 type packed = Packed : 'a Datatype.t * 'a array -> packed
 
+(** Envelopes are mutable because the runtime recycles them through a
+    free-list {!pool}: a delivered envelope's record is reused for a later
+    message instead of being reallocated (a measurable share of minor-heap
+    churn at large rank counts).  Consumers must not retain an envelope
+    past the call that handed it to them. *)
 type envelope = {
-  src : int;  (** sender's rank in the communicator *)
-  src_world : int;  (** sender's world rank (for checker attribution) *)
-  tag : int;
-  comm_id : int;
-  ctx : ctx;
-  count : int;
-  bytes : int;
-  sent_at : float;  (** injection time (for the checker's finalize scan) *)
-  payload : packed;
-  on_matched : (unit -> unit) option;  (** synchronous-send completion hook *)
-  trace : Trace.Event.message option;
+  mutable src : int;  (** sender's rank in the communicator *)
+  mutable src_world : int;  (** sender's world rank (for checker attribution) *)
+  mutable tag : int;
+  mutable comm_id : int;
+  mutable ctx : ctx;
+  mutable count : int;
+  mutable bytes : int;
+  mutable sent_at : float;  (** injection time (for the checker's finalize scan) *)
+  mutable payload : packed;
+  mutable on_matched : (unit -> unit) option;  (** synchronous-send completion hook *)
+  mutable trace : Trace.Event.message option;
       (** tracing record for this message, when the run is traced *)
+  mutable pooled : bool;  (** true while the envelope sits in a free list *)
 }
 
 (** A posted (pending) receive. *)
@@ -71,9 +77,47 @@ val create : unit -> mailbox
 (** [matches pr env] is the matching predicate. *)
 val matches : pending_recv -> envelope -> bool
 
-(** [arrive mb env] delivers an envelope: hands it to the first live
-    matching posted receive, else queues it as unexpected. *)
-val arrive : mailbox -> envelope -> unit
+(** {1 Envelope pool}
+
+    One pool per {!World}: envelopes cycle sender → mailbox → receiver →
+    free list, so the steady-state message path allocates only the payload
+    copy. *)
+
+type pool
+
+val create_pool : unit -> pool
+
+(** [make_envelope pool ~src ... ~trace] is a fresh or recycled envelope
+    with the given contents. *)
+val make_envelope :
+  pool ->
+  src:int ->
+  src_world:int ->
+  tag:int ->
+  comm_id:int ->
+  ctx:ctx ->
+  count:int ->
+  bytes:int ->
+  sent_at:float ->
+  payload:packed ->
+  on_matched:(unit -> unit) option ->
+  trace:Trace.Event.message option ->
+  envelope
+
+(** [release pool env] returns [env] to the free list, dropping its
+    payload/closure references.  Releasing an already-released envelope is
+    a no-op (the [pooled] guard), so ownership hand-offs need not be
+    exactly-once. *)
+val release : pool -> envelope -> unit
+
+(** [pool_stats pool] is [(made, reused)] — envelopes allocated fresh vs.
+    recycled (the engine bench reports the reuse ratio). *)
+val pool_stats : pool -> int * int
+
+(** [arrive pool mb env] delivers an envelope: hands it to the first live
+    matching posted receive (then releases it back to [pool] — delivery
+    consumes the envelope synchronously), else queues it as unexpected. *)
+val arrive : pool -> mailbox -> envelope -> unit
 
 (** [take_unexpected mb ~src ~tag ~comm ~ctx] removes and returns the first
     queued envelope matching the given (possibly wildcard) pattern.

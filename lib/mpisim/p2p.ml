@@ -100,23 +100,14 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
   in
   if World.is_alive w dst_world then begin
     let env =
-      {
-        Msg.src = Comm.rank comm;
-        src_world;
-        tag;
-        comm_id = Comm.id comm;
-        ctx;
-        count;
-        bytes;
-        sent_at = now;
-        payload = Msg.Packed (dt, Array.sub buf pos count);
-        on_matched;
-        trace = trace_msg;
-      }
+      Msg.make_envelope w.World.env_pool ~src:(Comm.rank comm) ~src_world ~tag
+        ~comm_id:(Comm.id comm) ~ctx ~count ~bytes ~sent_at:now
+        ~payload:(Msg.Packed (dt, Array.sub buf pos count))
+        ~on_matched ~trace:trace_msg
     in
     Engine.schedule w.World.engine
       ~delay:(arrival -. now)
-      (fun () -> Msg.arrive w.World.mailboxes.(dst_world) env)
+      (fun () -> Msg.arrive w.World.env_pool w.World.mailboxes.(dst_world) env)
   end;
   injected
 
@@ -213,7 +204,9 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   with
   | Some env -> begin
       stamp_env_match env ~posted ~time:(World.now w);
-      match copy_payload env dt buf pos capacity with
+      let copied = copy_payload env dt buf pos capacity in
+      Msg.release w.World.env_pool env;
+      match copied with
       | Ok st -> st
       | Error e ->
           record_mismatch comm ~op:"MPI_Recv" ~src ~tag e;
@@ -255,7 +248,9 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
    with
   | Some env -> begin
       stamp_env_match env ~posted ~time:(World.now w);
-      match copy_payload env dt buf pos capacity with
+      let copied = copy_payload env dt buf pos capacity in
+      Msg.release w.World.env_pool env;
+      match copied with
       | Ok st -> Request.complete req st
       | Error e ->
           record_mismatch comm ~op:"MPI_Irecv" ~src ~tag e;

@@ -8,6 +8,7 @@ type t = {
   net : Netmodel.t;
   size : int;
   mailboxes : Msg.mailbox array;
+  env_pool : Msg.pool;
   prof : Profiling.t;
   mutable next_comm_id : int;
   alive : Ds.Bitset.t;
@@ -44,6 +45,7 @@ let create ?node ?(trace = Trace.Recorder.inert) ?exhook ~net_params ~size () =
     net;
     size;
     mailboxes = Array.init size (fun _ -> Msg.create ());
+    env_pool = Msg.create_pool ();
     prof = Profiling.create ();
     next_comm_id = 0;
     alive;

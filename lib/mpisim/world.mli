@@ -17,6 +17,7 @@ type t = {
   net : Simnet.Netmodel.t;
   size : int;
   mailboxes : Msg.mailbox array;
+  env_pool : Msg.pool;  (** world-wide envelope free list *)
   prof : Profiling.t;
   mutable next_comm_id : int;
   alive : Ds.Bitset.t;

@@ -1,3 +1,26 @@
+(* Discrete-event engine on the exact-order calendar queue ({!Pqueue}).
+
+   The pre-refactor engine is frozen verbatim as {!Legacy_engine}; this
+   rewrite keeps its observable semantics bit-identical (same (time, seq)
+   execution order, same chooser candidate order, same Deadlock /
+   Limit_exceeded behaviour) while fixing the structural costs the scale
+   tests exposed:
+
+   - the event queue is the calendar queue: O(1) amortized push/pop with
+     unboxed float keys instead of an O(log n) heap of boxed entries;
+   - the simulated clock lives in a one-element flat float array
+     ([t.clock]), so advancing it and computing [clock + delay] on push
+     never box a float (mixed-record float fields box on every store in
+     non-flambda OCaml; float-array elements do not);
+   - the steady-state event loop allocates nothing: pop writes into
+     scratch cells, deadline checks compare unboxed, and queue entries
+     carry the owner tag natively instead of an [(owner, fn)] tuple;
+   - finished fibers are pruned: the fiber table is a vector compacted
+     (in spawn order) once dead entries dominate, so a long-running
+     simulation no longer accretes an unbounded fiber list;
+   - the host profiler ({!Profile}) observes the run when enabled and
+     costs one immediate compare per [run] when off. *)
+
 open Effect
 open Effect.Deep
 
@@ -23,16 +46,21 @@ type chooser = kind:decision_kind -> ids:int array -> int
    detached callbacks) so a chooser can make owner-aware decisions (PCT
    priorities are per-owner). *)
 type t = {
-  mutable clock : float;
-  queue : (int * (unit -> unit)) Pqueue.t;
+  clock : float array; (* one-element cell: flat float storage, no boxing *)
+  queue : Pqueue.t;
   mutable seq : int;
   mutable events : int;
   mutable next_fid : int;
-  mutable fibers : fiber list; (* for deadlock diagnostics *)
+  fibers : fiber Ds.Vec.t; (* spawn order; compacted, for deadlock diagnostics *)
+  mutable live : int; (* fibers in state Running | Parked *)
   mutable park_observer : park_observer option;
   mutable chooser : chooser option;
   mutable deadline : float;
   mutable max_events : int;
+  (* chooser-mode ready-set gather scratch (reused across decisions) *)
+  g_seqs : int Ds.Vec.t;
+  g_owners : int Ds.Vec.t;
+  g_fns : Pqueue.event Ds.Vec.t;
 }
 
 type 'a resumer = { deliver : ('a, exn) result -> unit }
@@ -44,18 +72,16 @@ type _ Effect.t +=
   | Suspend : t * ('a resumer -> unit) -> 'a Effect.t
 
 let create () =
-  { clock = 0.0; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0; fibers = [];
-    park_observer = None; chooser = None; deadline = infinity; max_events = max_int }
+  { clock = [| 0.0 |]; queue = Pqueue.create (); seq = 0; events = 0; next_fid = 0;
+    fibers = Ds.Vec.create (); live = 0; park_observer = None; chooser = None;
+    deadline = infinity; max_events = max_int;
+    g_seqs = Ds.Vec.create (); g_owners = Ds.Vec.create (); g_fns = Ds.Vec.create () }
 
 let set_park_observer t obs = t.park_observer <- obs
 let set_chooser t c = t.chooser <- c
 let set_deadline t d = t.deadline <- d
 let set_max_events t n = t.max_events <- n
 
-(* [choose t ~kind ~ids] consults the installed chooser to pick one of the
-   [ids]; with no chooser, or a single candidate, it picks index 0 — the
-   incumbent deterministic behaviour.  Out-of-range answers clamp rather
-   than raise so that replaying a truncated decision trace stays total. *)
 let choose t ~kind ~ids =
   let n = Array.length ids in
   if n <= 1 then 0
@@ -70,40 +96,72 @@ let notify_park t fiber kind parked_at =
   match t.park_observer with
   | None -> ()
   | Some f ->
-      f ~tag:fiber.ftag ~kind ~parked_at ~resumed_at:t.clock
+      f ~tag:fiber.ftag ~kind ~parked_at ~resumed_at:t.clock.(0)
 
-let now t = t.clock
+let now t = t.clock.(0)
 let events_processed t = t.events
+let live_fibers t = t.live
+let tracked_fibers t = Ds.Vec.length t.fibers
 
-let push ?(owner = -1) t ~at f =
+(* [owner] is a required label here: an optional argument would allocate
+   a [Some] block on every scheduling operation. *)
+let push t ~owner ~delay f =
   t.seq <- t.seq + 1;
-  Pqueue.push t.queue ~time:at ~seq:t.seq (owner, f)
+  Pqueue.push_after t.queue ~base:t.clock ~delay ~seq:t.seq ~owner f
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  push t ~at:(t.clock +. delay) f
+  push t ~owner:(-1) ~delay f
 
 let alive fiber = fiber.state = Running || fiber.state = Parked
 let is_parked fiber = fiber.state = Parked
 let label fiber = fiber.flabel
 
-let kill _t fiber = if alive fiber then fiber.state <- Dead
+(* Dead-fiber pruning: keep live entries in spawn order, drop the rest.
+   Triggered only once dead fibers dominate a non-trivial table, so the
+   amortized cost per retired fiber is O(1). *)
+let compact_fibers t =
+  let n = Ds.Vec.length t.fibers in
+  if n > 64 && t.live * 2 < n then begin
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      let f = Ds.Vec.get t.fibers i in
+      if alive f then begin
+        Ds.Vec.set t.fibers !kept f;
+        incr kept
+      end
+    done;
+    if !kept < n then Ds.Vec.resize t.fibers !kept (Ds.Vec.get t.fibers 0)
+  end
+
+(* Every transition out of Running/Parked goes through here so the live
+   count stays exact. *)
+let retire t fiber state =
+  if alive fiber then begin
+    fiber.state <- state;
+    t.live <- t.live - 1;
+    compact_fibers t
+  end
+  else fiber.state <- state
+
+let kill t fiber = if alive fiber then retire t fiber Dead
 
 let spawn t ?(label = "fiber") ?(tag = -1) f =
   t.next_fid <- t.next_fid + 1;
   let fiber =
     { flabel = Printf.sprintf "%s#%d" label t.next_fid; ftag = tag; state = Running }
   in
-  t.fibers <- fiber :: t.fibers;
+  Ds.Vec.push t.fibers fiber;
+  t.live <- t.live + 1;
   let handler : (unit, unit) handler =
     {
-      retc = (fun () -> if fiber.state <> Dead then fiber.state <- Done);
+      retc = (fun () -> if fiber.state <> Dead then retire t fiber Done);
       exnc =
         (fun e ->
           match e with
-          | Killed -> fiber.state <- Dead
+          | Killed -> retire t fiber Dead
           | e ->
-              fiber.state <- Dead;
+              retire t fiber Dead;
               raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -112,8 +170,8 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   fiber.state <- Parked;
-                  let parked_at = t.clock in
-                  push ~owner:fiber.ftag t ~at:(t.clock +. d) (fun () ->
+                  let parked_at = t.clock.(0) in
+                  push ~owner:fiber.ftag t ~delay:d (fun () ->
                       if fiber.state = Dead then discontinue k Killed
                       else begin
                         notify_park t fiber Park_delay parked_at;
@@ -124,12 +182,12 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   fiber.state <- Parked;
-                  let parked_at = t.clock in
+                  let parked_at = t.clock.(0) in
                   let used = ref false in
                   let deliver result =
                     if not !used then begin
                       used := true;
-                      push ~owner:fiber.ftag t ~at:t.clock (fun () ->
+                      push ~owner:fiber.ftag t ~delay:0.0 (fun () ->
                           if fiber.state = Dead then discontinue k Killed
                           else begin
                             notify_park t fiber Park_suspend parked_at;
@@ -144,7 +202,7 @@ let spawn t ?(label = "fiber") ?(tag = -1) f =
           | _ -> None);
     }
   in
-  push ~owner:fiber.ftag t ~at:t.clock (fun () -> match_with f () handler);
+  push ~owner:fiber.ftag t ~delay:0.0 (fun () -> match_with f () handler);
   fiber
 
 let delay t dt =
@@ -156,55 +214,92 @@ let suspend t register = perform (Suspend (t, register))
 let resume r v = r.deliver (Ok v)
 let fail r e = r.deliver (Error e)
 
-let run t =
-  let exec f =
-    t.events <- t.events + 1;
-    if t.events > t.max_events then
-      raise (Limit_exceeded { what = "event budget"; time = t.clock; events = t.events });
-    f ()
+let exec t f =
+  t.events <- t.events + 1;
+  if t.events > t.max_events then
+    raise (Limit_exceeded { what = "event budget"; time = t.clock.(0); events = t.events });
+  f ()
+
+(* Chooser mode: gather the full same-time ready set into the scratch
+   vectors (candidates in (time, seq) order, exactly the legacy candidate
+   order), let the chooser pick, re-push the rest with their original
+   seqs so non-picked events keep their relative order. *)
+let exec_chosen t =
+  let time = t.clock.(0) in
+  Ds.Vec.clear t.g_seqs;
+  Ds.Vec.clear t.g_owners;
+  Ds.Vec.clear t.g_fns;
+  Ds.Vec.push t.g_seqs (Pqueue.popped_seq t.queue);
+  Ds.Vec.push t.g_owners (Pqueue.popped_owner t.queue);
+  Ds.Vec.push t.g_fns (Pqueue.popped_event t.queue);
+  let rec gather () =
+    match Pqueue.peek_time t.queue with
+    | Some pt when pt = time ->
+        if Pqueue.pop t.queue then begin
+          Ds.Vec.push t.g_seqs (Pqueue.popped_seq t.queue);
+          Ds.Vec.push t.g_owners (Pqueue.popped_owner t.queue);
+          Ds.Vec.push t.g_fns (Pqueue.popped_event t.queue);
+          gather ()
+        end
+    | _ -> ()
   in
+  gather ();
+  let n = Ds.Vec.length t.g_fns in
+  if n = 1 then exec t (Ds.Vec.get t.g_fns 0)
+  else begin
+    let ids = Array.init n (Ds.Vec.get t.g_owners) in
+    let pick = choose t ~kind:Ready ~ids in
+    for i = 0 to n - 1 do
+      if i <> pick then
+        Pqueue.push t.queue ~time ~seq:(Ds.Vec.get t.g_seqs i)
+          ~owner:(Ds.Vec.get t.g_owners i) (Ds.Vec.get t.g_fns i)
+    done;
+    let g = Ds.Vec.get t.g_fns pick in
+    Ds.Vec.clear t.g_fns;
+    exec t g
+  end
+
+let quiesce t =
+  if t.live > 0 then begin
+    let parked = ref [] in
+    for i = Ds.Vec.length t.fibers - 1 downto 0 do
+      let f = Ds.Vec.get t.fibers i in
+      if f.state = Parked then parked := f.flabel :: !parked
+    done;
+    if !parked <> [] then raise (Deadlock !parked)
+  end
+
+let run_loop t =
   let rec loop () =
-    match Pqueue.pop_min t.queue with
-    | Some (time, seq, (_owner, f)) ->
-        if time > t.deadline then
-          raise (Limit_exceeded
-                   { what = "simulated-time deadline"; time; events = t.events });
-        t.clock <- time;
-        (match t.chooser with
-        | None -> exec f
-        | Some _ ->
-            (* Gather every event pending at this exact timestamp: together
-               they form the ready set, any one of which a legal scheduler
-               may run next.  The chooser picks one; the others go back with
-               their original (time, seq), so a chooser that always answers
-               0 replays the incumbent schedule bit-identically. *)
-            let rest = ref [] in
-            let rec gather () =
-              match Pqueue.peek_time t.queue with
-              | Some pt when pt = time -> (
-                  match Pqueue.pop_min t.queue with
-                  | Some (_, s, e) ->
-                      rest := (s, e) :: !rest;
-                      gather ()
-                  | None -> ())
-              | _ -> ()
-            in
-            gather ();
-            (match List.rev !rest with
-            | [] -> exec f
-            | more ->
-                let all = Array.of_list ((seq, (_owner, f)) :: more) in
-                let ids = Array.map (fun (_, (o, _)) -> o) all in
-                let pick = choose t ~kind:Ready ~ids in
-                Array.iteri
-                  (fun i (s, e) ->
-                    if i <> pick then Pqueue.push t.queue ~time ~seq:s e)
-                  all;
-                let _, (_, g) = all.(pick) in
-                exec g));
-        loop ()
-    | None ->
-        let parked = List.filter (fun f -> f.state = Parked) t.fibers in
-        if parked <> [] then raise (Deadlock (List.rev_map label parked))
+    if Pqueue.pop t.queue then begin
+      if Pqueue.popped_time_beyond t.queue t.deadline then
+        raise
+          (Limit_exceeded
+             { what = "simulated-time deadline";
+               time = Pqueue.popped_time t.queue;
+               events = t.events });
+      Pqueue.write_popped_time t.queue t.clock;
+      (match t.chooser with
+      | None -> exec t (Pqueue.popped_event t.queue)
+      | Some _ -> exec_chosen t);
+      loop ()
+    end
+    else quiesce t
   in
   loop ()
+
+let run t =
+  if Profile.current () = Profile.Off then run_loop t
+  else begin
+    let e0 = t.events in
+    Fun.protect
+      ~finally:(fun () ->
+        Profile.add_count "engine.events" (t.events - e0);
+        let peak, resizes, searches = Pqueue.stats t.queue in
+        Profile.record_max "engine.queue_peak" peak;
+        Profile.record_max "engine.queue_resizes" resizes;
+        Profile.record_max "engine.queue_searches" searches;
+        Profile.record_max "engine.fibers_tracked" (Ds.Vec.length t.fibers);
+        Profile.record_max "engine.fibers_live" t.live)
+      (fun () -> Profile.span "engine.run" (fun () -> run_loop t))
+  end

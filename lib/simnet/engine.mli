@@ -39,6 +39,15 @@ val now : t -> float
     progress diagnostic). *)
 val events_processed : t -> int
 
+(** [live_fibers t] counts fibers currently running or parked. *)
+val live_fibers : t -> int
+
+(** [tracked_fibers t] is the size of the internal fiber table.  Finished
+    fibers are pruned once they dominate the table, so this stays within a
+    small constant factor of {!live_fibers} (the scale tests assert it) —
+    the pre-refactor engine kept every fiber ever spawned. *)
+val tracked_fibers : t -> int
+
 (** [schedule t ~delay f] runs callback [f] at time [now t +. delay].
     Unlike a fiber, a callback must not block. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit

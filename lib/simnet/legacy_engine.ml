@@ -1,0 +1,209 @@
+(* The pre-refactor discrete-event engine, frozen verbatim (modulo the
+   queue module being the frozen {!Binheap}).  It exists so the engine
+   bench (lib/experiments/engine_exp.ml) can measure the calendar-queue
+   engine against the exact code it replaced, and so schedule-equality
+   claims ("the refactor replays old schedules bit-identically") are
+   testable against the real old semantics rather than a reconstruction.
+   Do not optimize this module: its value is that it is the old code. *)
+
+open Effect
+open Effect.Deep
+
+exception Killed
+exception Deadlock of string list
+
+exception Limit_exceeded of { what : string; time : float; events : int }
+
+type fiber_state = Running | Parked | Done | Dead
+
+type fiber = { flabel : string; ftag : int; mutable state : fiber_state }
+
+type park_kind = Park_delay | Park_suspend
+
+type park_observer =
+  tag:int -> kind:park_kind -> parked_at:float -> resumed_at:float -> unit
+
+type decision_kind = Ready | Match | Completion | Chaos
+
+type chooser = kind:decision_kind -> ids:int array -> int
+
+(* Queue entries carry the tag of the fiber they will resume (or -1 for
+   detached callbacks) so a chooser can make owner-aware decisions (PCT
+   priorities are per-owner). *)
+type t = {
+  mutable clock : float;
+  queue : (int * (unit -> unit)) Binheap.t;
+  mutable seq : int;
+  mutable events : int;
+  mutable next_fid : int;
+  mutable fibers : fiber list; (* for deadlock diagnostics *)
+  mutable park_observer : park_observer option;
+  mutable chooser : chooser option;
+  mutable deadline : float;
+  mutable max_events : int;
+}
+
+type 'a resumer = { deliver : ('a, exn) result -> unit }
+
+(* Effects performed by fiber code.  The engine value travels inside the
+   effect payload so that one handler definition serves every engine. *)
+type _ Effect.t +=
+  | Delay : t * float -> unit Effect.t
+  | Suspend : t * ('a resumer -> unit) -> 'a Effect.t
+
+let create () =
+  { clock = 0.0; queue = Binheap.create (); seq = 0; events = 0; next_fid = 0; fibers = [];
+    park_observer = None; chooser = None; deadline = infinity; max_events = max_int }
+
+let set_park_observer t obs = t.park_observer <- obs
+let set_chooser t c = t.chooser <- c
+let set_deadline t d = t.deadline <- d
+let set_max_events t n = t.max_events <- n
+
+let choose t ~kind ~ids =
+  let n = Array.length ids in
+  if n <= 1 then 0
+  else
+    match t.chooser with
+    | None -> 0
+    | Some c ->
+        let i = c ~kind ~ids in
+        if i < 0 then 0 else if i >= n then n - 1 else i
+
+let notify_park t fiber kind parked_at =
+  match t.park_observer with
+  | None -> ()
+  | Some f ->
+      f ~tag:fiber.ftag ~kind ~parked_at ~resumed_at:t.clock
+
+let now t = t.clock
+let events_processed t = t.events
+
+let push ?(owner = -1) t ~at f =
+  t.seq <- t.seq + 1;
+  Binheap.push t.queue ~time:at ~seq:t.seq (owner, f)
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Legacy_engine.schedule: negative delay";
+  push t ~at:(t.clock +. delay) f
+
+let alive fiber = fiber.state = Running || fiber.state = Parked
+let is_parked fiber = fiber.state = Parked
+let label fiber = fiber.flabel
+
+let kill _t fiber = if alive fiber then fiber.state <- Dead
+
+let spawn t ?(label = "fiber") ?(tag = -1) f =
+  t.next_fid <- t.next_fid + 1;
+  let fiber =
+    { flabel = Printf.sprintf "%s#%d" label t.next_fid; ftag = tag; state = Running }
+  in
+  t.fibers <- fiber :: t.fibers;
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> if fiber.state <> Dead then fiber.state <- Done);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> fiber.state <- Dead
+          | e ->
+              fiber.state <- Dead;
+              raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t, d) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  fiber.state <- Parked;
+                  let parked_at = t.clock in
+                  push ~owner:fiber.ftag t ~at:(t.clock +. d) (fun () ->
+                      if fiber.state = Dead then discontinue k Killed
+                      else begin
+                        notify_park t fiber Park_delay parked_at;
+                        fiber.state <- Running;
+                        continue k ()
+                      end))
+          | Suspend (t, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  fiber.state <- Parked;
+                  let parked_at = t.clock in
+                  let used = ref false in
+                  let deliver result =
+                    if not !used then begin
+                      used := true;
+                      push ~owner:fiber.ftag t ~at:t.clock (fun () ->
+                          if fiber.state = Dead then discontinue k Killed
+                          else begin
+                            notify_park t fiber Park_suspend parked_at;
+                            fiber.state <- Running;
+                            match result with
+                            | Ok v -> continue k v
+                            | Error e -> discontinue k e
+                          end)
+                    end
+                  in
+                  register { deliver })
+          | _ -> None);
+    }
+  in
+  push ~owner:fiber.ftag t ~at:t.clock (fun () -> match_with f () handler);
+  fiber
+
+let delay t dt =
+  if dt < 0.0 then invalid_arg "Legacy_engine.delay: negative delay";
+  perform (Delay (t, dt))
+
+let yield t = perform (Delay (t, 0.0))
+let suspend t register = perform (Suspend (t, register))
+let resume r v = r.deliver (Ok v)
+let fail r e = r.deliver (Error e)
+
+let run t =
+  let exec f =
+    t.events <- t.events + 1;
+    if t.events > t.max_events then
+      raise (Limit_exceeded { what = "event budget"; time = t.clock; events = t.events });
+    f ()
+  in
+  let rec loop () =
+    match Binheap.pop_min t.queue with
+    | Some (time, seq, (_owner, f)) ->
+        if time > t.deadline then
+          raise (Limit_exceeded
+                   { what = "simulated-time deadline"; time; events = t.events });
+        t.clock <- time;
+        (match t.chooser with
+        | None -> exec f
+        | Some _ ->
+            let rest = ref [] in
+            let rec gather () =
+              match Binheap.peek_time t.queue with
+              | Some pt when pt = time -> (
+                  match Binheap.pop_min t.queue with
+                  | Some (_, s, e) ->
+                      rest := (s, e) :: !rest;
+                      gather ()
+                  | None -> ())
+              | _ -> ()
+            in
+            gather ();
+            (match List.rev !rest with
+            | [] -> exec f
+            | more ->
+                let all = Array.of_list ((seq, (_owner, f)) :: more) in
+                let ids = Array.map (fun (_, (o, _)) -> o) all in
+                let pick = choose t ~kind:Ready ~ids in
+                Array.iteri
+                  (fun i (s, e) ->
+                    if i <> pick then Binheap.push t.queue ~time ~seq:s e)
+                  all;
+                let _, (_, g) = all.(pick) in
+                exec g));
+        loop ()
+    | None ->
+        let parked = List.filter (fun f -> f.state = Parked) t.fibers in
+        if parked <> [] then raise (Deadlock (List.rev_map label parked))
+  in
+  loop ()

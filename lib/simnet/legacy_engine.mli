@@ -1,0 +1,50 @@
+(** The pre-refactor discrete-event engine, frozen as a baseline.
+
+    Same semantics and API shape as {!Engine} had before the calendar-queue
+    refactor: binary-heap event queue ({!Binheap}), per-event tuple and
+    entry allocation, an ever-growing fiber list.  The engine bench
+    ([dune exec bench/main.exe -- engine]) runs identical synthetic
+    workloads on this module and on {!Engine} and gates the measured
+    speedup; the differential tests replay schedules on both.  Not used by
+    the simulator runtime. *)
+
+type t
+type fiber
+
+exception Killed
+exception Deadlock of string list
+exception Limit_exceeded of { what : string; time : float; events : int }
+
+val create : unit -> t
+val now : t -> float
+val events_processed : t -> int
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+val spawn : t -> ?label:string -> ?tag:int -> (unit -> unit) -> fiber
+val kill : t -> fiber -> unit
+val alive : fiber -> bool
+val is_parked : fiber -> bool
+val label : fiber -> string
+val run : t -> unit
+
+type park_kind = Park_delay | Park_suspend
+
+type park_observer =
+  tag:int -> kind:park_kind -> parked_at:float -> resumed_at:float -> unit
+
+val set_park_observer : t -> park_observer option -> unit
+
+type decision_kind = Ready | Match | Completion | Chaos
+type chooser = kind:decision_kind -> ids:int array -> int
+
+val set_chooser : t -> chooser option -> unit
+val choose : t -> kind:decision_kind -> ids:int array -> int
+val set_deadline : t -> float -> unit
+val set_max_events : t -> int -> unit
+val delay : t -> float -> unit
+val yield : t -> unit
+
+type 'a resumer
+
+val suspend : t -> ('a resumer -> unit) -> 'a
+val resume : 'a resumer -> 'a -> unit
+val fail : 'a resumer -> exn -> unit

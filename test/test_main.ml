@@ -24,4 +24,5 @@ let () =
       ("explore", Test_explore.suite);
       ("serve", Test_serve.suite);
       ("stress", Test_stress.suite);
+      ("engine-scale", Test_engine_scale.suite);
     ]

@@ -5,23 +5,26 @@ open Simnet
 
 let test_pqueue_order () =
   let q = Pqueue.create () in
-  Pqueue.push q ~time:2.0 ~seq:1 "b";
-  Pqueue.push q ~time:1.0 ~seq:2 "a";
-  Pqueue.push q ~time:2.0 ~seq:0 "b0";
-  let pop () = match Pqueue.pop_min q with Some (_, _, v) -> v | None -> "end" in
+  (* owner doubles as the payload identity in the monomorphic queue *)
+  Pqueue.push q ~time:2.0 ~seq:1 ~owner:1 (fun () -> ());
+  Pqueue.push q ~time:1.0 ~seq:2 ~owner:2 (fun () -> ());
+  Pqueue.push q ~time:2.0 ~seq:0 ~owner:3 (fun () -> ());
+  let pop () = match Pqueue.pop_min q with Some (_, _, o, _) -> o | None -> -1 in
   let x1 = pop () in
   let x2 = pop () in
   let x3 = pop () in
   let x4 = pop () in
-  Alcotest.(check (list string)) "ordering" [ "a"; "b0"; "b"; "end" ] [ x1; x2; x3; x4 ]
+  Alcotest.(check (list int)) "ordering" [ 2; 3; 1; -1 ] [ x1; x2; x3; x4 ]
 
 let prop_pqueue_sorted =
   Tutil.qtest "pqueue pops sorted" QCheck2.Gen.(list (pair (float_bound_exclusive 100.0) nat))
     (fun entries ->
       let q = Pqueue.create () in
-      List.iteri (fun i (t, _) -> Pqueue.push q ~time:t ~seq:i ~-i) entries;
+      List.iteri (fun i (t, _) -> Pqueue.push q ~time:t ~seq:i ~owner:(i land 0xFFFF) (fun () -> ())) entries;
       let rec drain acc =
-        match Pqueue.pop_min q with Some (t, s, _) -> drain ((t, s) :: acc) | None -> List.rev acc
+        match Pqueue.pop_min q with
+        | Some (t, s, _, _) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
       in
       let popped = drain [] in
       List.sort compare popped = popped)
