@@ -5,12 +5,12 @@
    Usage:  dune exec bench/main.exe -- experiment ...
    Experiments: table1 fig8 fig10 types overhead suffix labelprop raxml
                 ulfm reprored ablation colltuning trace ckpt explore serving
-                engine micro all
+                engine mpi4 micro all
    "colltuning" writes BENCH_collectives.json; "trace" writes
    BENCH_trace.json; "ckpt" writes BENCH_ckpt.json; "explore" writes
    BENCH_explore.json; "serving" writes BENCH_serving.json; "engine"
-   writes BENCH_engine.json.  With no arguments (or --help) the usage is
-   printed. *)
+   writes BENCH_engine.json; "mpi4" writes BENCH_mpi4.json.  With no
+   arguments (or --help) the usage is printed. *)
 
 module K = Kamping.Comm
 module D = Mpisim.Datatype
@@ -133,6 +133,7 @@ let experiments =
     ("explore", Experiments.Explore_exp.run);
     ("serving", Experiments.Serve_exp.run);
     ("engine", Experiments.Engine_exp.run);
+    ("mpi4", Experiments.Mpi4_exp.run);
     ("micro", microbench);
   ]
 

@@ -72,3 +72,15 @@ test -s BENCH_serving.json
 # exits non-zero.
 dune exec bench/main.exe -- engine
 test -s BENCH_engine.json
+
+# Seventh pass: the MPI-4 surface.  The persistent/partitioned gallery
+# example (persistent halo swap + partitioned gather, self-comparing
+# against the ephemeral transport) must run clean under the strict
+# communication checker, then the mpi4 benchmark gates on
+# BENCH_mpi4.json: >=1.15x serving throughput on persistent channels
+# with oracle-exact stores, idle handles invisible in the profile, and
+# bit-identical transports across 20 random schedules — every entry of
+# the "checks" object must be true, else the experiment exits non-zero.
+MPISIM_CHECK=communication dune exec examples/persistent_halo.exe
+dune exec bench/main.exe -- mpi4
+test -s BENCH_mpi4.json

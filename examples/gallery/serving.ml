@@ -26,6 +26,7 @@ let cfg =
     batch_threshold = 8;
     cache_capacity = 8;
     rebalance = false;
+    persistent = false;
     seed = 21;
   }
 

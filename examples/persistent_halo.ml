@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/persistent_halo.ml. *)
+let () = Gallery.Persistent_halo.run ()

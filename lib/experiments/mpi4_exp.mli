@@ -1,0 +1,6 @@
+(** The MPI-4 surface benchmark: persistent-channel serving speedup,
+    profile-invisibility of idle handles, and persistent-vs-ephemeral
+    transport equivalence across random schedules.  Writes and
+    self-validates [BENCH_mpi4.json] — [run] raises if any gate fails. *)
+
+val run : unit -> unit

@@ -21,6 +21,7 @@ let base =
     batch_threshold = 16;
     cache_capacity = 0;
     rebalance = false;
+    persistent = false;
     seed = 42;
   }
 

@@ -450,6 +450,50 @@ let irecv ?(tag = default_tag) ~count t dt ~src =
 
 let iprobe ?(tag = default_tag) t ~src = P.iprobe t.c ~src ~tag
 
+(* ---------------- persistent & partitioned (MPI-4) ---------------- *)
+
+module Persist = Mpisim.Persist
+
+let send_init ?(tag = default_tag) t dt ~send_buf ~dst =
+  P.send_init t.c dt (V.unsafe_data send_buf) ~count:(V.length send_buf) ~dst ~tag
+
+let ssend_init ?(tag = default_tag) t dt ~send_buf ~dst =
+  P.ssend_init t.c dt (V.unsafe_data send_buf) ~count:(V.length send_buf) ~dst ~tag
+
+let recv_init ?(tag = default_tag) ~count t dt ~src =
+  let fill = filler dt [] in
+  let arr = Array.make (max 1 count) fill in
+  let h = P.recv_init t.c dt arr ~count ~src ~tag in
+  (h, V.unsafe_of_array arr count)
+
+let psend_init ?(tag = default_tag) t dt ~send_buf ~partitions ~count ~dst =
+  P.psend_init t.c dt (V.unsafe_data send_buf) ~partitions ~count ~dst ~tag
+
+let precv_init ?(tag = default_tag) ~partitions ~count t dt ~src =
+  let fill = filler dt [] in
+  let arr = Array.make (max 1 (partitions * count)) fill in
+  let h = P.precv_init t.c dt arr ~partitions ~count ~src ~tag in
+  (h, V.unsafe_of_array arr (partitions * count))
+
+let bcast_init ?(root = 0) t dt ~send_recv_buf =
+  C.bcast_init t.c dt (V.unsafe_data send_recv_buf) ~count:(V.length send_recv_buf) ~root
+
+let start = Persist.start
+let startall = Persist.startall
+let free_request = Persist.free
+
+(* ---------------- large counts (MPI-4 MPI_Count) ---------------- *)
+
+let send_sparse ?(tag = default_tag) t dt ~count ~dst = P.send_sparse t.c dt ~count ~dst ~tag
+
+let recv_sparse ?(tag = default_tag) t dt ~capacity ~src =
+  P.recv_sparse t.c dt ~capacity ~src ~tag
+
+(* ---------------- sessions (MPI-4 §11) ---------------- *)
+
+let session ?name t = Mpisim.Session.init ?name t.c
+let comm_of_pset s pname = wrap (Mpisim.Session.comm_of_pset s pname)
+
 (* ---------------- serialization ---------------- *)
 
 let send_serialized ?(tag = default_tag) t codec v ~dst =

@@ -303,6 +303,102 @@ val irecv :
 (** [iprobe t ~src ~tag] checks for a matching message. *)
 val iprobe : ?tag:int -> t -> src:int -> Mpisim.Request.status option
 
+(** {1 Persistent & partitioned operations (MPI-4)}
+
+    The [*_init] wrappers validate once and return an {e inactive}
+    {!Mpisim.Persist.t}; {!start} (or {!Request_pool.start_all}) arms a
+    round, [Persist.wait]/[Persist.test] complete it, and
+    {!free_request} releases the handle.  Receive-side wrappers allocate
+    the standing buffer once and return it alongside the handle — each
+    round's status carries the actual element count. *)
+
+module Persist = Mpisim.Persist
+
+(** [send_init t dt ~send_buf ~dst] is the persistent standard-mode send.
+    The buffer's {e current backing array and length} are captured at init
+    (persistent envelopes are fixed); its contents are re-read at each
+    start.  Do not grow [send_buf] afterwards. *)
+val send_init :
+  ?tag:int -> t -> 'a Mpisim.Datatype.t -> send_buf:'a Ds.Vec.t -> dst:int -> Mpisim.Persist.t
+
+(** [ssend_init] is {!send_init} with synchronous-send completion (each
+    round completes when the receiver matched it). *)
+val ssend_init :
+  ?tag:int -> t -> 'a Mpisim.Datatype.t -> send_buf:'a Ds.Vec.t -> dst:int -> Mpisim.Persist.t
+
+(** [recv_init ~count t dt ~src] builds a standing receive channel of
+    capacity [count] (the datatype needs a [~default] element).  Returns
+    the handle and the standing buffer; after each completed round the
+    status' [count] says how many elements are valid. *)
+val recv_init :
+  ?tag:int ->
+  count:int ->
+  t ->
+  'a Mpisim.Datatype.t ->
+  src:int ->
+  Mpisim.Persist.t * 'a Ds.Vec.t
+
+(** [psend_init t dt ~send_buf ~partitions ~count ~dst] is the partitioned
+    send ([count] elements {e per partition}; the buffer needs
+    [partitions * count]).  Release partitions with [Persist.pready]. *)
+val psend_init :
+  ?tag:int ->
+  t ->
+  'a Mpisim.Datatype.t ->
+  send_buf:'a Ds.Vec.t ->
+  partitions:int ->
+  count:int ->
+  dst:int ->
+  Mpisim.Persist.t
+
+(** [precv_init ~partitions ~count t dt ~src] is the partitioned receive;
+    poll per-partition arrival with [Persist.parrived]. *)
+val precv_init :
+  ?tag:int ->
+  partitions:int ->
+  count:int ->
+  t ->
+  'a Mpisim.Datatype.t ->
+  src:int ->
+  Mpisim.Persist.t * 'a Ds.Vec.t
+
+(** [bcast_init t dt ~send_recv_buf] is the persistent broadcast; the root's
+    buffer contents are re-read at each start. *)
+val bcast_init :
+  ?root:int -> t -> 'a Mpisim.Datatype.t -> send_recv_buf:'a Ds.Vec.t -> Mpisim.Persist.t
+
+(** [start h] arms an inactive handle (MPI_Start). *)
+val start : Mpisim.Persist.t -> unit
+
+(** [startall hs] arms every handle (MPI_Startall). *)
+val startall : Mpisim.Persist.t list -> unit
+
+(** [free_request h] releases an inactive handle (MPI_Request_free). *)
+val free_request : Mpisim.Persist.t -> unit
+
+(** {1 Large counts (MPI-4 [MPI_Count])} *)
+
+(** [send_sparse t dt ~count ~dst] sends [count] elements without a backing
+    buffer — counts beyond {!Mpisim.Datatype.max_small_count} are
+    first-class.  @raise Mpisim.Errors.Count_overflow on unrepresentable
+    byte sizes. *)
+val send_sparse : ?tag:int -> t -> 'a Mpisim.Datatype.t -> count:int -> dst:int -> unit
+
+(** [recv_sparse t dt ~capacity ~src] receives a (possibly huge) message
+    without a backing buffer; the status carries the true count. *)
+val recv_sparse :
+  ?tag:int -> t -> 'a Mpisim.Datatype.t -> capacity:int -> src:int -> Mpisim.Request.status
+
+(** {1 Sessions (MPI-4 §11)} *)
+
+(** [session ?name t] opens an isolated {!Mpisim.Session.t} for this rank
+    (no communication, no shared counter). *)
+val session : ?name:string -> t -> Mpisim.Session.t
+
+(** [comm_of_pset s pname] derives a wrapped communicator over the named
+    process set. *)
+val comm_of_pset : Mpisim.Session.t -> string -> t
+
 (** {1 Serialization (Sec. III-D3)} *)
 
 val send_serialized : ?tag:int -> t -> 'a Serde.Codec.t -> 'a -> dst:int -> unit

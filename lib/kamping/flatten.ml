@@ -17,6 +17,17 @@ let flatten ~comm_size tbl =
   done;
   { data; send_counts }
 
+(* Summing per-destination counts is where a 32-bit-count MPI first
+   overflows in practice (the "int is not enough" motivation of MPI-4):
+   check explicitly so huge layouts fail loudly, not by wraparound. *)
+let total_count flat =
+  Array.fold_left
+    (fun acc c ->
+      let t = acc + c in
+      if c < 0 || t < 0 then raise (Mpisim.Errors.Count_overflow { count = acc; extent = 1 });
+      t)
+    0 flat.send_counts
+
 let flatten_fn ~comm_size f =
   let send_counts = Array.make comm_size 0 in
   let data = Ds.Vec.create () in

@@ -16,6 +16,12 @@ type 'a flat = {
     elements; destinations outside [0, comm_size) are a usage error. *)
 val flatten : comm_size:int -> (int, 'a Ds.Vec.t) Hashtbl.t -> 'a flat
 
+(** [total_count flat] sums the send counts with an explicit overflow
+    check (MPI-4 large-count discipline: the total of many per-rank
+    counts is the first place 32-bit counts overflow).
+    @raise Mpisim.Errors.Count_overflow instead of wrapping around. *)
+val total_count : 'a flat -> int
+
 (** [flatten_fn ~comm_size f] is {!flatten} for a functional description:
     [f dest] lists the elements for [dest]. *)
 val flatten_fn : comm_size:int -> (int -> 'a list) -> 'a flat

@@ -1,10 +1,14 @@
-type t = { slots : int option; pending : Mpisim.Request.t Ds.Vec.t }
+type t = {
+  slots : int option;
+  pending : Mpisim.Request.t Ds.Vec.t;
+  persistent : Mpisim.Persist.t Ds.Vec.t;
+}
 
-let create () = { slots = None; pending = Ds.Vec.create () }
+let create () = { slots = None; pending = Ds.Vec.create (); persistent = Ds.Vec.create () }
 
 let create_bounded ~slots () =
   if slots <= 0 then Mpisim.Errors.usage "Request_pool.create_bounded: need at least one slot";
-  { slots = Some slots; pending = Ds.Vec.create () }
+  { slots = Some slots; pending = Ds.Vec.create (); persistent = Ds.Vec.create () }
 
 (* Drop completed requests from the front to make room. *)
 let reap pool =
@@ -30,19 +34,49 @@ let add pool req =
 
 let in_flight pool = Ds.Vec.length pool.pending
 
+(* ---------------- persistent handles ---------------- *)
+
+let request_init pool h =
+  if Mpisim.Persist.is_freed h then
+    Mpisim.Errors.usage "Request_pool.request_init: handle is already freed";
+  Ds.Vec.push pool.persistent h
+
+let persistent_count pool = Ds.Vec.length pool.persistent
+
+let start_all pool =
+  Ds.Vec.iter
+    (fun h -> if not (Mpisim.Persist.is_active h) then Mpisim.Persist.start h)
+    pool.persistent
+
 let wait_all pool =
   let first_error = ref None in
-  Ds.Vec.iter
-    (fun req ->
-      match Mpisim.Request.wait req with
-      | (_ : Mpisim.Request.status) -> ()
-      | exception e -> if !first_error = None then first_error := Some e)
-    pool.pending;
+  let note f =
+    match f () with
+    | (_ : Mpisim.Request.status) -> ()
+    | exception e -> if !first_error = None then first_error := Some e
+  in
+  Ds.Vec.iter (fun req -> note (fun () -> Mpisim.Request.wait req)) pool.pending;
   Ds.Vec.clear pool.pending;
+  (* Persistent handles stay in the pool: only the active round is
+     completed; the handle returns to inactive, ready for the next
+     start. *)
+  Ds.Vec.iter (fun h -> note (fun () -> Mpisim.Persist.wait h)) pool.persistent;
   match !first_error with Some e -> raise e | None -> ()
 
+let free_all pool =
+  wait_all pool;
+  Ds.Vec.iter Mpisim.Persist.free pool.persistent;
+  Ds.Vec.clear pool.persistent
+
 let test_all pool =
-  if Ds.Vec.for_all Mpisim.Request.is_complete pool.pending then begin
+  if
+    Ds.Vec.for_all Mpisim.Request.is_complete pool.pending
+    && Ds.Vec.for_all
+         (fun h ->
+           (not (Mpisim.Persist.is_active h))
+           || Mpisim.Request.is_complete (Mpisim.Persist.request h))
+         pool.persistent
+  then begin
     wait_all pool;
     true
   end

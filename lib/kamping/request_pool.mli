@@ -24,10 +24,34 @@ val add : t -> Mpisim.Request.t -> unit
 val in_flight : t -> int
 
 (** [wait_all pool] completes every submitted request and empties the
-    pool.
+    pending set; persistent handles only have their active round waited
+    (inactive rounds are a no-op) and stay in the pool for the next
+    {!start_all}.
     @raise the first failure exception encountered, after draining. *)
 val wait_all : t -> unit
 
-(** [test_all pool] is true (and empties the pool) iff every request has
-    completed. *)
+(** [test_all pool] is true (and behaves like {!wait_all}) iff every
+    pending request and every active persistent round has completed. *)
 val test_all : t -> bool
+
+(** {1 Persistent handles (MPI-4 §3.9)}
+
+    A pool doubles as the owner of persistent handles: register each
+    [*_init] result once with {!request_init}, then drive rounds with
+    {!start_all} / {!wait_all} and release everything with {!free_all}
+    (which also satisfies the checker's leak scan). *)
+
+(** [request_init pool h] registers a persistent handle; a usage error if
+    [h] is already freed. *)
+val request_init : t -> Mpisim.Persist.t -> unit
+
+(** [persistent_count pool] counts registered persistent handles. *)
+val persistent_count : t -> int
+
+(** [start_all pool] arms every registered inactive handle (active ones
+    are left to finish their round). *)
+val start_all : t -> unit
+
+(** [free_all pool] completes outstanding rounds ({!wait_all}), frees
+    every persistent handle, and forgets them. *)
+val free_all : t -> unit

@@ -15,3 +15,14 @@ let of_wire codec buf len =
   Serde.Codec.decode codec b
 
 let wire_datatype = Mpisim.Datatype.serialized
+
+(* Large counts (MPI-4 MPI_Count) cross the wire as two 31-bit halves so
+   that a count header never overflows the int datatype on any side. *)
+let encode_count count =
+  let hi, lo = Mpisim.Datatype.split_count count in
+  [| hi; lo |]
+
+let decode_count arr =
+  if Array.length arr <> 2 then
+    Mpisim.Errors.usage "Serialization.decode_count: expected 2 halves, got %d" (Array.length arr);
+  Mpisim.Datatype.join_count ~hi:arr.(0) ~lo:arr.(1)

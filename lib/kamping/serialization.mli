@@ -21,3 +21,18 @@ val of_wire : 'a Serde.Codec.t -> char array -> int -> 'a
 
 (** [wire_datatype] is the datatype of serialized payloads. *)
 val wire_datatype : char Mpisim.Datatype.t
+
+(** {1 Large counts (MPI-4 [MPI_Count])}
+
+    Element counts beyond {!Mpisim.Datatype.max_small_count} cannot ride
+    in a single [int] header field of a fixed-width wire format; these
+    helpers split them into two 31-bit halves for transmission
+    (the OCaml analogue of MPI-4's [MPI_Count] / big-count headers). *)
+
+(** [encode_count c] is [[| hi; lo |]], both halves in [0, 2^31).
+    @raise Mpisim.Errors.Count_overflow on a negative count. *)
+val encode_count : int -> int array
+
+(** [decode_count arr] reassembles {!encode_count}'s output.
+    @raise Mpisim.Errors.Usage_error on malformed input. *)
+val decode_count : int array -> int

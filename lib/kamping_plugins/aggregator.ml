@@ -1,5 +1,10 @@
 module V = Ds.Vec
 module D = Mpisim.Datatype
+module Persist = Mpisim.Persist
+
+(* A standing persistent endpoint: one MPI-4 [*_init] handle plus its
+   fixed envelope buffer (capacity = threshold items). *)
+type 'a chan = { handle : Persist.t; cbuf : 'a array }
 
 type 'a t = {
   comm : Kamping.Comm.t;
@@ -8,35 +13,83 @@ type 'a t = {
   tag : int;
   handler : src:int -> 'a V.t -> unit;
   buffers : 'a V.t array; (* per destination *)
-  mutable in_flight : Mpisim.Request.t list; (* synchronous-send handles *)
+  mutable in_flight : Mpisim.Request.t list; (* ephemeral synchronous-send handles *)
+  (* Persistent mode (MPI-4): one standing receive channel per source and
+     one persistent synchronous send per destination, lazily created on
+     the first full block.  Empty arrays in ephemeral mode. *)
+  channels : 'a chan array;
+  send_chans : 'a chan option array;
+  mutable closed : bool;
 }
 
-let create ?(threshold = 256) ?(tag = 0xa99) comm dt ~handler =
-  if threshold <= 0 then Mpisim.Errors.usage "Aggregator.create: threshold must be positive";
-  {
-    comm;
-    dt;
-    threshold;
-    tag;
-    handler;
-    buffers = Array.init (Kamping.Comm.size comm) (fun _ -> V.create ());
-    in_flight = [];
-  }
+let default_of t =
+  match D.default_elt t.dt with
+  | Some d -> d
+  | None -> Mpisim.Errors.usage "Aggregator: datatype %s needs ~default" (D.name t.dt)
 
+let create ?(threshold = 256) ?(tag = 0xa99) ?(persistent = false) comm dt ~handler =
+  if threshold <= 0 then Mpisim.Errors.usage "Aggregator.create: threshold must be positive";
+  let p = Kamping.Comm.size comm in
+  let t =
+    {
+      comm;
+      dt;
+      threshold;
+      tag;
+      handler;
+      buffers = Array.init p (fun _ -> V.create ());
+      in_flight = [];
+      channels = [||];
+      send_chans = (if persistent then Array.make p None else [||]);
+      closed = false;
+    }
+  in
+  if not persistent then t
+  else begin
+    (* Standing receive channels: matching state is validated once at
+       init; every block from [src] lands in the same pooled envelope.
+       A partial (sub-threshold) block still matches — the round's
+       status carries the true item count. *)
+    let fill = default_of t in
+    let raw = Kamping.Comm.raw comm in
+    let channels =
+      Array.init p (fun src ->
+          let cbuf = Array.make threshold fill in
+          let handle = Mpisim.P2p.recv_init raw dt cbuf ~count:threshold ~src ~tag in
+          Persist.start handle;
+          { handle; cbuf })
+    in
+    { t with channels }
+  end
+
+let is_persistent t = Array.length t.channels > 0
 let pending_items t = Array.fold_left (fun acc b -> acc + V.length b) 0 t.buffers
+
+let deliver_block t ~src arr count =
+  t.handler ~src (V.unsafe_of_array (Array.sub arr 0 count) count)
 
 (* Deliver everything currently available, without blocking. *)
 let poll t =
   let raw = Kamping.Comm.raw t.comm in
+  (* Standing channels first (per-source FIFO: a channel round always
+     matched before anything now sitting in the unexpected queue). *)
+  Array.iteri
+    (fun src chan ->
+      let rec drain_chan () =
+        match Persist.test chan.handle with
+        | Some st ->
+            deliver_block t ~src chan.cbuf st.Mpisim.Request.count;
+            (* restart may complete instantly off the unexpected queue *)
+            Persist.start chan.handle;
+            drain_chan ()
+        | None -> ()
+      in
+      drain_chan ())
+    t.channels;
   let rec drain () =
     match Mpisim.P2p.iprobe raw ~src:Mpisim.P2p.any_source ~tag:t.tag with
     | Some st ->
-        let fill =
-          match D.default_elt t.dt with
-          | Some d -> d
-          | None -> Mpisim.Errors.usage "Aggregator: datatype %s needs ~default" (D.name t.dt)
-        in
-        let buf = Array.make (max 1 st.Mpisim.Request.count) fill in
+        let buf = Array.make (max 1 st.Mpisim.Request.count) (default_of t) in
         let st =
           Mpisim.P2p.recv raw t.dt buf ~count:st.Mpisim.Request.count
             ~src:st.Mpisim.Request.source ~tag:t.tag
@@ -47,16 +100,52 @@ let poll t =
     | None -> ()
   in
   drain ();
-  t.in_flight <- List.filter (fun req -> not (Mpisim.Request.is_complete req)) t.in_flight
+  t.in_flight <- List.filter (fun req -> not (Mpisim.Request.is_complete req)) t.in_flight;
+  (* Retire persistent sends whose round has completed (receiver matched). *)
+  Array.iter
+    (function
+      | Some chan when Persist.is_active chan.handle -> ignore (Persist.test chan.handle)
+      | Some _ | None -> ())
+    t.send_chans
+
+let send_chan_for t dst =
+  match t.send_chans.(dst) with
+  | Some chan -> chan
+  | None ->
+      let raw = Kamping.Comm.raw t.comm in
+      let cbuf = Array.make t.threshold (default_of t) in
+      (* Synchronous mode: NBX termination counts on every block being
+         matched before the barrier, exactly like the ephemeral issend. *)
+      let handle = Mpisim.P2p.ssend_init raw t.dt cbuf ~count:t.threshold ~dst ~tag:t.tag in
+      let chan = { handle; cbuf } in
+      t.send_chans.(dst) <- Some chan;
+      chan
 
 let ship t dst =
   let block = t.buffers.(dst) in
   if not (V.is_empty block) then begin
     let raw = Kamping.Comm.raw t.comm in
-    let req =
-      Mpisim.P2p.issend raw t.dt (V.unsafe_data block) ~count:(V.length block) ~dst ~tag:t.tag
+    let shipped_persistently =
+      is_persistent t
+      && V.length block = t.threshold
+      &&
+      let chan = send_chan_for t dst in
+      if Persist.is_active chan.handle then false
+      else begin
+        Array.blit (V.unsafe_data block) 0 chan.cbuf 0 t.threshold;
+        Persist.start chan.handle;
+        true
+      end
     in
-    t.in_flight <- req :: t.in_flight;
+    if not shipped_persistently then begin
+      (* partial block, or the previous round to [dst] is still in
+         flight: fall back to an ephemeral synchronous send (same tag,
+         so it matches the same standing channel on the receiver) *)
+      let req =
+        Mpisim.P2p.issend raw t.dt (V.unsafe_data block) ~count:(V.length block) ~dst ~tag:t.tag
+      in
+      t.in_flight <- req :: t.in_flight
+    end;
     t.buffers.(dst) <- V.create ()
   end
 
@@ -91,6 +180,12 @@ let check_failures t =
   | Some wr -> raise (Mpisim.Errors.Process_failed { world_rank = wr })
   | None -> ()
 
+let sends_quiet t =
+  t.in_flight = []
+  && Array.for_all
+       (function Some chan -> not (Persist.is_active chan.handle) | None -> true)
+       t.send_chans
+
 (* NBX-style termination: once this rank's blocks are all matched, enter a
    non-blocking barrier; when it completes, every block of the round has
    been received (matching implies delivery here, since we receive in the
@@ -106,8 +201,28 @@ let finish t =
     poll t;
     (match !barrier with
     | None ->
-        if t.in_flight = [] then barrier := Some (Mpisim.Collectives.ibarrier (Kamping.Comm.raw t.comm))
+        if sends_quiet t then barrier := Some (Mpisim.Collectives.ibarrier (Kamping.Comm.raw t.comm))
     | Some req -> if Mpisim.Request.is_complete req then finished := true);
     if not !finished then Kamping.Comm.compute t.comm 1.0e-6
   done;
   poll t
+
+(* Retire the standing endpoints.  Only legal at quiescence (after a
+   [finish]): cancelling a receive channel drops any round still in
+   flight. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun chan ->
+        if Persist.is_active chan.handle then Persist.cancel chan.handle;
+        Persist.free chan.handle)
+      t.channels;
+    Array.iter
+      (function
+        | Some chan ->
+            if Persist.is_active chan.handle then ignore (Persist.wait chan.handle);
+            Persist.free chan.handle
+        | None -> ())
+      t.send_chans
+  end

@@ -18,14 +18,28 @@ type 'a t
 
     @param threshold items buffered per destination before a block ships
     (default 256)
-    @param tag plugin tag, in case several aggregators overlap *)
+    @param tag plugin tag, in case several aggregators overlap
+    @param persistent use MPI-4 persistent channels (default false): one
+    standing [recv_init] per source (capacity [threshold], restarted after
+    each delivered block) and one [ssend_init] per destination for full
+    blocks, so steady-state rounds skip per-call validation and matching
+    setup entirely.  Partial blocks (from {!flush}/{!finish}) and blocks
+    overtaking a still-in-flight round fall back to ephemeral synchronous
+    sends on the same tag, which match the same standing channels.  The
+    datatype needs a [~default] element; retire the endpoints with
+    {!close}. *)
 val create :
   ?threshold:int ->
   ?tag:int ->
+  ?persistent:bool ->
   Kamping.Comm.t ->
   'a Mpisim.Datatype.t ->
   handler:(src:int -> 'a Ds.Vec.t -> unit) ->
   'a t
+
+(** [is_persistent t] is true when the aggregator runs on persistent
+    channels. *)
+val is_persistent : 'a t -> bool
 
 (** [send t ~dst item] buffers [item] for [dst], shipping a block if the
     buffer is full.  Also opportunistically delivers any blocks that have
@@ -53,3 +67,10 @@ val flush : 'a t -> unit
     ULFM-style for a recovery layer (e.g. {!Ckpt.run_resilient}) to
     handle. *)
 val finish : 'a t -> unit
+
+(** [close t] retires the persistent endpoints: cancels and frees every
+    standing receive channel and frees every persistent send handle (the
+    checker's finalize leak scan requires this).  Only legal at
+    quiescence — call it after the last {!finish}.  A no-op in ephemeral
+    mode and on a second call. *)
+val close : 'a t -> unit

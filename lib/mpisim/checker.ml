@@ -35,6 +35,7 @@ type detail =
   | Truncation of { sent : int; capacity : int }
   | Datatype_mismatch of { sent : string; expected : string }
   | Request_leak
+  | Persistent_leak of { starts : int }
   | Unmatched_send of { dst : int; tag : int; count : int }
   | Window_leak
 
@@ -64,6 +65,10 @@ let detail_to_string = function
   | Datatype_mismatch { sent; expected } ->
       Printf.sprintf "datatype mismatch: sent %s, receiver expects %s" sent expected
   | Request_leak -> "request leak: completion never waited for or tested"
+  | Persistent_leak { starts } ->
+      Printf.sprintf
+        "persistent request leak: never freed with MPI_Request_free (%d start%s)" starts
+        (if starts = 1 then "" else "s")
   | Unmatched_send { dst; tag; count } ->
       Printf.sprintf "unmatched send: %d elements to rank %d (tag %d) never received" count dst tag
   | Window_leak -> "window leak: RMA window never freed"
@@ -89,12 +94,25 @@ type tracked_request = {
 }
 type tracked_window = { tw_rank : int; tw_comm : int; tw_tok : window_token }
 
+(* Persistent handles are tracked through closures (reading the handle's
+   phase/round counter at finalize time) so the checker does not depend on
+   the [Persist] module. *)
+type tracked_persistent = {
+  tp_rank : int;
+  tp_comm : int;
+  tp_op : string;
+  tp_at : float;
+  tp_freed : unit -> bool;
+  tp_starts : unit -> int;
+}
+
 type state = {
   diags : diagnostic V.t;
   coll_log : (int, coll_sig V.t) Hashtbl.t; (* cid -> agreed call sequence *)
   coll_pos : (int * int, int ref) Hashtbl.t; (* (cid, world rank) -> next index *)
   reqs : tracked_request V.t;
   windows : tracked_window V.t;
+  persistents : tracked_persistent V.t;
 }
 
 let create () =
@@ -104,6 +122,7 @@ let create () =
     coll_pos = Hashtbl.create 16;
     reqs = V.create ();
     windows = V.create ();
+    persistents = V.create ();
   }
 
 let collector : (diagnostic -> unit) option ref = ref None
@@ -204,6 +223,12 @@ let record_match_error st ~rank ~comm ~op ~src ~tag e =
 let track_request st ~rank ~comm ~op ~at req =
   if enabled Heavy then
     V.push st.reqs { tr_rank = rank; tr_comm = comm; tr_op = op; tr_at = at; tr_req = req }
+
+let track_persistent st ~rank ~comm ~op ~at ~freed ~starts =
+  if enabled Heavy then
+    V.push st.persistents
+      { tp_rank = rank; tp_comm = comm; tp_op = op; tp_at = at; tp_freed = freed;
+        tp_starts = starts }
 
 let inert_token = { freed = true }
 
@@ -362,6 +387,23 @@ let finalize st ~mailboxes ~rank_alive ~comm_revoked ~comm_failed_at =
                   detail = Unmatched_send { dst; tag = env.Msg.tag; count = env.Msg.count };
                 }))
       mailboxes;
+    V.iter
+      (fun tp ->
+        if
+          rank_alive tp.tp_rank
+          && (not (comm_revoked tp.tp_comm))
+          && (not (abandoned ~comm:tp.tp_comm ~at:tp.tp_at))
+          && not (tp.tp_freed ())
+        then
+          report st
+            {
+              rank = tp.tp_rank;
+              comm = tp.tp_comm;
+              op = tp.tp_op;
+              location = "finalize";
+              detail = Persistent_leak { starts = tp.tp_starts () };
+            })
+      st.persistents;
     V.iter
       (fun tw ->
         if (not tw.tw_tok.freed) && rank_alive tw.tw_rank then

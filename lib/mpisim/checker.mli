@@ -70,6 +70,9 @@ type detail =
   | Truncation of { sent : int; capacity : int }
   | Datatype_mismatch of { sent : string; expected : string }
   | Request_leak  (** a request whose completion the program never observed *)
+  | Persistent_leak of { starts : int }
+      (** a persistent request never released with [MPI_Request_free];
+          [starts] is how many rounds it ran *)
   | Unmatched_send of { dst : int; tag : int; count : int }
   | Window_leak  (** an RMA window never released with [Win.free] *)
 
@@ -119,6 +122,21 @@ val record_match_error :
     time (used to scope the damaged-communicator exemption).  Active at
     {!Heavy}. *)
 val track_request : state -> rank:int -> comm:int -> op:string -> at:float -> Request.t -> unit
+
+(** [track_persistent st ~rank ~comm ~op ~at ~freed ~starts] registers a
+    persistent handle for the finalize leak scan.  The closures read the
+    handle's state at finalize time: a handle for which [freed ()] is still
+    false — whether parked inactive or abandoned mid-round — is reported as
+    a {!Persistent_leak} carrying [starts ()].  Active at {!Heavy}. *)
+val track_persistent :
+  state ->
+  rank:int ->
+  comm:int ->
+  op:string ->
+  at:float ->
+  freed:(unit -> bool) ->
+  starts:(unit -> int) ->
+  unit
 
 (** Handle for one rank's view of an RMA window, used by the leak check. *)
 type window_token

@@ -511,6 +511,50 @@ let ibcast ?(pos = 0) ?count comm dt buf ~root =
   record_algo comm "MPI_Ibcast" (Algo.bcast_name algo);
   spawn_collective comm ~label:"ibcast" (fun () -> run_bcast comm dt buf pos count ~root algo ~tags)
 
+(* Persistent collective (MPI-4 §6.13): everything rank-coordinated —
+   ordering check, tag draw, algorithm selection — happens once at init,
+   so every round reuses the same tags and algorithm.  Rounds stay
+   separable without fresh tags because each pair's messages keep FIFO
+   order and all ranks start rounds in the same order (the MPI contract
+   for persistent collectives). *)
+let bcast_init ?(pos = 0) ?count comm dt buf ~root =
+  Comm.check_active comm;
+  record comm "MPI_Bcast_init";
+  check_root comm root;
+  let count = match count with Some c -> c | None -> Array.length buf - pos in
+  check_count "bcast_init" count;
+  if pos < 0 || pos + count > Array.length buf then
+    Errors.usage "bcast_init: window [%d, %d) exceeds buffer of length %d" pos (pos + count)
+      (Array.length buf);
+  check_coll comm ~op:"MPI_Bcast_init" ~root ~count (Some dt);
+  traced comm ~op:"MPI_Bcast_init" @@ fun () ->
+  let w = Comm.world comm in
+  let tags = draw2 comm in
+  let algo = select_bcast comm dt count in
+  record_algo comm "MPI_Bcast_init" (Algo.bcast_name algo);
+  let start h =
+    Comm.check_active comm;
+    traced comm ~op:"MPI_Start" @@ fun () ->
+    let req = Persist.request h in
+    let _ : Engine.fiber =
+      Engine.spawn w.World.engine ~label:"bcast_init" (fun () ->
+          run_bcast comm dt buf pos count ~root algo ~tags;
+          Request.complete req { source = -1; tag = 0; count })
+    in
+    ()
+  in
+  let h =
+    Persist.make w.World.engine ~op:"MPI_Bcast_init"
+      ~around_wait:(fun _ f -> traced comm ~op:"MPI_Wait" f)
+      start
+  in
+  Checker.track_persistent w.World.check
+    ~rank:(Comm.world_rank_of comm (Comm.rank comm))
+    ~comm:(Comm.id comm) ~op:"MPI_Bcast_init" ~at:(World.now w)
+    ~freed:(fun () -> Persist.is_freed h)
+    ~starts:(fun () -> Persist.starts h);
+  h
+
 let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
   Comm.check_active comm;
   record comm "MPI_Iallreduce";

@@ -207,6 +207,15 @@ val ibarrier : Comm.t -> Request.t
     must not be touched until the request completes. *)
 val ibcast : ?pos:int -> ?count:int -> Comm.t -> 'a Datatype.t -> 'a array -> root:int -> Request.t
 
+(** [bcast_init comm dt buf ~root] is the persistent broadcast (MPI-4
+    §6.13): validation, the collective-ordering check, tag allocation and
+    algorithm selection all happen once, and every {!Persist.start} replays
+    the chosen algorithm with the same tags (legal because all ranks start
+    rounds in the same order and per-pair message order is FIFO).  The
+    root's buffer contents are re-read at each start. *)
+val bcast_init :
+  ?pos:int -> ?count:int -> Comm.t -> 'a Datatype.t -> 'a array -> root:int -> Persist.t
+
 (** [iallreduce comm dt op ~sendbuf ~recvbuf ~count] is the non-blocking
     allreduce. *)
 val iallreduce :

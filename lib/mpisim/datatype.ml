@@ -18,7 +18,24 @@ let name dt = dt.name
 let extent dt = dt.extent
 let kind dt = dt.kind
 let pack_factor dt = dt.pack_factor
-let bytes dt count = count * dt.extent
+(* Largest count representable in an MPI-3 style [int] count field (2^31-1).
+   Counts at or below this bound with extents at or below it cannot overflow
+   the 63-bit host int, so the hot path stays two compares + one multiply. *)
+let max_small_count = 0x7FFFFFFF
+
+let bytes dt count =
+  if count < 0 || (count > max_small_count && count > max_int / dt.extent) then
+    raise (Errors.Count_overflow { count; extent = dt.extent });
+  count * dt.extent
+
+let split_count count =
+  if count < 0 then raise (Errors.Count_overflow { count; extent = 1 });
+  (count lsr 31, count land max_small_count)
+
+let join_count ~hi ~lo =
+  if hi < 0 || hi > max_small_count || lo < 0 || lo > max_small_count then
+    Errors.usage "Datatype.join_count: halves (%d, %d) out of 31-bit range" hi lo;
+  (hi lsl 31) lor lo
 let equal_witness a b = Type.Id.provably_equal a.id b.id
 let pp fmt dt = Format.pp_print_string fmt dt.name
 

@@ -38,8 +38,25 @@ val kind : 'a t -> kind
     the network model (1.0 for contiguous layouts, >1 for gapped structs). *)
 val pack_factor : 'a t -> float
 
-(** [bytes dt count] is [count * extent dt]. *)
+(** [bytes dt count] is [count * extent dt].  Raises
+    {!Errors.Count_overflow} when [count] is negative or the product does
+    not fit the host integer — the large-count-safe byte-size path every
+    transfer goes through (MPI-4 [MPI_Count]). *)
 val bytes : 'a t -> int -> int
+
+(** Largest count representable in an MPI-3 style 32-bit signed count field
+    ([2^31 - 1]).  Counts above this use the large-count wire encoding
+    ({!split_count}/{!join_count}). *)
+val max_small_count : int
+
+(** [split_count c] encodes a (possibly > 2^31) count as [(hi, lo)] 31-bit
+    halves for transport through 32-bit wire fields.  Raises
+    {!Errors.Count_overflow} on negative counts. *)
+val split_count : int -> int * int
+
+(** [join_count ~hi ~lo] inverts {!split_count}.  Raises
+    {!Errors.Usage_error} when either half is out of 31-bit range. *)
+val join_count : hi:int -> lo:int -> int
 
 (** [equal_witness a b] is the type-equality proof if [a] and [b] are the
     same datatype. *)

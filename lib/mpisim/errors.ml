@@ -1,6 +1,7 @@
 exception Usage_error of string
 exception Type_mismatch of { sent : string; expected : string }
 exception Truncated of { sent : int; capacity : int }
+exception Count_overflow of { count : int; extent : int }
 exception Process_failed of { world_rank : int }
 exception Comm_revoked
 

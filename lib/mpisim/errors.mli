@@ -17,6 +17,11 @@ exception Type_mismatch of { sent : string; expected : string }
     hold. *)
 exception Truncated of { sent : int; capacity : int }
 
+(** [count * extent] does not fit the host integer range, or a negative
+    count was supplied to a large-count path (MPI-4 [MPI_Count]
+    semantics: the byte size of a transfer must be representable). *)
+exception Count_overflow of { count : int; extent : int }
+
 (** A peer process involved in the operation has failed (ULFM).  Carries the
     world rank of (one of) the failed process(es). *)
 exception Process_failed of { world_rank : int }

@@ -2,7 +2,9 @@ let any_source = -1
 let any_tag = -1
 
 type ctx = User | Internal
-type packed = Packed : 'a Datatype.t * 'a array -> packed
+type packed =
+  | Packed : 'a Datatype.t * 'a array -> packed
+  | Sparse : 'a Datatype.t * int -> packed
 
 (* Envelopes are mutable so the runtime can recycle them through a
    free-list pool: at 10k+ ranks the per-message envelope allocation was

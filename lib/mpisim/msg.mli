@@ -15,9 +15,16 @@ val any_tag : int
     ids for this). *)
 type ctx = User | Internal
 
-(** A message in flight, carrying a dense copy of the sent elements together
-    with its datatype (the witness lets the receiver copy type-safely). *)
-type packed = Packed : 'a Datatype.t * 'a array -> packed
+(** A message in flight: either a dense copy of the sent elements together
+    with its datatype (the witness lets the receiver copy type-safely), or a
+    {e sparse} payload — datatype + element count with no materialized
+    buffer.  Sparse payloads let large-count tests and benchmarks move
+    multi-GiB transfers (counts > 2^31) through the full matching/cost path
+    without allocating real element arrays; the receiver side type-checks
+    and count-checks exactly like the dense path but performs no copy. *)
+type packed =
+  | Packed : 'a Datatype.t * 'a array -> packed
+  | Sparse : 'a Datatype.t * int -> packed
 
 (** Envelopes are mutable because the runtime recycles them through a
     free-list {!pool}: a delivered envelope's record is reused for a later

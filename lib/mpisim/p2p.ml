@@ -62,13 +62,22 @@ let stamp_env_match (env : Msg.envelope) ~posted ~time =
   | Some m -> Trace.Event.stamp_match m ~posted ~time
   | None -> ()
 
-(* Book the message into the network and schedule its arrival.  Returns the
-   injection-complete time (when the sender's buffer is reusable). *)
-let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
-  Comm.check_active comm;
-  check_tag ~ctx tag;
-  Datatype.mark_committed dt;
-  let count = window_bounds ~what:"send" buf pos count in
+(* Per-call software initiation cost (argument validation, matching setup).
+   Only user-level ephemeral calls pay it; persistent operations charge it
+   once at init.  Zero by default, and the [> 0.0] guard keeps the default
+   schedule free of extra events. *)
+let charge_setup ~ctx comm =
+  if ctx = Msg.User then begin
+    let w = Comm.world comm in
+    let so = (Netmodel.params w.World.net).Netmodel.setup_overhead in
+    if so > 0.0 then Engine.delay w.World.engine so
+  end
+
+(* Book a validated message into the network and schedule its arrival.
+   No validation happens here — this is the path persistent [start]s reuse
+   after validating once at init.  Returns the injection-complete time
+   (when the sender's buffer is reusable). *)
+let inject_raw comm dt ~count ~dst ~tag ~ctx ~on_matched ~payload =
   let w = Comm.world comm in
   let src_world = Comm.world_rank_of comm (Comm.rank comm) in
   let dst_world = Comm.world_rank_of comm dst in
@@ -101,8 +110,7 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
   if World.is_alive w dst_world then begin
     let env =
       Msg.make_envelope w.World.env_pool ~src:(Comm.rank comm) ~src_world ~tag
-        ~comm_id:(Comm.id comm) ~ctx ~count ~bytes ~sent_at:now
-        ~payload:(Msg.Packed (dt, Array.sub buf pos count))
+        ~comm_id:(Comm.id comm) ~ctx ~count ~bytes ~sent_at:now ~payload:(payload ())
         ~on_matched ~trace:trace_msg
     in
     Engine.schedule w.World.engine
@@ -110,6 +118,17 @@ let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
       (fun () -> Msg.arrive w.World.env_pool w.World.mailboxes.(dst_world) env)
   end;
   injected
+
+(* Validate, charge the per-call setup cost, and inject — the ephemeral
+   send path. *)
+let inject comm dt buf pos count ~dst ~tag ~ctx ~on_matched =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let count = window_bounds ~what:"send" buf pos count in
+  charge_setup ~ctx comm;
+  inject_raw comm dt ~count ~dst ~tag ~ctx ~on_matched
+    ~payload:(fun () -> Msg.Packed (dt, Array.sub buf pos count))
 
 let send ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   let w = Comm.world comm in
@@ -150,20 +169,47 @@ let issend ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
   req
 
 (* Copy a matched envelope into the receive window, enforcing MPI's type
-   and size rules. *)
+   and size rules.  A sparse (non-materialized large-count) payload passes
+   the same type and capacity checks but has no elements to copy. *)
 let copy_payload (type a) (env : Msg.envelope) (rdt : a Datatype.t) (buf : a array) pos capacity :
     (Request.status, exn) result =
-  let (Msg.Packed (sdt, data)) = env.payload in
-  match Datatype.equal_witness sdt rdt with
-  | None ->
-      Error (Errors.Type_mismatch { sent = Datatype.name sdt; expected = Datatype.name rdt })
-  | Some Type.Equal ->
-      let n = Array.length data in
-      if n > capacity then Error (Errors.Truncated { sent = n; capacity })
-      else begin
-        Array.blit data 0 buf pos n;
-        Ok { Request.source = env.src; tag = env.tag; count = n }
-      end
+  match env.payload with
+  | Msg.Packed (sdt, data) -> (
+      match Datatype.equal_witness sdt rdt with
+      | None ->
+          Error (Errors.Type_mismatch { sent = Datatype.name sdt; expected = Datatype.name rdt })
+      | Some Type.Equal ->
+          let n = Array.length data in
+          if n > capacity then Error (Errors.Truncated { sent = n; capacity })
+          else begin
+            Array.blit data 0 buf pos n;
+            Ok { Request.source = env.src; tag = env.tag; count = n }
+          end)
+  | Msg.Sparse (sdt, n) -> (
+      match Datatype.equal_witness sdt rdt with
+      | None ->
+          Error (Errors.Type_mismatch { sent = Datatype.name sdt; expected = Datatype.name rdt })
+      | Some Type.Equal ->
+          if n > capacity then Error (Errors.Truncated { sent = n; capacity })
+          else Ok { Request.source = env.src; tag = env.tag; count = n })
+
+(* Type- and capacity-check a matched envelope without a receive buffer —
+   the large-count receive path, where [capacity] may exceed any
+   allocatable array. *)
+let verify_payload (type a) (env : Msg.envelope) (rdt : a Datatype.t) capacity :
+    (Request.status, exn) result =
+  let check : type b. b Datatype.t -> int -> (Request.status, exn) result =
+   fun sdt n ->
+    match Datatype.equal_witness sdt rdt with
+    | None ->
+        Error (Errors.Type_mismatch { sent = Datatype.name sdt; expected = Datatype.name rdt })
+    | Some Type.Equal ->
+        if n > capacity then Error (Errors.Truncated { sent = n; capacity })
+        else Ok { Request.source = env.src; tag = env.tag; count = n }
+  in
+  match env.payload with
+  | Msg.Packed (sdt, data) -> check sdt (Array.length data)
+  | Msg.Sparse (sdt, n) -> check sdt n
 
 (* Detect whether a receive from [src] can never be satisfied because the
    peer (or, for wildcards, some group member) has failed. *)
@@ -197,6 +243,7 @@ let recv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   let w = Comm.world comm in
   if ctx = Msg.User then record w "MPI_Recv";
   traced ~ctx comm ~op:"MPI_Recv" @@ fun () ->
+  charge_setup ~ctx comm;
   let posted = World.now w in
   let mb = w.World.mailboxes.(my_world comm) in
   match
@@ -242,6 +289,7 @@ let irecv ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
   if ctx = Msg.User then track comm ~op:"MPI_Irecv" req;
   let mb = w.World.mailboxes.(my_world comm) in
   traced ~ctx comm ~op:"MPI_Irecv" @@ fun () ->
+  charge_setup ~ctx comm;
   let posted = World.now w in
   (match
      Msg.take_unexpected ?choose:(World.match_chooser w) mb ~src ~tag ~comm:(Comm.id comm) ~ctx
@@ -338,3 +386,361 @@ let sendrecv_replace ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~stag 
   let status = recv ~ctx ~pos ?count comm dt buf ~src ~tag:rtag in
   ignore (Request.wait sreq);
   status
+
+(* ------------------------------------------------------------------ *)
+(* Large-count (sparse-payload) transfers.                             *)
+(* ------------------------------------------------------------------ *)
+
+let send_sparse ?(ctx = Msg.User) comm dt ~count ~dst ~tag =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  ignore (Datatype.bytes dt count) (* count >= 0 and byte size representable *);
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Send";
+  traced ~ctx comm ~op:"MPI_Send" @@ fun () ->
+  charge_setup ~ctx comm;
+  let injected =
+    inject_raw comm dt ~count ~dst ~tag ~ctx ~on_matched:None
+      ~payload:(fun () -> Msg.Sparse (dt, count))
+  in
+  Engine.delay w.World.engine (injected -. World.now w)
+
+let recv_sparse ?(ctx = Msg.User) comm dt ~capacity ~src ~tag =
+  Comm.check_active comm;
+  check_recv_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  ignore (Datatype.bytes dt capacity);
+  let w = Comm.world comm in
+  if ctx = Msg.User then record w "MPI_Recv";
+  traced ~ctx comm ~op:"MPI_Recv" @@ fun () ->
+  charge_setup ~ctx comm;
+  let posted = World.now w in
+  let mb = w.World.mailboxes.(my_world comm) in
+  match
+    Msg.take_unexpected ?choose:(World.match_chooser w) mb ~src ~tag ~comm:(Comm.id comm) ~ctx
+  with
+  | Some env -> begin
+      stamp_env_match env ~posted ~time:(World.now w);
+      let checked = verify_payload env dt capacity in
+      Msg.release w.World.env_pool env;
+      match checked with
+      | Ok st -> st
+      | Error e ->
+          record_mismatch comm ~op:"MPI_Recv" ~src ~tag e;
+          raise e
+    end
+  | None -> begin
+      match dead_peer comm ~src with
+      | Some wr ->
+          Engine.delay w.World.engine w.World.detection_delay;
+          raise (Errors.Process_failed { world_rank = wr })
+      | None ->
+          Engine.suspend w.World.engine (fun resumer ->
+              let deliver env =
+                stamp_env_match env ~posted ~time:(World.now w);
+                match verify_payload env dt capacity with
+                | Ok st -> Engine.resume resumer st
+                | Error e ->
+                    record_mismatch comm ~op:"MPI_Recv" ~src ~tag e;
+                    Engine.fail resumer e
+              in
+              let on_fail e = Engine.fail resumer e in
+              Msg.post mb (make_pending comm ~src ~tag ~ctx ~deliver ~on_fail))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent operations (MPI-4 §3.9).                                 *)
+(*                                                                     *)
+(* All validation — communicator, tag, window bounds, datatype commit, *)
+(* peer-rank range — plus the per-call setup cost and checker          *)
+(* registration happen once here at init.  [start] reuses the          *)
+(* validated fast path ([inject_raw] / the posted-receive machinery    *)
+(* with the world's pooled envelopes) and charges nothing.             *)
+(* ------------------------------------------------------------------ *)
+
+let track_persist comm ~op h =
+  let w = Comm.world comm in
+  Checker.track_persistent w.World.check ~rank:(my_world comm) ~comm:(Comm.id comm) ~op
+    ~at:(World.now w)
+    ~freed:(fun () -> Persist.is_freed h)
+    ~starts:(fun () -> Persist.starts h)
+
+let send_init_gen ~sync ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~dst ~tag =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let op = if sync then "MPI_Ssend_init" else "MPI_Send_init" in
+  let count = window_bounds ~what:op buf pos count in
+  let w = Comm.world comm in
+  ignore (Comm.world_rank_of comm dst);
+  if ctx = Msg.User then record w op;
+  traced ~ctx comm ~op @@ fun () ->
+  charge_setup ~ctx comm;
+  let latency = (Netmodel.params w.World.net).Netmodel.latency in
+  let start h =
+    Comm.check_active comm;
+    traced ~ctx comm ~op:"MPI_Start" @@ fun () ->
+    let req = Persist.request h in
+    let on_matched =
+      if sync then
+        Some
+          (fun () ->
+            (* synchronous mode: complete when the matching ack returns *)
+            Engine.schedule w.World.engine ~delay:latency (fun () ->
+                Request.complete req { source = dst; tag; count }))
+      else None
+    in
+    let injected =
+      inject_raw comm dt ~count ~dst ~tag ~ctx ~on_matched
+        ~payload:(fun () -> Msg.Packed (dt, Array.sub buf pos count))
+    in
+    if not sync then
+      Engine.schedule w.World.engine
+        ~delay:(injected -. World.now w)
+        (fun () -> Request.complete req { source = dst; tag; count })
+  in
+  let h =
+    Persist.make w.World.engine ~op
+      ~around_wait:(fun _ f -> traced ~ctx comm ~op:"MPI_Wait" f)
+      start
+  in
+  if ctx = Msg.User then track_persist comm ~op h;
+  h
+
+let send_init ?ctx ?pos ?count comm dt buf ~dst ~tag =
+  send_init_gen ~sync:false ?ctx ?pos ?count comm dt buf ~dst ~tag
+
+let ssend_init ?ctx ?pos ?count comm dt buf ~dst ~tag =
+  send_init_gen ~sync:true ?ctx ?pos ?count comm dt buf ~dst ~tag
+
+let recv_init ?(ctx = Msg.User) ?(pos = 0) ?count comm dt buf ~src ~tag =
+  Comm.check_active comm;
+  check_recv_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let op = "MPI_Recv_init" in
+  let capacity = window_bounds ~what:op buf pos count in
+  let w = Comm.world comm in
+  if src <> any_source then ignore (Comm.world_rank_of comm src);
+  if ctx = Msg.User then record w op;
+  traced ~ctx comm ~op @@ fun () ->
+  charge_setup ~ctx comm;
+  let mb = w.World.mailboxes.(my_world comm) in
+  (* the live posted receive of the active round, so [cancel] can retire a
+     standing channel that will never be matched again *)
+  let current = ref None in
+  let start h =
+    Comm.check_active comm;
+    traced ~ctx comm ~op:"MPI_Start" @@ fun () ->
+    let req = Persist.request h in
+    current := None;
+    let posted = World.now w in
+    match
+      Msg.take_unexpected ?choose:(World.match_chooser w) mb ~src ~tag ~comm:(Comm.id comm) ~ctx
+    with
+    | Some env -> begin
+        stamp_env_match env ~posted ~time:(World.now w);
+        let copied = copy_payload env dt buf pos capacity in
+        Msg.release w.World.env_pool env;
+        match copied with
+        | Ok st -> Request.complete req st
+        | Error e ->
+            record_mismatch comm ~op ~src ~tag e;
+            Request.abort req e
+      end
+    | None -> begin
+        match dead_peer comm ~src with
+        | Some wr ->
+            (* round guard: if the handle was restarted (or cancelled and
+               restarted) before the detection delay elapses, this callback
+               belongs to a dead round and must not touch the request *)
+            let round = Persist.starts h in
+            Engine.schedule w.World.engine ~delay:w.World.detection_delay (fun () ->
+                if Persist.starts h = round && Persist.is_active h then
+                  Request.abort req (Errors.Process_failed { world_rank = wr }))
+        | None ->
+            let deliver env =
+              current := None;
+              stamp_env_match env ~posted ~time:(World.now w);
+              match copy_payload env dt buf pos capacity with
+              | Ok st -> Request.complete req st
+              | Error e ->
+                  record_mismatch comm ~op ~src ~tag e;
+                  Request.abort req e
+            in
+            let on_fail e =
+              current := None;
+              Request.abort req e
+            in
+            let pr = make_pending comm ~src ~tag ~ctx ~deliver ~on_fail in
+            current := Some pr;
+            Msg.post mb pr
+      end
+  in
+  let cancel h =
+    (match !current with
+    | Some (pr : Msg.pending_recv) -> pr.Msg.live <- false
+    | None -> ());
+    current := None;
+    (* park the round's request failed so a later [start] can rearm it;
+       the handle is inactive after cancel, so nothing observes [Exit] *)
+    Request.abort (Persist.request h) Exit
+  in
+  let h =
+    Persist.make w.World.engine ~op ~cancel
+      ~around_wait:(fun _ f -> traced ~ctx comm ~op:"MPI_Wait" f)
+      start
+  in
+  if ctx = Msg.User then track_persist comm ~op h;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned communication (MPI-4 §4).                               *)
+(*                                                                     *)
+(* Each partition travels as one internal-context message; the tag     *)
+(* packs (user tag, partition index) below the collective tag space so *)
+(* partition traffic can never cross-match user or collective          *)
+(* messages.  Partitions progress independently on the engine's event  *)
+(* queue; the round's request completes when the last one does.        *)
+(* ------------------------------------------------------------------ *)
+
+let max_partitions = 1024
+let ptag ~tag i = -(1 lsl 21) - (tag lsl 10) - i
+
+let check_partitioned ~op ~partitions ~count buf =
+  if partitions <= 0 || partitions > max_partitions then
+    Errors.usage "%s: partitions %d out of range [1, %d]" op partitions max_partitions;
+  if count < 0 then Errors.usage "%s: negative per-partition count %d" op count;
+  if partitions * count > Array.length buf then
+    Errors.usage "%s: %d partitions of %d elements exceed buffer of length %d" op partitions
+      count (Array.length buf)
+
+let psend_init ?(ctx = Msg.User) comm dt buf ~partitions ~count ~dst ~tag =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  Datatype.mark_committed dt;
+  let op = "MPI_Psend_init" in
+  check_partitioned ~op ~partitions ~count buf;
+  let w = Comm.world comm in
+  ignore (Comm.world_rank_of comm dst);
+  if ctx = Msg.User then record w op;
+  traced ~ctx comm ~op @@ fun () ->
+  charge_setup ~ctx comm;
+  let readied = Array.make partitions false in
+  let remaining = ref partitions in
+  let start _h =
+    Comm.check_active comm;
+    traced ~ctx comm ~op:"MPI_Start" @@ fun () ->
+    Array.fill readied 0 partitions false;
+    remaining := partitions
+  in
+  let pready h i =
+    Comm.check_active comm;
+    if readied.(i) then Errors.usage "%s: partition %d readied twice" op i;
+    traced ~ctx comm ~op:"MPI_Pready" @@ fun () ->
+    readied.(i) <- true;
+    let req = Persist.request h in
+    let injected =
+      inject_raw comm dt ~count ~dst ~tag:(ptag ~tag i) ~ctx:Msg.Internal ~on_matched:None
+        ~payload:(fun () -> Msg.Packed (dt, Array.sub buf (i * count) count))
+    in
+    decr remaining;
+    if !remaining = 0 then
+      (* egress injections serialize, so the last pready's injection time
+         bounds them all *)
+      Engine.schedule w.World.engine
+        ~delay:(injected -. World.now w)
+        (fun () -> Request.complete req { source = dst; tag; count = partitions * count })
+  in
+  let h =
+    Persist.make w.World.engine ~op ~partitions ~pready
+      ~around_wait:(fun _ f -> traced ~ctx comm ~op:"MPI_Wait" f)
+      start
+  in
+  if ctx = Msg.User then track_persist comm ~op h;
+  h
+
+let precv_init ?(ctx = Msg.User) comm dt buf ~partitions ~count ~src ~tag =
+  Comm.check_active comm;
+  check_tag ~ctx tag;
+  if src = any_source then Errors.usage "MPI_Precv_init: wildcard source is not allowed";
+  Datatype.mark_committed dt;
+  let op = "MPI_Precv_init" in
+  check_partitioned ~op ~partitions ~count buf;
+  let w = Comm.world comm in
+  ignore (Comm.world_rank_of comm src);
+  if ctx = Msg.User then record w op;
+  traced ~ctx comm ~op @@ fun () ->
+  charge_setup ~ctx comm;
+  let mb = w.World.mailboxes.(my_world comm) in
+  let arrived = Array.make partitions false in
+  let pendings : Msg.pending_recv option array = Array.make partitions None in
+  let start h =
+    Comm.check_active comm;
+    traced ~ctx comm ~op:"MPI_Start" @@ fun () ->
+    let req = Persist.request h in
+    Array.fill arrived 0 partitions false;
+    Array.fill pendings 0 partitions None;
+    let posted = World.now w in
+    let remaining = ref partitions in
+    let finish_one i =
+      arrived.(i) <- true;
+      pendings.(i) <- None;
+      decr remaining;
+      if !remaining = 0 && not (Request.is_failed req) then
+        Request.complete req { source = src; tag; count = partitions * count }
+    in
+    match dead_peer comm ~src with
+    | Some wr ->
+        let round = Persist.starts h in
+        Engine.schedule w.World.engine ~delay:w.World.detection_delay (fun () ->
+            if Persist.starts h = round && Persist.is_active h then
+              Request.abort req (Errors.Process_failed { world_rank = wr }))
+    | None ->
+        for i = 0 to partitions - 1 do
+          let tag_i = ptag ~tag i in
+          match Msg.take_unexpected mb ~src ~tag:tag_i ~comm:(Comm.id comm) ~ctx:Msg.Internal with
+          | Some env -> begin
+              stamp_env_match env ~posted ~time:(World.now w);
+              let copied = copy_payload env dt buf (i * count) count in
+              Msg.release w.World.env_pool env;
+              match copied with
+              | Ok _ -> finish_one i
+              | Error e ->
+                  record_mismatch comm ~op ~src ~tag e;
+                  Request.abort req e
+            end
+          | None ->
+              let deliver env =
+                stamp_env_match env ~posted ~time:(World.now w);
+                match copy_payload env dt buf (i * count) count with
+                | Ok _ -> finish_one i
+                | Error e ->
+                    record_mismatch comm ~op ~src ~tag e;
+                    Request.abort req e
+              in
+              let on_fail e =
+                pendings.(i) <- None;
+                Request.abort req e
+              in
+              let pr = make_pending comm ~src ~tag:tag_i ~ctx:Msg.Internal ~deliver ~on_fail in
+              pendings.(i) <- Some pr;
+              Msg.post mb pr
+        done
+  in
+  let parrived _h i = arrived.(i) in
+  let cancel h =
+    Array.iteri
+      (fun i pr ->
+        (match pr with Some (pr : Msg.pending_recv) -> pr.Msg.live <- false | None -> ());
+        pendings.(i) <- None)
+      pendings;
+    Request.abort (Persist.request h) Exit
+  in
+  let h =
+    Persist.make w.World.engine ~op ~partitions ~parrived ~cancel
+      ~around_wait:(fun _ f -> traced ~ctx comm ~op:"MPI_Wait" f)
+      start
+  in
+  if ctx = Msg.User then track_persist comm ~op h;
+  h

@@ -127,3 +127,107 @@ val sendrecv_replace :
   src:int ->
   rtag:int ->
   Request.status
+
+(** {1 Large-count transfers (MPI-4 [MPI_Count])}
+
+    The sparse path moves a transfer of any representable byte size through
+    the full matching, cost-model, checker and trace machinery {e without}
+    materializing an element buffer — counts above
+    {!Datatype.max_small_count} (2 GiB-class transfers) are first-class.
+    A sparse message matched by a buffered [recv] passes the same type and
+    capacity checks but copies nothing. *)
+
+(** [send_sparse comm dt ~count ~dst ~tag] sends [count] elements of [dt]
+    without a backing buffer.
+    @raise Errors.Count_overflow when [count * extent] is unrepresentable *)
+val send_sparse : ?ctx:Msg.ctx -> Comm.t -> 'a Datatype.t -> count:int -> dst:int -> tag:int -> unit
+
+(** [recv_sparse comm dt ~capacity ~src ~tag] receives a message of up to
+    [capacity] elements without a backing buffer, returning its status
+    (including the true large count).
+    @raise Errors.Truncated when the sender's count exceeds [capacity] *)
+val recv_sparse :
+  ?ctx:Msg.ctx -> Comm.t -> 'a Datatype.t -> capacity:int -> src:int -> tag:int -> Request.status
+
+(** {1 Persistent operations (MPI-4 §3.9)}
+
+    The [*_init] calls validate everything once — communicator, tag, window
+    bounds, datatype commit, peer rank — charge the per-call setup cost
+    once, register the handle with the checker, and return an {e inactive}
+    {!Persist.t}.  Each {!Persist.start} then reuses the validated fast
+    path and the world's pooled envelopes, paying only the network cost:
+    matching-once is what the persistent API amortizes. *)
+
+(** [send_init comm dt buf ~dst ~tag] is the persistent standard-mode send;
+    each round's request completes at injection time (like {!isend}).  The
+    payload is re-read from [buf] at each [start]. *)
+val send_init :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  tag:int ->
+  Persist.t
+
+(** [ssend_init comm dt buf ~dst ~tag] is the persistent {e synchronous}
+    send: each round completes only once the receiver matched it (the
+    persistent analogue of {!issend}, safe under NBX-style termination). *)
+val ssend_init :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  dst:int ->
+  tag:int ->
+  Persist.t
+
+(** [recv_init comm dt buf ~src ~tag] is the persistent receive ([src] may
+    be {!any_source}).  The handle supports {!Persist.cancel}, so a
+    standing channel can be retired before [free]. *)
+val recv_init :
+  ?ctx:Msg.ctx ->
+  ?pos:int ->
+  ?count:int ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  src:int ->
+  tag:int ->
+  Persist.t
+
+(** {1 Partitioned communication (MPI-4 §4)}
+
+    [count] is {e per partition}; the buffer must hold
+    [partitions * count] elements.  Each partition travels independently:
+    the sender releases partition [i] with {!Persist.pready}, the receiver
+    observes arrival with {!Persist.parrived}, and the round's request
+    completes when every partition has transferred. *)
+
+val psend_init :
+  ?ctx:Msg.ctx ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  partitions:int ->
+  count:int ->
+  dst:int ->
+  tag:int ->
+  Persist.t
+
+(** [precv_init comm dt buf ~partitions ~count ~src ~tag] — the wildcard
+    source is not allowed (as in MPI-4). *)
+val precv_init :
+  ?ctx:Msg.ctx ->
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  partitions:int ->
+  count:int ->
+  src:int ->
+  tag:int ->
+  Persist.t

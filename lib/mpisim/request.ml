@@ -13,6 +13,18 @@ type t = {
 let create engine = { engine; state = Pending; waiter = None; observed = false }
 let completed_now engine status = { engine; state = Complete status; waiter = None; observed = false }
 
+(* Status of an operation that never ran: MPI_Status set to "empty"
+   (MPI-4 §3.7.3) — used by persistent requests waited on while inactive. *)
+let empty_status = { source = -1; tag = -1; count = 0 }
+
+let reactivate r =
+  match r.state with
+  | Pending -> Errors.usage "Request.reactivate: request is still active"
+  | Complete _ | Failed _ ->
+      r.state <- Pending;
+      r.waiter <- None;
+      r.observed <- false
+
 let notify r =
   match r.waiter with
   | None -> ()

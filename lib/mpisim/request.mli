@@ -20,6 +20,16 @@ val create : Simnet.Engine.t -> t
     self-messages and empty transfers). *)
 val completed_now : Simnet.Engine.t -> status -> t
 
+(** The "empty" status (MPI-4 §3.7.3): [source = -1], [tag = -1],
+    [count = 0] — what waiting on an inactive persistent request returns. *)
+val empty_status : status
+
+(** [reactivate r] rearms a completed (or failed) request back to pending —
+    the [MPI_Start] transition of persistent requests, which reuse one
+    request object across rounds.  Reactivating a still-pending request is
+    a usage error. *)
+val reactivate : t -> unit
+
 (** [complete r status] transitions a pending request to complete and wakes
     the waiter, if any.  Idempotence is a usage error. *)
 val complete : t -> status -> unit

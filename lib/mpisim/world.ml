@@ -22,6 +22,8 @@ type t = {
   trace : Trace.Recorder.t;
   comms : (int, comm_shared) Hashtbl.t;
   exhook : Exhook.t option;
+  psets : (string, int array) Hashtbl.t;
+  session_comms : (string, comm_shared) Hashtbl.t;
 }
 
 and agree_cell = {
@@ -59,6 +61,11 @@ let create ?node ?(trace = Trace.Recorder.inert) ?exhook ~net_params ~size () =
     trace;
     comms = Hashtbl.create 8;
     exhook;
+    psets =
+      (let t = Hashtbl.create 4 in
+       Hashtbl.replace t "mpi://world" (Array.init size Fun.id);
+       t);
+    session_comms = Hashtbl.create 4;
   }
 
 let now w = Engine.now w.engine
@@ -80,6 +87,46 @@ let fresh_comm w group =
   let shared = { cid; group; revoked = false } in
   Hashtbl.replace w.comms cid shared;
   shared
+
+(* {2 Sessions: named process sets}
+
+   Process sets are plain named rank groups; registering or querying one
+   touches no communicator or counter state, so sessions built from them
+   cannot perturb a library that initialized independently. *)
+
+let register_pset w name ranks =
+  if name = "" then Errors.usage "World.register_pset: empty name";
+  if Array.length ranks = 0 then Errors.usage "World.register_pset: empty process set %S" name;
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= w.size then
+        Errors.usage "World.register_pset: rank %d out of range in %S" r name)
+    ranks;
+  let sorted = Array.copy ranks in
+  Array.sort compare sorted;
+  for i = 0 to Array.length sorted - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      Errors.usage "World.register_pset: duplicate rank %d in %S" sorted.(i) name
+  done;
+  (match Hashtbl.find_opt w.psets name with
+  | Some existing when existing <> sorted ->
+      Errors.usage "World.register_pset: %S already registered with a different membership" name
+  | Some _ | None -> ());
+  Hashtbl.replace w.psets name sorted
+
+let pset w name = Hashtbl.find_opt w.psets name
+let pset_names w = Hashtbl.fold (fun k _ acc -> k :: acc) w.psets [] |> List.sort compare
+
+let session_comm w ~key group =
+  match Hashtbl.find_opt w.session_comms key with
+  | Some shared -> shared
+  | None ->
+      let cid = w.next_comm_id in
+      w.next_comm_id <- w.next_comm_id + 1;
+      let shared = { cid; group; revoked = false } in
+      Hashtbl.replace w.comms cid shared;
+      Hashtbl.replace w.session_comms key shared;
+      shared
 
 let comm_revoked w cid =
   match Hashtbl.find_opt w.comms cid with Some s -> s.revoked | None -> false

@@ -37,6 +37,12 @@ type t = {
       (** cid -> shared state, for finalize-time revocation queries *)
   exhook : Exhook.t option;
       (** schedule-exploration hooks; [None] = incumbent deterministic run *)
+  psets : (string, int array) Hashtbl.t;
+      (** named process sets (sessions); ["mpi://world"] is built in *)
+  session_comms : (string, comm_shared) Hashtbl.t;
+      (** session-derived communicators, memoized per pset key so every
+          member obtains the same shared state without collective
+          communication or world counters visible to other libraries *)
 }
 
 (** State of one in-progress ULFM agreement: survivors deposit their
@@ -74,6 +80,26 @@ val arrival_adjust : t -> (src:int -> dst:int -> arrival:float -> float) option
 (** [fresh_comm ~world group] registers a new communicator over the given
     world ranks. *)
 val fresh_comm : t -> int array -> comm_shared
+
+(** [register_pset w name ranks] names a process set (session support).
+    Idempotent for identical membership; re-registering a name with a
+    different membership, out-of-range or duplicate ranks, and empty sets
+    are usage errors.  The membership is stored sorted. *)
+val register_pset : t -> string -> int array -> unit
+
+(** [pset w name] is the sorted membership of a named process set.
+    ["mpi://world"] is always present. *)
+val pset : t -> string -> int array option
+
+(** [pset_names w] lists registered process-set names, sorted. *)
+val pset_names : t -> string list
+
+(** [session_comm w ~key group] is the communicator shared state derived
+    from a process set, memoized by [key]: the first caller allocates it,
+    later callers (other session members) receive the identical state.
+    Unlike {!fresh_comm} via [comm_dup], this requires no collective
+    agreement — session isolation. *)
+val session_comm : t -> key:string -> int array -> comm_shared
 
 (** [comm_revoked w cid] is true when communicator [cid] exists and was
     revoked (checker query). *)

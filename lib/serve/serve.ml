@@ -21,6 +21,7 @@ type config = {
   flush_interval : float;
   cache_capacity : int;
   rebalance : bool;
+  persistent : bool;
   seed : int;
 }
 
@@ -38,6 +39,7 @@ let default =
     flush_interval = 25e-6;
     cache_capacity = 0;
     rebalance = false;
+    persistent = false;
     seed = 42;
   }
 
@@ -222,7 +224,8 @@ let make_session cfg st kc map =
       block
   in
   let rep_agg =
-    Agg.create ~threshold:cfg.batch_threshold ~tag:rep_tag kc wire_dt ~handler:rep_handler
+    Agg.create ~threshold:cfg.batch_threshold ~tag:rep_tag ~persistent:cfg.persistent kc wire_dt
+      ~handler:rep_handler
   in
   (* Server side: apply operations on owned shards, answer via [rep_agg]
      (a different aggregator, so no reentrance). *)
@@ -264,7 +267,8 @@ let make_session cfg st kc map =
       block
   in
   let req_agg =
-    Agg.create ~threshold:cfg.batch_threshold ~tag:req_tag kc wire_dt ~handler:req_handler
+    Agg.create ~threshold:cfg.batch_threshold ~tag:req_tag ~persistent:cfg.persistent kc wire_dt
+      ~handler:req_handler
   in
   {
     kc;
@@ -435,6 +439,10 @@ let body cfg comm =
   done;
   let imb_after, _ = measure_imbalance sess in
   if Float.is_nan !imb_before then imb_before := imb_after;
+  (* quiescent (last epoch finished): retire the standing channels so the
+     checker's persistent-leak scan stays clean *)
+  Agg.close sess.req_agg;
+  Agg.close sess.rep_agg;
   finalize sess ~recoveries:0 ~imbalance_before:!imb_before ~imbalance_after:imb_after
 
 let resilient_body ?policy ?failure_rate ?max_attempts cfg comm =
@@ -462,6 +470,8 @@ let resilient_body ?policy ?failure_rate ?max_attempts cfg comm =
         st.done_epochs <- st.done_epochs + 1;
         Ckpt.maybe_checkpoint ctx
       done;
+      Agg.close sess.req_agg;
+      Agg.close sess.rep_agg;
       finalize sess ~recoveries:(Ckpt.recoveries ctx) ~imbalance_before:Float.nan
         ~imbalance_after:Float.nan)
 
@@ -516,8 +526,8 @@ let summarize cfg ~ranks ~sim_time results =
     sim_time;
   }
 
-let run ?(ranks = 6) cfg =
-  let res = Mpisim.Mpi.run ~ranks (fun comm -> body cfg comm) in
+let run ?net ?(ranks = 6) cfg =
+  let res = Mpisim.Mpi.run ?net ~ranks (fun comm -> body cfg comm) in
   Array.iter (function Error e -> raise e | Ok _ -> ()) res.Mpisim.Mpi.results;
   summarize cfg ~ranks ~sim_time:res.Mpisim.Mpi.sim_time res.Mpisim.Mpi.results
 

@@ -5,6 +5,7 @@ type params = {
   send_overhead : float;
   recv_overhead : float;
   memcpy_byte_time : float;
+  setup_overhead : float;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     send_overhead = 0.5e-6;
     recv_overhead = 0.5e-6;
     memcpy_byte_time = 1.0e-10;
+    setup_overhead = 0.0;
   }
 
 let low_latency = { default with latency = 0.5e-6; send_overhead = 0.2e-6; recv_overhead = 0.2e-6 }
@@ -27,6 +29,7 @@ let intra_node =
     send_overhead = 0.2e-6;
     recv_overhead = 0.2e-6;
     memcpy_byte_time = 1.0e-10;
+    setup_overhead = 0.0;
   }
 
 type t = {

@@ -20,6 +20,14 @@ type params = {
   send_overhead : float;  (** fixed CPU cost to post a send *)
   recv_overhead : float;  (** fixed CPU cost to complete a receive *)
   memcpy_byte_time : float;  (** local copy cost per byte (self messages) *)
+  setup_overhead : float;
+      (** per-operation software initiation cost (argument validation,
+          datatype resolution, matching setup) charged to the calling rank
+          on every {e ephemeral} user-level p2p call.  Persistent
+          operations pay it once at [*_init] and never again on [start] —
+          this is the cost matching-once amortizes (MPI-4 persistent
+          communication).  Default [0.0]: the incumbent model is
+          unchanged. *)
 }
 
 (** Parameters loosely modelled after a 100 Gbit/s OmniPath-class fabric:

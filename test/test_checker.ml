@@ -270,6 +270,42 @@ let test_window_leak_and_free () =
          Win.fence win;
          Win.free win))
 
+(* A persistent handle left unfreed at finalize is a leak — the standing
+   registration pins a matching slot forever — and the diagnostic carries
+   the round count so a never-started handle is distinguishable from an
+   abandoned hot channel. *)
+let test_persistent_leak_and_free () =
+  let leaked =
+    with_heavy (fun () ->
+        Mpi.run ~ranks:2 (fun comm ->
+            let peer = 1 - Comm.rank comm in
+            let h = P2p.send_init comm Datatype.int [| 1 |] ~dst:peer ~tag:3 in
+            let r = P2p.recv_init comm Datatype.int [| 0 |] ~src:peer ~tag:3 in
+            Persist.startall [ h; r ];
+            ignore (Persist.wait h);
+            ignore (Persist.wait r);
+            Persist.free r
+            (* h is never freed *)))
+  in
+  check_found "persistent-leak"
+    (fun d ->
+      match d.Ck.detail with
+      | Ck.Persistent_leak { starts } ->
+          d.Ck.op = "MPI_Send_init" && d.Ck.location = "finalize" && starts = 1
+      | _ -> false)
+    leaked;
+  (* the same program with the send handle freed runs clean *)
+  ignore
+    (Tutil.run_checked ~level:Ck.Heavy ~ranks:2 (fun comm ->
+         let peer = 1 - Comm.rank comm in
+         let h = P2p.send_init comm Datatype.int [| 1 |] ~dst:peer ~tag:3 in
+         let r = P2p.recv_init comm Datatype.int [| 0 |] ~src:peer ~tag:3 in
+         Persist.startall [ h; r ];
+         ignore (Persist.wait h);
+         ignore (Persist.wait r);
+         Persist.free r;
+         Persist.free h))
+
 (* ------------- clean programs ------------- *)
 
 let test_busy_clean_program () =
@@ -428,6 +464,7 @@ let suite =
     Alcotest.test_case "leak after unrelated failure still flagged" `Quick
       test_leak_after_unrelated_failure_still_flagged;
     Alcotest.test_case "window leak / freed is clean" `Quick test_window_leak_and_free;
+    Alcotest.test_case "persistent leak / freed is clean" `Quick test_persistent_leak_and_free;
     Alcotest.test_case "busy clean program: zero diagnostics" `Quick test_busy_clean_program;
     Alcotest.test_case "nonblocking collectives clean" `Quick test_nonblocking_collectives_clean;
     Alcotest.test_case "degenerate collectives clean" `Quick test_degenerate_collectives_clean;

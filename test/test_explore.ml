@@ -407,7 +407,10 @@ let test_gallery_collectives_rma () =
 let test_gallery_apps () =
   gallery "sorter_example" Gallery.Sorter_example.digest;
   gallery "sample_sort_example" Gallery.Sample_sort_example.digest;
-  gallery "halo_exchange" Gallery.Halo_exchange.digest
+  gallery "halo_exchange" Gallery.Halo_exchange.digest;
+  (* digest itself proves persistent == ephemeral, so each schedule
+     re-checks transport equivalence too *)
+  gallery "persistent_halo" Gallery.Persistent_halo.digest
 
 let test_gallery_resilience () =
   gallery "bfs_example" Gallery.Bfs_example.digest;

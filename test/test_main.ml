@@ -25,4 +25,5 @@ let () =
       ("serve", Test_serve.suite);
       ("stress", Test_stress.suite);
       ("engine-scale", Test_engine_scale.suite);
+      ("persist", Test_persist.suite);
     ]

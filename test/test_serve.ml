@@ -24,6 +24,7 @@ let small =
     batch_threshold = 8;
     cache_capacity = 0;
     rebalance = false;
+    persistent = false;
     seed = 7;
   }
 

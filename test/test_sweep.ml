@@ -37,6 +37,7 @@ let suite =
     example "reproducible_reduce_example" Gallery.Reproducible_reduce_example.run;
     example "sorter_example" Gallery.Sorter_example.run;
     example "halo_exchange" Gallery.Halo_exchange.run;
+    example "persistent_halo" Gallery.Persistent_halo.run;
     example "word_count" Gallery.Word_count.run;
     example "one_sided" Gallery.One_sided.run;
     example "tracing_example" Gallery.Tracing_example.run;
