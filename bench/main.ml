@@ -106,11 +106,17 @@ let microbench () =
 let colltuning () =
   let cases = Experiments.Coll_tuning_exp.sweep () in
   Experiments.Coll_tuning_exp.print cases;
+  let report = Experiments.Coll_tuning_exp.hier_sweep () in
+  Experiments.Coll_tuning_exp.print_hier report;
   let path = "BENCH_collectives.json" in
+  let json = Experiments.Coll_tuning_exp.to_json cases report in
   let oc = open_out path in
-  output_string oc (Experiments.Coll_tuning_exp.to_json cases);
+  output_string oc json;
   close_out oc;
-  Printf.printf "  wrote %s\n%!" path
+  (* self-validating: round-trip the file and require every gate in its
+     "checks" object (hierarchical speedups, crossover agreement) to hold *)
+  Experiments.Coll_tuning_exp.validate_json ~path ~json;
+  Printf.printf "  wrote %s (checks passed)\n%!" path
 
 (* ---------------- dispatch ---------------- *)
 

@@ -84,3 +84,22 @@ test -s BENCH_engine.json
 MPISIM_CHECK=communication dune exec examples/persistent_halo.exe
 dune exec bench/main.exe -- mpi4
 test -s BENCH_mpi4.json
+
+# Eighth pass: topology-aware collectives.  The schedule-exploration
+# suite (which digest-checks the whole example gallery over >=20 random
+# schedules) reruns on a two-tier fabric supplied via the environment,
+# with the checker at its strictest level — hierarchical candidates are
+# live and every digest must match the flat schedule's — plus the
+# dedicated topology suite (spec parsing, tier routing, uplink
+# congestion, split_by_node, autotune round-trips, and the differential
+# bit-identity property).  Then the collectives bench gates on
+# BENCH_collectives.json: on a scattered 48-ranks/node fabric at p=192
+# the auto-tuned tables must beat the flat defaults >=1.2x on bcast and
+# allreduce, predicted crossovers must land within one sweep step of
+# the simulated ones, and the installed pin table must dispatch the
+# predicted winner — every entry of the "checks" object must be true,
+# else the experiment exits non-zero.
+MPISIM_TOPOLOGY=two:4 MPISIM_CHECK=communication dune exec test/test_main.exe -- test explore
+MPISIM_CHECK=communication dune exec test/test_main.exe -- test topology
+dune exec bench/main.exe -- colltuning
+test -s BENCH_collectives.json

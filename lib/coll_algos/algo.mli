@@ -12,6 +12,9 @@ type bcast =
   | Bcast_scatter_allgather
       (** van de Geijn: binomial scatter + ring allgather; bandwidth-optimal
           for large payloads *)
+  | Bcast_node_leader
+      (** hierarchical: binomial bcast over node leaders, then binomial
+          bcast within each node; wins when inter-node latency dominates *)
 
 (** Allreduce. *)
 type allreduce =
@@ -21,6 +24,9 @@ type allreduce =
       (** recursive-halving reduce-scatter + recursive-doubling allgather;
           bandwidth- and compute-optimal for large payloads *)
   | Ar_ring  (** ring reduce-scatter + ring allgather; linear startups *)
+  | Ar_node_leader
+      (** hierarchical: intra-node binomial reduce, inter-leader
+          recursive doubling, intra-node binomial bcast *)
 
 (** Allgather. *)
 type allgather =
@@ -33,6 +39,12 @@ type alltoall =
   | A2a_pairwise
       (** post-all linear exchange: O(p) startups, one wire latency *)
   | A2a_bruck  (** [ceil(log2 p)] rounds of aggregated blocks *)
+  | A2a_smp
+      (** SMP-aware: direct exchange within each node, leader-aggregated
+          bundles between nodes; trades memcpy for fewer wire startups *)
+  | A2a_hypergrid
+      (** d-phase coordinate-fixing routing over a near-square process
+          grid (the paper's grid all-to-all, Fig. 9) *)
 
 val bcast_name : bcast -> string
 val allreduce_name : allreduce -> string

@@ -13,7 +13,31 @@ let fi = float_of_int
 (* One uncongested message of [b] (float) bytes. *)
 let msg prm b = N.startup_cost prm +. (b *. N.per_byte_cost prm)
 
-let bcast prm ~p ~bytes algo =
+(* Near-square 2D grid over [p] cells, mirroring [Mpisim.Cart.dims_create]
+   (greedy largest-prime-first assignment) so the hypergrid predictor and
+   the runtime body agree on the grid shape.  Returns (rows, cols) with
+   rows >= cols. *)
+let grid_dims p =
+  if p <= 0 then (1, 1)
+  else begin
+    let dims = [| 1; 1 |] in
+    let rec factors n d acc =
+      if n = 1 then acc
+      else if n mod d = 0 then factors (n / d) d (d :: acc)
+      else factors n (d + 1) acc
+    in
+    let fs = List.sort (fun a b -> compare b a) (factors p 2 []) in
+    List.iter
+      (fun f ->
+        let smallest = ref 0 in
+        Array.iteri (fun i d -> if d < dims.(!smallest) then smallest := i) dims;
+        dims.(!smallest) <- dims.(!smallest) * f)
+      fs;
+    Array.sort (fun a b -> compare b a) dims;
+    (dims.(0), dims.(1))
+  end
+
+let bcast ?hier prm ~p ~bytes algo =
   let n = fi bytes in
   let rounds = ceil_log2 p in
   match (algo : Algo.bcast) with
@@ -23,8 +47,16 @@ let bcast prm ~p ~bytes algo =
          halving size; the ring allgather then does p-1 rounds of n/p. *)
       let frac = fi (p - 1) /. fi (max p 1) in
       (fi (rounds + p - 1) *. N.startup_cost prm) +. (2.0 *. frac *. n *. N.per_byte_cost prm)
+  | Bcast_node_leader -> (
+      (* Only meaningful on a multi-node group: binomial over the leaders
+         at the spanning tier, then binomial within the fullest node. *)
+      match hier with
+      | None -> infinity
+      | Some h ->
+          (fi (ceil_log2 h.N.h_nodes) *. msg h.N.h_inter n)
+          +. (fi (ceil_log2 h.N.h_max_per_node) *. msg h.N.h_intra n))
 
-let allreduce prm ~p ~bytes ~elems ~op_cost algo =
+let allreduce ?hier prm ~p ~bytes ~elems ~op_cost algo =
   let n = fi bytes in
   let e = fi elems in
   let rounds = ceil_log2 p in
@@ -44,6 +76,26 @@ let allreduce prm ~p ~bytes ~elems ~op_cost algo =
       (fi (2 * (p - 1)) *. N.startup_cost prm)
       +. (2.0 *. frac *. n *. N.per_byte_cost prm)
       +. (frac *. e *. op_cost)
+  | Ar_node_leader -> (
+      match hier with
+      | None -> infinity
+      | Some h ->
+          let intra_rounds = ceil_log2 h.N.h_max_per_node in
+          (* Intra-node binomial reduce (combine each round), inter-leader
+             recursive doubling (with non-power-of-two fold), intra-node
+             binomial bcast of the result. *)
+          let intra =
+            (fi intra_rounds *. (msg h.N.h_intra n +. (e *. op_cost)))
+            +. (fi intra_rounds *. msg h.N.h_intra n)
+          in
+          let npof2 = largest_pow2 h.N.h_nodes in
+          let nfold =
+            if h.N.h_nodes > npof2 then (2.0 *. msg h.N.h_inter n) +. (e *. op_cost) else 0.0
+          in
+          let inter =
+            nfold +. (fi (ceil_log2 npof2) *. (msg h.N.h_inter n +. (e *. op_cost)))
+          in
+          intra +. inter)
 
 let allgather prm ~p ~bytes algo =
   let n = fi bytes in
@@ -68,7 +120,7 @@ let allgather prm ~p ~bytes algo =
       done;
       !cost
 
-let alltoall prm ~p ~bytes algo =
+let alltoall ?hier prm ~p ~bytes algo =
   let n = fi bytes in
   match (algo : Algo.alltoall) with
   | A2a_pairwise ->
@@ -91,3 +143,36 @@ let alltoall prm ~p ~bytes algo =
         pof := !pof * 2
       done;
       !cost
+  | A2a_smp -> (
+      match hier with
+      | None -> infinity
+      | Some h ->
+          (* Leaders are the bottleneck: gather remote-destined blocks from
+             node peers, pairwise-exchange node-to-node bundles, scatter
+             arrivals; plus the direct intra-node exchange. *)
+          let mpn = fi h.N.h_max_per_node and nodes = fi h.N.h_nodes in
+          let remote_per_rank = (nodes -. 1.0) *. mpn *. n in
+          let bundle = mpn *. mpn *. n in
+          ((mpn -. 1.0) *. msg h.N.h_intra remote_per_rank)
+          +. ((nodes -. 1.0) *. msg h.N.h_inter bundle)
+          +. ((mpn -. 1.0) *. msg h.N.h_intra remote_per_rank)
+          +. ((mpn -. 1.0) *. msg h.N.h_intra n))
+  | A2a_hypergrid -> (
+      (* Two coordinate-fixing phases over a near-square grid: (cols-1)
+         bundles of rows blocks, then (rows-1) bundles of cols blocks, plus
+         a full repack of the local buffer between phases.  Only a
+         candidate on hierarchical fabrics, where cutting the Omega(p)
+         startup term to O(sqrt p) pays for the extra volume. *)
+      match hier with
+      | None -> infinity
+      | Some _ ->
+          (* Like pairwise, each phase posts all its requests up front, so
+             per-bundle startups serialize on the injection port while only
+             one wire latency is exposed. *)
+          let rows, cols = grid_dims p in
+          let inj b = prm.N.send_overhead +. (b *. prm.N.injection_byte_time) in
+          let phase dim bundle =
+            if dim <= 1 then 0.0
+            else msg prm bundle +. (fi (Int.max 0 (dim - 2)) *. inj bundle)
+          in
+          phase cols (fi rows *. n) +. phase rows (fi cols *. n))

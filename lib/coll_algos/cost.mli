@@ -16,9 +16,29 @@
     ([0] for [p <= 1]). *)
 val ceil_log2 : int -> int
 
-val bcast : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.bcast -> float
+(** [grid_dims p] is the near-square [(rows, cols)] 2D factorization of
+    [p] (rows >= cols), computed exactly like [Mpisim.Cart.dims_create] so
+    the hypergrid cost predictor and its runtime body agree. *)
+val grid_dims : int -> int * int
+
+(** The [?hier] parameter on the predictors below is the topology profile
+    of the communicator's group (see {!Simnet.Netmodel.hier_for_group}).
+    Hierarchical algorithm variants predict [infinity] without one — on a
+    flat fabric they are never auto-selected, keeping pre-topology
+    behavior bit-identical — and otherwise split their phases between
+    [h_intra] and [h_inter] instead of using the single pessimistic
+    spanning tier. *)
+
+val bcast :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  Algo.bcast ->
+  float
 
 val allreduce :
+  ?hier:Simnet.Netmodel.hier_profile ->
   Simnet.Netmodel.params ->
   p:int ->
   bytes:int ->
@@ -31,4 +51,10 @@ val allreduce :
 val allgather : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.allgather -> float
 
 (** [bytes] is one (source, destination) block. *)
-val alltoall : Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.alltoall -> float
+val alltoall :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  Algo.alltoall ->
+  float

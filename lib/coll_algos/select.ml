@@ -1,4 +1,6 @@
-type t = { pins : (int * string, string) Hashtbl.t }
+type entry = Fixed of string | Table of (int * string) list
+
+type t = { pins : (int * string, entry) Hashtbl.t }
 
 let create () = { pins = Hashtbl.create 8 }
 
@@ -21,10 +23,38 @@ let validate ~coll ~algo =
 
 let pin t ~cid ~coll ~algo =
   validate ~coll ~algo;
-  Hashtbl.replace t.pins (cid, coll) algo
+  Hashtbl.replace t.pins (cid, coll) (Fixed algo)
+
+let pin_table t ~cid ~coll table =
+  if table = [] then invalid_arg "Coll_algos.Select.pin_table: empty table";
+  List.iter
+    (fun (minb, algo) ->
+      if minb < 0 then invalid_arg "Coll_algos.Select.pin_table: negative size threshold";
+      validate ~coll ~algo)
+    table;
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) table in
+  Hashtbl.replace t.pins (cid, coll) (Table sorted)
 
 let unpin t ~cid ~coll = Hashtbl.remove t.pins (cid, coll)
-let pinned t ~cid ~coll = Hashtbl.find_opt t.pins (cid, coll)
+
+let pinned t ~cid ~coll =
+  match Hashtbl.find_opt t.pins (cid, coll) with
+  | Some (Fixed name) -> Some name
+  | Some (Table _) | None -> None
+
+let pinned_table t ~cid ~coll =
+  match Hashtbl.find_opt t.pins (cid, coll) with
+  | Some (Table rows) -> Some rows
+  | Some (Fixed _) | None -> None
+
+(* The algorithm a pin entry names for a payload of [bytes]: a [Fixed] pin
+   unconditionally, a [Table] pin through its last threshold <= bytes (no
+   row matching means no override). *)
+let entry_algo entry ~bytes =
+  match entry with
+  | Fixed name -> Some name
+  | Table rows ->
+      List.fold_left (fun acc (minb, algo) -> if bytes >= minb then Some algo else acc) None rows
 
 (* Argmin with strict improvement: candidates are listed incumbent-first,
    so predicted-cost ties reproduce the pre-subsystem behavior. *)
@@ -42,42 +72,45 @@ let argmin cost = function
         rest;
       !best
 
-let choose t ~cid ~coll ~of_name ~feasible ~cost candidates =
+let choose t ~cid ~coll ~bytes ~of_name ~feasible ~cost candidates =
   let feasible_candidates = List.filter feasible candidates in
   let cost_based () = argmin cost feasible_candidates in
-  match pinned t ~cid ~coll with
+  match Hashtbl.find_opt t.pins (cid, coll) with
   | None -> cost_based ()
-  | Some name -> (
-      match of_name name with
-      | Some a when feasible a -> a
-      | Some _ | None -> cost_based ())
+  | Some entry -> (
+      match entry_algo entry ~bytes with
+      | None -> cost_based ()
+      | Some name -> (
+          match of_name name with
+          | Some a when feasible a -> a
+          | Some _ | None -> cost_based ()))
 
-let bcast t ~cid prm ~p ~bytes =
-  choose t ~cid ~coll:"bcast" ~of_name:Algo.bcast_of_name
+let bcast ?hier t ~cid prm ~p ~bytes =
+  choose t ~cid ~coll:"bcast" ~bytes ~of_name:Algo.bcast_of_name
     ~feasible:(fun _ -> true)
-    ~cost:(fun a -> Cost.bcast prm ~p ~bytes a)
+    ~cost:(fun a -> Cost.bcast ?hier prm ~p ~bytes a)
     Algo.all_bcast
 
 let is_pow2 p = p > 0 && p land (p - 1) = 0
 
-let allreduce t ~cid prm ~p ~bytes ~elems ~op_cost ~commutative =
-  choose t ~cid ~coll:"allreduce" ~of_name:Algo.allreduce_of_name
+let allreduce ?hier t ~cid prm ~p ~bytes ~elems ~op_cost ~commutative =
+  choose t ~cid ~coll:"allreduce" ~bytes ~of_name:Algo.allreduce_of_name
     ~feasible:(fun a ->
       (* Reassociating-and-commuting schedules are reserved for commutative
          operations; the binomial reduce+bcast path is today's behavior for
          the rest. *)
       commutative || a = Algo.Ar_reduce_bcast)
-    ~cost:(fun a -> Cost.allreduce prm ~p ~bytes ~elems ~op_cost a)
+    ~cost:(fun a -> Cost.allreduce ?hier prm ~p ~bytes ~elems ~op_cost a)
     Algo.all_allreduce
 
 let allgather t ~cid prm ~p ~bytes =
-  choose t ~cid ~coll:"allgather" ~of_name:Algo.allgather_of_name
+  choose t ~cid ~coll:"allgather" ~bytes ~of_name:Algo.allgather_of_name
     ~feasible:(fun a -> a <> Algo.Ag_recursive_doubling || is_pow2 p)
     ~cost:(fun a -> Cost.allgather prm ~p ~bytes a)
     Algo.all_allgather
 
-let alltoall t ~cid prm ~p ~bytes =
-  choose t ~cid ~coll:"alltoall" ~of_name:Algo.alltoall_of_name
+let alltoall ?hier t ~cid prm ~p ~bytes =
+  choose t ~cid ~coll:"alltoall" ~bytes ~of_name:Algo.alltoall_of_name
     ~feasible:(fun _ -> true)
-    ~cost:(fun a -> Cost.alltoall prm ~p ~bytes a)
+    ~cost:(fun a -> Cost.alltoall ?hier prm ~p ~bytes a)
     Algo.all_alltoall

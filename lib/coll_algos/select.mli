@@ -25,17 +25,44 @@ val create : unit -> t
     @raise Invalid_argument on an unknown collective or algorithm name. *)
 val pin : t -> cid:int -> coll:string -> algo:string -> unit
 
+(** [pin_table t ~cid ~coll table] installs a message-size-keyed pin: each
+    [(min_bytes, algo)] row takes effect from [min_bytes] upward (the last
+    row whose threshold is [<= bytes] wins; payloads below every threshold
+    fall back to cost-based selection).  This is the representation the
+    [Topology.Autotune] sweep generates.  Replaces any previous pin for
+    [(cid, coll)].
+    @raise Invalid_argument on an empty table, a negative threshold, or an
+    unknown collective/algorithm name. *)
+val pin_table : t -> cid:int -> coll:string -> (int * string) list -> unit
+
 (** [unpin t ~cid ~coll] removes an override (a no-op if absent). *)
 val unpin : t -> cid:int -> coll:string -> unit
 
-(** [pinned t ~cid ~coll] is the override currently in force, if any. *)
+(** [pinned t ~cid ~coll] is the unconditional override in force, if any
+    ([None] for size-keyed tables — those depend on the payload). *)
 val pinned : t -> cid:int -> coll:string -> string option
 
-(** {1 Selection} *)
+(** [pinned_table t ~cid ~coll] is the size-keyed table in force, if any,
+    sorted by ascending threshold. *)
+val pinned_table : t -> cid:int -> coll:string -> (int * string) list option
 
-val bcast : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.bcast
+(** {1 Selection}
+
+    The [?hier] profile (from {!Simnet.Netmodel.hier_for_group}) unlocks
+    hierarchical candidates; without it they predict [infinity] and flat
+    selection is unchanged. *)
+
+val bcast :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  t ->
+  cid:int ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  Algo.bcast
 
 val allreduce :
+  ?hier:Simnet.Netmodel.hier_profile ->
   t ->
   cid:int ->
   Simnet.Netmodel.params ->
@@ -47,4 +74,12 @@ val allreduce :
   Algo.allreduce
 
 val allgather : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.allgather
-val alltoall : t -> cid:int -> Simnet.Netmodel.params -> p:int -> bytes:int -> Algo.alltoall
+
+val alltoall :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  t ->
+  cid:int ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  Algo.alltoall

@@ -97,6 +97,9 @@ let describe ~coll ~p ~count =
 
 let sweep_point ~coll ~p ~count =
   let bytes, predictions, selected, incumbent = describe ~coll ~p ~count in
+  (* hierarchical variants predict infinity on the flat fabric: not real
+     candidates here, and "inf" is not JSON *)
+  let predictions = List.filter (fun (_, c) -> c < infinity) predictions in
   let results =
     List.map
       (fun (algo, predicted) ->
@@ -170,8 +173,233 @@ let print cases =
   Printf.printf "  selector beats the pre-tuning hardcoded algorithm on %d/%d points\n%!"
     (List.length improved) points
 
-let to_json cases =
-  let b = Buffer.create 4096 in
+(* ---------------- topology-aware sweep ---------------- *)
+
+(* The acceptance fabric: a two-tier cluster of 48-rank shared-memory
+   nodes (the paper machine's shape), four nodes' worth of ranks, under a
+   scattered batch allocation — consecutive ranks rarely share a node, so
+   topology-blind algorithms pay inter-node cost on almost every edge
+   while the hierarchical variants recover the node structure from the
+   placement map. *)
+let hier_node_size = Topology.Presets.omnipath_node_size
+let hier_ranks = 4 * hier_node_size
+let hier_fabric () = Topology.Presets.omnipath_scattered ~ranks:hier_ranks
+
+type hier_case = {
+  hc_coll : string;
+  hc_count : int;
+  hc_bytes : int;
+  hc_flat_algo : string;  (** the pre-topology cost-based choice *)
+  hc_flat_time : float;
+  hc_tuned_algo : string;  (** what the installed pin table dispatches *)
+  hc_tuned_time : float;
+  hc_predicted : string;  (** topology-aware cost-model winner *)
+  hc_simulated : string;  (** empirically fastest pinned variant *)
+  hc_results : algo_result list;
+}
+
+type hier_report = {
+  hr_ranks : int;
+  hr_node_size : int;
+  hr_cases : hier_case list;
+  hr_speedups : (string * float) list;  (** coll -> max flat/tuned *)
+  hr_crossover_ok : bool;
+  hr_table_ok : bool;  (** tuned dispatch = predicted winner everywhere *)
+}
+
+(* Max completion time across ranks of one collective call on the fabric,
+   after [setup] (a pin, or an installed auto-tune table) ran on every
+   rank. *)
+let simulate_fabric ~fabric ~setup ~coll ~count =
+  let p = hier_ranks in
+  let res =
+    Mpisim.Mpi.run ~fabric ~ranks:p (fun raw ->
+        setup raw;
+        let r = Mpisim.Comm.rank raw in
+        let t0 = Mpisim.Comm.now raw in
+        (match coll with
+        | "bcast" ->
+            let buf = Array.make count r in
+            C.bcast raw D.int buf ~root:0
+        | "allreduce" ->
+            let sendbuf = Array.make count r and recvbuf = Array.make count 0 in
+            C.allreduce raw D.int op ~sendbuf ~recvbuf ~count
+        | "alltoall" ->
+            let sendbuf = Array.make (p * count) r and recvbuf = Array.make (p * count) 0 in
+            C.alltoall raw D.int ~sendbuf ~recvbuf ~count
+        | _ -> invalid_arg coll);
+        Mpisim.Comm.now raw -. t0)
+  in
+  Array.fold_left Float.max 0.0 (Mpisim.Mpi.results_exn res)
+
+(* Argmin over (algo, cost) in catalogue order, strict [<] so the
+   incumbent keeps ties — the same rule as [Select]. *)
+let arg_best predictions =
+  List.fold_left
+    (fun (ba, bc) (a, c) -> if c < bc then (a, c) else (ba, bc))
+    (List.hd predictions) (List.tl predictions)
+
+(* Last pin-table row whose threshold covers [bytes] (tables are anchored
+   at 0, so this is total). *)
+let table_algo table ~bytes =
+  List.fold_left (fun acc (thr, a) -> if thr <= bytes then a else acc) (snd (List.hd table)) table
+
+let hier_point ~fabric ~net ~group ~plan ~coll ~count =
+  let bytes = D.bytes D.int count in
+  let p = hier_ranks in
+  let prm = Simnet.Netmodel.params_for_group net group in
+  let hier = Simnet.Netmodel.hier_for_group net group in
+  let op_cost = Mpisim.Op.cost_per_element op in
+  let fresh = Select.create () in
+  let predictions, flat_algo, table =
+    match coll with
+    | "bcast" ->
+        ( Topology.Autotune.predict_bcast ?hier prm ~p ~bytes,
+          Algo.bcast_name (Select.bcast fresh ~cid:0 prm ~p ~bytes),
+          plan.Topology.Autotune.t_bcast )
+    | "allreduce" ->
+        ( Topology.Autotune.predict_allreduce ?hier ~op_cost prm ~p ~bytes,
+          Algo.allreduce_name
+            (Select.allreduce fresh ~cid:0 prm ~p ~bytes ~elems:count ~op_cost ~commutative:true),
+          plan.Topology.Autotune.t_allreduce )
+    | "alltoall" ->
+        ( Topology.Autotune.predict_alltoall ?hier prm ~p ~bytes,
+          Algo.alltoall_name (Select.alltoall fresh ~cid:0 prm ~p ~bytes),
+          plan.Topology.Autotune.t_alltoall )
+    | _ -> invalid_arg coll
+  in
+  let results =
+    List.filter_map
+      (fun (algo, predicted) ->
+        if predicted = infinity then None
+        else
+          Some
+            {
+              algo;
+              predicted;
+              simulated =
+                simulate_fabric ~fabric ~coll ~count ~setup:(fun raw ->
+                    C.pin_algorithm raw ~coll ~algo);
+            })
+      predictions
+  in
+  let tuned_algo = table_algo table ~bytes in
+  let tuned_time =
+    simulate_fabric ~fabric ~coll ~count ~setup:(fun raw ->
+        C.pin_table_algorithm raw ~coll table)
+  in
+  let flat_time = (List.find (fun r -> r.algo = flat_algo) results).simulated in
+  let simulated =
+    (List.fold_left (fun b r -> if r.simulated < b.simulated then r else b) (List.hd results)
+       results)
+      .algo
+  in
+  {
+    hc_coll = coll;
+    hc_count = count;
+    hc_bytes = bytes;
+    hc_flat_algo = flat_algo;
+    hc_flat_time = flat_time;
+    hc_tuned_algo = tuned_algo;
+    hc_tuned_time = tuned_time;
+    hc_predicted = fst (arg_best predictions);
+    hc_simulated = simulated;
+    hc_results = results;
+  }
+
+let hier_grid =
+  [
+    ("bcast", [ 1; 256; 4096; 65536 ]);
+    ("allreduce", [ 1; 256; 4096; 65536 ]);
+    ("alltoall", [ 1; 64; 1024 ]);
+  ]
+
+(* Predicted-vs-simulated crossover agreement, within one sweep step: at
+   every sweep point the cost model's winner must be the simulated winner
+   there or at an adjacent point (a switch one grid step early or late is
+   fine — the grids are geometric), or at worst simulate within 5% of the
+   best (near-ties are not a crossover disagreement). *)
+let crossover_ok cases =
+  let arr = Array.of_list cases in
+  let sim i = arr.(i).hc_simulated in
+  let ok i c =
+    c.hc_predicted = sim i
+    || (i > 0 && c.hc_predicted = sim (i - 1))
+    || (i < Array.length arr - 1 && c.hc_predicted = sim (i + 1))
+    ||
+    let best = List.find (fun r -> r.algo = sim i) c.hc_results in
+    match List.find_opt (fun r -> r.algo = c.hc_predicted) c.hc_results with
+    | Some p -> p.simulated <= best.simulated *. 1.05
+    | None -> false
+  in
+  Array.for_all Fun.id (Array.mapi ok arr)
+
+let hier_sweep () =
+  let fabric = hier_fabric () in
+  let net = Simnet.Netmodel.create_fabric fabric ~ranks:hier_ranks in
+  let group = Array.init hier_ranks Fun.id in
+  let by_coll =
+    List.map
+      (fun (coll, counts) ->
+        let sizes = List.map (fun c -> D.bytes D.int c) counts in
+        let plan = Topology.Autotune.tune fabric ~p:hier_ranks ~sizes in
+        (coll, List.map (fun count -> hier_point ~fabric ~net ~group ~plan ~coll ~count) counts))
+      hier_grid
+  in
+  let speedup cases =
+    List.fold_left (fun m c -> Float.max m (c.hc_flat_time /. c.hc_tuned_time)) 0.0 cases
+  in
+  let cases = List.concat_map snd by_coll in
+  {
+    hr_ranks = hier_ranks;
+    hr_node_size = hier_node_size;
+    hr_cases = cases;
+    hr_speedups = List.map (fun (coll, cs) -> (coll, speedup cs)) by_coll;
+    hr_crossover_ok = List.for_all (fun (_, cs) -> crossover_ok cs) by_coll;
+    hr_table_ok = List.for_all (fun c -> c.hc_tuned_algo = c.hc_predicted) cases;
+  }
+
+let print_hier report =
+  let header = [ "coll"; "count"; "algorithm"; "predicted"; "simulated"; "" ] in
+  let rows =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun r ->
+            let marks =
+              (if r.algo = c.hc_tuned_algo then "tuned " else "")
+              ^ (if r.algo = c.hc_flat_algo then "flat-default " else "")
+              ^ if r.algo = c.hc_simulated then "fastest" else ""
+            in
+            [
+              c.hc_coll;
+              string_of_int c.hc_count;
+              r.algo;
+              Table_fmt.seconds r.predicted;
+              Table_fmt.seconds r.simulated;
+              String.trim marks;
+            ])
+          c.hc_results)
+      report.hr_cases
+  in
+  Table_fmt.print_table
+    ~title:
+      (Printf.sprintf "Hierarchical collectives on a two-tier fabric (%d ranks, %d per node)"
+         report.hr_ranks report.hr_node_size)
+    ~header rows;
+  List.iter
+    (fun (coll, s) ->
+      Printf.printf "  %-10s best auto-tuned speedup over the flat default: %.2fx\n" coll s)
+    report.hr_speedups;
+  Printf.printf "  predicted crossovers track simulated ones within one sweep step: %b\n"
+    report.hr_crossover_ok;
+  Printf.printf "  pin-table dispatch matches the predicted winner everywhere: %b\n%!"
+    report.hr_table_ok
+
+let speedup_of report coll = try List.assoc coll report.hr_speedups with Not_found -> 0.0
+
+let to_json cases report =
+  let b = Buffer.create 8192 in
   Buffer.add_string b "{\n  \"experiment\": \"collective_tuning\",\n  \"cases\": [\n";
   List.iteri
     (fun i c ->
@@ -190,7 +418,70 @@ let to_json cases =
         c.results;
       Buffer.add_string b "]}")
     cases;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"topology\": {\n    \"ranks\": %d, \"node_size\": %d,\n    \"cases\": [\n"
+       report.hr_ranks report.hr_node_size);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "      {\"coll\": %S, \"count\": %d, \"bytes\": %d, \"flat_algo\": %S, \
+            \"flat_time\": %.9e, \"tuned_algo\": %S, \"tuned_time\": %.9e, \"speedup\": %.3f, \
+            \"predicted\": %S, \"simulated\": %S, \"results\": ["
+           c.hc_coll c.hc_count c.hc_bytes c.hc_flat_algo c.hc_flat_time c.hc_tuned_algo
+           c.hc_tuned_time
+           (c.hc_flat_time /. c.hc_tuned_time)
+           c.hc_predicted c.hc_simulated);
+      List.iteri
+        (fun j r ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "{\"algo\": %S, \"predicted\": %.9e, \"simulated\": %.9e}" r.algo
+               r.predicted r.simulated))
+        c.hc_results;
+      Buffer.add_string b "]}")
+    report.hr_cases;
+  Buffer.add_string b "\n    ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"speedups\": {%s}\n  },\n"
+       (String.concat ", "
+          (List.map (fun (coll, s) -> Printf.sprintf "%S: %.3f" coll s) report.hr_speedups)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"checks\": {\n\
+       \    \"hier_bcast_speedup_ge_1_2\": %b,\n\
+       \    \"hier_allreduce_speedup_ge_1_2\": %b,\n\
+       \    \"crossovers_within_one_sweep_step\": %b,\n\
+       \    \"tuned_dispatch_matches_prediction\": %b\n\
+       \  }\n\
+        }\n"
+       (speedup_of report "bcast" >= 1.2)
+       (speedup_of report "allreduce" >= 1.2)
+       report.hr_crossover_ok report.hr_table_ok);
   Buffer.contents b
 
-let run () = print (sweep ())
+(* Self-validation, in the style of [Engine_exp.validate_json]: the file
+   must round-trip through Serde.Json and every entry of its "checks"
+   object must be [true]. *)
+let validate_json ~path ~json =
+  let module J = Serde.Json in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if not (J.equal (J.parse text) (J.parse json)) then
+    failwith (Printf.sprintf "colltuning: %s did not round-trip through Serde.Json" path);
+  let checks =
+    match J.member "checks" (J.parse text) with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> failwith "colltuning: BENCH_collectives.json lacks a checks object"
+  in
+  List.iter
+    (fun (name, v) ->
+      if v <> J.Bool true then failwith (Printf.sprintf "colltuning: check %S failed" name))
+    checks
+
+let run () =
+  print (sweep ());
+  print_hier (hier_sweep ())

@@ -111,6 +111,8 @@ let check_counts_array t what counts =
 let pin_algorithm t ~coll ~algo = C.pin_algorithm t.c ~coll ~algo
 let unpin_algorithm t ~coll = C.unpin_algorithm t.c ~coll
 let pinned_algorithm t ~coll = C.pinned_algorithm t.c ~coll
+let pin_table_algorithm t ~coll table = C.pin_table_algorithm t.c ~coll table
+let pinned_table_algorithm t ~coll = C.pinned_table_algorithm t.c ~coll
 let barrier t = C.barrier t.c
 
 let bcast ?(root = 0) t dt ~send_recv_buf =
@@ -561,3 +563,5 @@ let alltoallv_serialized t codec messages =
 
 let dup t = wrap (C.dup t.c)
 let split t ~color ~key = Option.map wrap (C.split t.c ~color ~key)
+let split_by_node ?key t = wrap (C.split_by_node ?key t.c)
+let node_of_rank t r = Mpisim.Comm.node_of_rank t.c r

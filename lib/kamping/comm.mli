@@ -84,6 +84,15 @@ type 'a vresult = {
 val pin_algorithm : t -> coll:string -> algo:string -> unit
 val unpin_algorithm : t -> coll:string -> unit
 val pinned_algorithm : t -> coll:string -> string option
+
+(** [pin_table_algorithm t ~coll table] installs a message-size-keyed pin:
+    each [(min_bytes, algo)] row applies from [min_bytes] upward (the
+    representation the [Topology.Autotune] sweep generates — see
+    {!Coll_algos.Select.pin_table}).  [pinned_table_algorithm] reads the
+    table in force. *)
+val pin_table_algorithm : t -> coll:string -> (int * string) list -> unit
+
+val pinned_table_algorithm : t -> coll:string -> (int * string) list option
 val barrier : t -> unit
 
 (** [bcast t dt ~send_recv_buf] broadcasts the root's vector into every
@@ -422,3 +431,14 @@ val alltoallv_serialized : t -> 'a Serde.Codec.t -> 'a array -> 'a array
 
 val dup : t -> t
 val split : t -> color:int -> key:int -> t option
+
+(** [split_by_node t] splits by shared-memory node (the
+    [MPI_Comm_split_type MPI_COMM_TYPE_SHARED] idiom): ranks on the same
+    node of the simulated fabric end up in one communicator, ordered by
+    [key] (default [0]: by parent rank).  On a flat fabric every rank is
+    its own node, so each split communicator is a singleton. *)
+val split_by_node : ?key:int -> t -> t
+
+(** [node_of_rank t r] is the shared-memory node hosting rank [r] of this
+    communicator (see {!Simnet.Netmodel.node_of}). *)
+val node_of_rank : t -> int -> int

@@ -501,3 +501,377 @@ let alltoall_bruck comm dt ~sendbuf ~recvbuf ~count ~tag =
       done
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical (topology-aware) bodies.                               *)
+(*                                                                     *)
+(* Each takes [nodes]: the node id of every communicator rank (all     *)
+(* ranks compute it identically from the communicator's group and the  *)
+(* world's network model), from which every rank derives the same      *)
+(* node-membership structure without communicating: a node's members   *)
+(* are its comm ranks in ascending order, its leader the lowest.       *)
+(* ------------------------------------------------------------------ *)
+
+let members_of_node nodes nd =
+  let acc = ref [] in
+  for i = Array.length nodes - 1 downto 0 do
+    if nodes.(i) = nd then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+(* Distinct node ids in ascending order. *)
+let distinct_nodes nodes =
+  let sorted = Array.copy nodes in
+  Array.sort compare sorted;
+  let acc = ref [] in
+  Array.iter (fun nd -> match !acc with x :: _ when x = nd -> () | _ -> acc := nd :: !acc) sorted;
+  Array.of_list (List.rev !acc)
+
+let index_in a x =
+  let n = Array.length a in
+  let rec go i = if i >= n then -1 else if a.(i) = x then i else go (i + 1) in
+  go 0
+
+(* Binomial broadcast over [members] (comm ranks), rooted at members.(0);
+   [me] is the caller's index in [members]. *)
+let bcast_binomial_over comm dt buf pos count ~members ~me ~tag =
+  let p = Array.length members in
+  if p > 1 && count > 0 then begin
+    let mask = ref 1 in
+    while !mask < p && me land !mask = 0 do
+      mask := !mask lsl 1
+    done;
+    if me <> 0 then
+      ignore (P2p.recv ~ctx:Internal ~pos ~count comm dt buf ~src:members.(me - !mask) ~tag);
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if me + !mask < p then
+        P2p.send ~ctx:Internal ~pos ~count comm dt buf ~dst:members.(me + !mask) ~tag;
+      mask := !mask lsr 1
+    done
+  end
+
+(* Binomial reduction over [members] into [acc]; the result lands at
+   members.(0).  Receives always combine a higher-ranked contribution on
+   the right, matching [reduce_binomial]. *)
+let reduce_binomial_over comm dt op ~acc ~tmp ~count ~members ~me ~tag =
+  let p = Array.length members in
+  if p > 1 && count > 0 then begin
+    let mask = ref 1 in
+    let running = ref true in
+    while !running && !mask < p do
+      if me land !mask = 0 then begin
+        let src = me lor !mask in
+        if src < p then begin
+          ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src:members.(src) ~tag);
+          combine comm op acc tmp count ~received_left:false
+        end
+      end
+      else begin
+        P2p.send ~ctx:Internal ~count comm dt acc ~dst:members.(me lxor !mask) ~tag;
+        running := false
+      end;
+      mask := !mask lsl 1
+    done
+  end
+
+(* Recursive-doubling allreduce over [members] (the inter-leader phase of
+   the node-leader allreduce), with the usual non-power-of-two fold. *)
+let allreduce_rd_over comm dt op ~recvbuf ~tmp ~count ~members ~me ~tag_fold ~tag =
+  let p = Array.length members in
+  if p > 1 && count > 0 then begin
+    let pof2 = largest_pow2 p in
+    let rem = p - pof2 in
+    let newrank =
+      if me < 2 * rem then
+        if me land 1 = 0 then begin
+          P2p.send ~ctx:Internal ~count comm dt recvbuf ~dst:members.(me + 1) ~tag:tag_fold;
+          -1
+        end
+        else begin
+          ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src:members.(me - 1) ~tag:tag_fold);
+          combine comm op recvbuf tmp count ~received_left:true;
+          me asr 1
+        end
+      else me - rem
+    in
+    if newrank >= 0 then begin
+      let mask = ref 1 in
+      while !mask < pof2 do
+        let newdst = newrank lxor !mask in
+        let dst = members.(real_of_new ~rem newdst) in
+        let req = P2p.isend ~ctx:Internal ~count comm dt recvbuf ~dst ~tag in
+        ignore (P2p.recv ~ctx:Internal ~count comm dt tmp ~src:dst ~tag);
+        ignore (Request.wait req);
+        combine comm op recvbuf tmp count ~received_left:(newdst < newrank);
+        mask := !mask lsl 1
+      done
+    end;
+    if me < 2 * rem then
+      if me land 1 = 1 then
+        P2p.send ~ctx:Internal ~count comm dt recvbuf ~dst:members.(me - 1) ~tag:tag_fold
+      else ignore (P2p.recv ~ctx:Internal ~count comm dt recvbuf ~src:members.(me + 1) ~tag:tag_fold)
+  end
+
+(* Node-leader broadcast: binomial over one representative per node (the
+   root itself for the root's node, the lowest rank elsewhere), then
+   binomial within each node from its representative.  The root's node
+   representative leads the inter phase, so no extra hop to a leader. *)
+let bcast_node_leader comm dt buf pos count ~root ~nodes ~tag ~tag2 =
+  let r = Comm.rank comm in
+  if Comm.size comm > 1 && count > 0 then begin
+    let root_node = nodes.(root) in
+    let rep_of nd = if nd = root_node then root else (members_of_node nodes nd).(0) in
+    let all_nodes = distinct_nodes nodes in
+    let reps = Array.map rep_of all_nodes in
+    Array.sort compare reps;
+    (* Rotate the root's representative (the root itself) to the front. *)
+    let ri = index_in reps root in
+    let leaders = Array.init (Array.length reps) (fun i -> reps.((i + ri) mod Array.length reps)) in
+    let li = index_in leaders r in
+    if li >= 0 then bcast_binomial_over comm dt buf pos count ~members:leaders ~me:li ~tag;
+    (* Intra-node phase, rooted at this node's representative. *)
+    let my = members_of_node nodes nodes.(r) in
+    let rep = rep_of nodes.(r) in
+    let intra = Array.of_list (rep :: List.filter (fun m -> m <> rep) (Array.to_list my)) in
+    bcast_binomial_over comm dt buf pos count ~members:intra ~me:(index_in intra r) ~tag:tag2
+  end
+
+(* Node-leader allreduce: binomial reduce to each node's leader, recursive
+   doubling across leaders, binomial broadcast back down. *)
+let allreduce_node_leader comm dt op ~sendbuf ~pos ~recvbuf ~count ~nodes ~tag_up ~tag_fold ~tag_rd
+    ~tag_down =
+  let r = Comm.rank comm in
+  Array.blit sendbuf pos recvbuf 0 count;
+  if Comm.size comm > 1 && count > 0 then begin
+    let tmp = Array.sub sendbuf pos count in
+    let my = members_of_node nodes nodes.(r) in
+    let me = index_in my r in
+    reduce_binomial_over comm dt op ~acc:recvbuf ~tmp ~count ~members:my ~me ~tag:tag_up;
+    let leaders = Array.map (fun nd -> (members_of_node nodes nd).(0)) (distinct_nodes nodes) in
+    Array.sort compare leaders;
+    let li = index_in leaders r in
+    if li >= 0 then
+      allreduce_rd_over comm dt op ~recvbuf ~tmp ~count ~members:leaders ~me:li ~tag_fold
+        ~tag:tag_rd;
+    bcast_binomial_over comm dt recvbuf 0 count ~members:my ~me ~tag:tag_down
+  end
+
+(* SMP-aware alltoall: blocks for on-node peers go directly; blocks for
+   remote nodes are gathered at the local leader, exchanged leader-to-
+   leader as one bundle per node pair, and scattered on arrival.  Trades
+   memcpy and leader serialization for a factor-node_size reduction in
+   wire startups.  All bundle layouts are canonical (nodes ascending,
+   members ascending), so every rank computes every offset locally. *)
+let alltoall_smp comm dt ~sendbuf ~recvbuf ~count ~nodes ~tag_local ~tag_up ~tag_net ~tag_down =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    let my_node = nodes.(r) in
+    let my = members_of_node nodes my_node in
+    let m_a = Array.length my in
+    let me = index_in my r in
+    let leader = my.(0) in
+    let all_nodes = distinct_nodes nodes in
+    let remote_nodes = Array.of_list (List.filter (fun nd -> nd <> my_node) (Array.to_list all_nodes)) in
+    let remote_members = Array.map (members_of_node nodes) remote_nodes in
+    let n_remote = p - m_a in
+    (* Offset of node index [bi]'s segment in a (p - m_a)-block remote
+       bundle laid out node-by-node. *)
+    let seg_off = Array.make (Array.length remote_nodes + 1) 0 in
+    Array.iteri
+      (fun bi ms -> seg_off.(bi + 1) <- seg_off.(bi) + Array.length ms)
+      remote_members;
+    (* Intra-node direct exchange (own block included). *)
+    Array.blit sendbuf (r * count) recvbuf (r * count) count;
+    let local_recv =
+      List.filter_map
+        (fun q ->
+          if q = r then None
+          else
+            Some (P2p.irecv ~ctx:Internal ~pos:(q * count) ~count comm dt recvbuf ~src:q ~tag:tag_local))
+        (Array.to_list my)
+    in
+    let local_send =
+      List.filter_map
+        (fun q ->
+          if q = r then None
+          else
+            Some (P2p.isend ~ctx:Internal ~pos:(q * count) ~count comm dt sendbuf ~dst:q ~tag:tag_local))
+        (Array.to_list my)
+    in
+    if Array.length remote_nodes > 0 then begin
+      (* Pack my remote-destined blocks: nodes ascending, members ascending. *)
+      let up = Array.make (max 1 (n_remote * count)) sendbuf.(0) in
+      Array.iteri
+        (fun bi ms ->
+          Array.iteri
+            (fun j q -> Array.blit sendbuf (q * count) up ((seg_off.(bi) + j) * count) count)
+            ms)
+        remote_members;
+      if r <> leader then begin
+        (* Ship them up, then receive my slice of every arriving bundle. *)
+        P2p.send ~ctx:Internal ~count:(n_remote * count) comm dt up ~dst:leader ~tag:tag_up;
+        let down = Array.make (n_remote * count) sendbuf.(0) in
+        ignore (P2p.recv ~ctx:Internal ~count:(n_remote * count) comm dt down ~src:leader ~tag:tag_down);
+        Array.iteri
+          (fun bi ms ->
+            Array.iteri
+              (fun j q -> Array.blit down ((seg_off.(bi) + j) * count) recvbuf (q * count) count)
+              ms)
+          remote_members
+      end
+      else begin
+        (* Gather the local members' remote blocks: lbuf.(li) is member
+           li's bundle (leader's own is [up]). *)
+        let lbuf = Array.make m_a up in
+        for li = 1 to m_a - 1 do
+          let b = Array.make (n_remote * count) sendbuf.(0) in
+          ignore (P2p.recv ~ctx:Internal ~count:(n_remote * count) comm dt b ~src:my.(li) ~tag:tag_up);
+          lbuf.(li) <- b
+        done;
+        (* One bundle per remote node: src members ascending, then dst
+           members ascending.  Post receives first, then sends (isend
+           copies eagerly, so one scratch buffer suffices). *)
+        let arrivals = Array.make (Array.length remote_nodes) [||] in
+        let net_recv =
+          List.mapi
+            (fun bi ms ->
+              let mb = Array.length ms in
+              let b = Array.make (mb * m_a * count) sendbuf.(0) in
+              arrivals.(bi) <- b;
+              P2p.irecv ~ctx:Internal ~count:(mb * m_a * count) comm dt b ~src:ms.(0) ~tag:tag_net)
+            (Array.to_list remote_members)
+        in
+        let scratch = Array.make (Array.length remote_nodes) [||] in
+        Array.iteri
+          (fun bi ms ->
+            let mb = Array.length ms in
+            let b = Array.make (m_a * mb * count) sendbuf.(0) in
+            for li = 0 to m_a - 1 do
+              Array.blit lbuf.(li) (seg_off.(bi) * count) b (li * mb * count) (mb * count)
+            done;
+            scratch.(bi) <- b)
+          remote_members;
+        let net_send =
+          List.mapi
+            (fun bi ms ->
+              let mb = Array.length ms in
+              P2p.isend ~ctx:Internal ~count:(m_a * mb * count) comm dt scratch.(bi) ~dst:ms.(0)
+                ~tag:tag_net)
+            (Array.to_list remote_members)
+        in
+        ignore (Request.wait_all net_recv);
+        ignore (Request.wait_all net_send);
+        (* Scatter: member j's slice is, for each remote node, every source
+           member's block destined to j.  Leader keeps its own slice. *)
+        let down = Array.make (max 1 (n_remote * count)) sendbuf.(0) in
+        for j = m_a - 1 downto 0 do
+          Array.iteri
+            (fun bi ms ->
+              let mb = Array.length ms in
+              for i = 0 to mb - 1 do
+                Array.blit arrivals.(bi) (((i * m_a) + j) * count) down ((seg_off.(bi) + i) * count)
+                  count
+              done)
+            remote_members;
+          if j = me then
+            Array.iteri
+              (fun bi ms ->
+                Array.iteri
+                  (fun i q -> Array.blit down ((seg_off.(bi) + i) * count) recvbuf (q * count) count)
+                  ms)
+              remote_members
+          else P2p.send ~ctx:Internal ~count:(n_remote * count) comm dt down ~dst:my.(j) ~tag:tag_down
+        done
+      end
+    end;
+    ignore (Request.wait_all local_recv);
+    ignore (Request.wait_all local_send)
+  end
+
+(* Grid ("hypergrid") alltoall: route every block through two coordinate-
+   fixing phases over a near-square rows x cols grid (the paper's grid
+   all-to-all, Fig. 9).  Phase 1 bundles blocks by destination column
+   within each row; phase 2 delivers them within each column.  O(sqrt p)
+   startups per rank instead of p - 1. *)
+let alltoall_hypergrid comm dt ~sendbuf ~recvbuf ~count ~tag ~tag2 =
+  let p = Comm.size comm and r = Comm.rank comm in
+  if count > 0 then begin
+    let rows, cols = Coll_algos.Cost.grid_dims p in
+    if p = 1 || rows * cols <> p then begin
+      (* Degenerate grid (p prime collapses to p x 1): fall back to the
+         direct exchange rather than simulate a pointless relabelling. *)
+      if cols = 1 || rows = 1 then
+        post_all_exchange comm dt ~tag
+          ~scount_of:(fun _ -> count)
+          ~spos_of:(fun d -> d * count)
+          ~rcount_of:(fun _ -> count)
+          ~rpos_of:(fun s -> s * count)
+          ~sendbuf ~recvbuf
+      else assert false
+    end
+    else begin
+      let x = r / cols and y = r mod cols in
+      (* temp is laid out [source column in my row][destination row]. *)
+      let temp = Array.make (p * count) sendbuf.(0) in
+      let phase1_recv =
+        List.filter_map
+          (fun yq ->
+            if yq = y then None
+            else
+              Some
+                (P2p.irecv ~ctx:Internal ~pos:(yq * rows * count) ~count:(rows * count) comm dt temp
+                   ~src:((x * cols) + yq) ~tag))
+          (List.init cols Fun.id)
+      in
+      for xd = 0 to rows - 1 do
+        Array.blit sendbuf (((xd * cols) + y) * count) temp (((y * rows) + xd) * count) count
+      done;
+      let pack = Array.make (max rows cols * count) sendbuf.(0) in
+      let phase1_send =
+        List.filter_map
+          (fun yd ->
+            if yd = y then None
+            else begin
+              for xd = 0 to rows - 1 do
+                Array.blit sendbuf (((xd * cols) + yd) * count) pack (xd * count) count
+              done;
+              Some
+                (P2p.isend ~ctx:Internal ~count:(rows * count) comm dt pack ~dst:((x * cols) + yd)
+                   ~tag)
+            end)
+          (List.init cols Fun.id)
+      in
+      ignore (Request.wait_all phase1_recv);
+      ignore (Request.wait_all phase1_send);
+      let phase2_recv =
+        List.filter_map
+          (fun xs ->
+            if xs = x then None
+            else
+              Some
+                (P2p.irecv ~ctx:Internal ~pos:(xs * cols * count) ~count:(cols * count) comm dt
+                   recvbuf ~src:((xs * cols) + y) ~tag:tag2))
+          (List.init rows Fun.id)
+      in
+      for ys = 0 to cols - 1 do
+        Array.blit temp (((ys * rows) + x) * count) recvbuf (((x * cols) + ys) * count) count
+      done;
+      let phase2_send =
+        List.filter_map
+          (fun xd ->
+            if xd = x then None
+            else begin
+              for ys = 0 to cols - 1 do
+                Array.blit temp (((ys * rows) + xd) * count) pack (ys * count) count
+              done;
+              Some
+                (P2p.isend ~ctx:Internal ~count:(cols * count) comm dt pack ~dst:((xd * cols) + y)
+                   ~tag:tag2)
+            end)
+          (List.init rows Fun.id)
+      in
+      ignore (Request.wait_all phase2_recv);
+      ignore (Request.wait_all phase2_send)
+    end
+  end

@@ -164,3 +164,76 @@ val alltoall_pairwise :
     pairwise at the price of shipping each element ~log2(p)/2 times. *)
 val alltoall_bruck :
   Comm.t -> 'a Datatype.t -> sendbuf:'a array -> recvbuf:'a array -> count:int -> tag:int -> unit
+
+(** {1 Hierarchical bodies}
+
+    Each takes [nodes]: the node id of every communicator rank (from
+    [Simnet.Netmodel.node_of] over the communicator's group).  All ranks
+    derive the same node-membership structure from it — a node's members
+    are its comm ranks ascending, its leader the lowest — so no routing
+    envelopes are needed and results are bit-identical to the flat
+    incumbents for exact (integer) operations. *)
+
+(** Node-leader broadcast: binomial over one representative per node (the
+    root for its own node), then binomial within each node.  [tag] covers
+    the inter-leader phase, [tag2] the intra-node phase. *)
+val bcast_node_leader :
+  Comm.t ->
+  'a Datatype.t ->
+  'a array ->
+  int ->
+  int ->
+  root:int ->
+  nodes:int array ->
+  tag:int ->
+  tag2:int ->
+  unit
+
+(** Node-leader allreduce: binomial reduce to each node's leader
+    ([tag_up]), recursive doubling across leaders ([tag_fold]/[tag_rd]),
+    binomial broadcast back down ([tag_down]). *)
+val allreduce_node_leader :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Op.t ->
+  sendbuf:'a array ->
+  pos:int ->
+  recvbuf:'a array ->
+  count:int ->
+  nodes:int array ->
+  tag_up:int ->
+  tag_fold:int ->
+  tag_rd:int ->
+  tag_down:int ->
+  unit
+
+(** SMP-aware alltoall: on-node blocks exchanged directly ([tag_local]);
+    remote blocks gathered at the node leader ([tag_up]), shipped as one
+    bundle per node pair ([tag_net]) and scattered on arrival
+    ([tag_down]). *)
+val alltoall_smp :
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  nodes:int array ->
+  tag_local:int ->
+  tag_up:int ->
+  tag_net:int ->
+  tag_down:int ->
+  unit
+
+(** Grid alltoall (the paper's Fig. 9): two coordinate-fixing phases over
+    a near-square grid ([Coll_algos.Cost.grid_dims]), [O(sqrt p)] startups
+    per rank.  Falls back to the direct exchange when the grid degenerates
+    to a line (prime [p]). *)
+val alltoall_hypergrid :
+  Comm.t ->
+  'a Datatype.t ->
+  sendbuf:'a array ->
+  recvbuf:'a array ->
+  count:int ->
+  tag:int ->
+  tag2:int ->
+  unit

@@ -74,26 +74,43 @@ let tuning comm = (Comm.world comm).World.tuning
 let params_for comm =
   Simnet.Netmodel.params_for_group (Comm.world comm).World.net (Comm.group comm)
 
+(* Topology profile of the communicator's group ([None] off tiered
+   fabrics, where selection must stay exactly pre-topology). *)
+let hier_for comm =
+  Simnet.Netmodel.hier_for_group (Comm.world comm).World.net (Comm.group comm)
+
+(* Node id of every communicator rank — the structure the hierarchical
+   bodies derive their leader/member ordering from. *)
+let nodes_for comm =
+  let net = (Comm.world comm).World.net in
+  Array.map (fun wr -> Simnet.Netmodel.node_of net wr) (Comm.group comm)
+
 let pin_algorithm comm ~coll ~algo = Select.pin (tuning comm) ~cid:(Comm.id comm) ~coll ~algo
+
+let pin_table_algorithm comm ~coll table =
+  Select.pin_table (tuning comm) ~cid:(Comm.id comm) ~coll table
+
 let unpin_algorithm comm ~coll = Select.unpin (tuning comm) ~cid:(Comm.id comm) ~coll
 let pinned_algorithm comm ~coll = Select.pinned (tuning comm) ~cid:(Comm.id comm) ~coll
 
+let pinned_table_algorithm comm ~coll = Select.pinned_table (tuning comm) ~cid:(Comm.id comm) ~coll
+
 let select_bcast comm dt count =
-  Select.bcast (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
-    ~bytes:(Datatype.bytes dt count)
+  Select.bcast ?hier:(hier_for comm) (tuning comm) ~cid:(Comm.id comm) (params_for comm)
+    ~p:(Comm.size comm) ~bytes:(Datatype.bytes dt count)
 
 let select_allreduce comm dt op count =
-  Select.allreduce (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
-    ~bytes:(Datatype.bytes dt count) ~elems:count ~op_cost:(Op.cost_per_element op)
-    ~commutative:(Op.commutative op)
+  Select.allreduce ?hier:(hier_for comm) (tuning comm) ~cid:(Comm.id comm) (params_for comm)
+    ~p:(Comm.size comm) ~bytes:(Datatype.bytes dt count) ~elems:count
+    ~op_cost:(Op.cost_per_element op) ~commutative:(Op.commutative op)
 
 let select_allgather comm dt count =
   Select.allgather (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
     ~bytes:(Datatype.bytes dt count)
 
 let select_alltoall comm dt count =
-  Select.alltoall (tuning comm) ~cid:(Comm.id comm) (params_for comm) ~p:(Comm.size comm)
-    ~bytes:(Datatype.bytes dt count)
+  Select.alltoall ?hier:(hier_for comm) (tuning comm) ~cid:(Comm.id comm) (params_for comm)
+    ~p:(Comm.size comm) ~bytes:(Datatype.bytes dt count)
 
 (* Tag discipline: every rank must draw the same number of collective tags
    per call, so each dispatcher draws a fixed count up front (enough for
@@ -103,20 +120,22 @@ let draw2 comm =
   let b = Comm.next_collective_tag comm in
   (a, b)
 
-let draw3 comm =
+let draw4 comm =
   let a = Comm.next_collective_tag comm in
   let b = Comm.next_collective_tag comm in
   let c = Comm.next_collective_tag comm in
-  (a, b, c)
+  let d = Comm.next_collective_tag comm in
+  (a, b, c, d)
 
 let run_bcast comm dt buf pos count ~root algo ~tags:(tag, tag2) =
   match (algo : Algo.bcast) with
   | Bcast_binomial -> Coll_impl.bcast_binomial comm dt buf pos count ~root ~tag
   | Bcast_scatter_allgather ->
       Coll_impl.bcast_scatter_allgather comm dt buf pos count ~root ~tag ~tag2
+  | Bcast_node_leader ->
+      Coll_impl.bcast_node_leader comm dt buf pos count ~root ~nodes:(nodes_for comm) ~tag ~tag2
 
-let run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags:(t1, t2, t3) =
-  ignore t3;
+let run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags:(t1, t2, t3, t4) =
   match (algo : Algo.allreduce) with
   | Ar_reduce_bcast ->
       Coll_impl.allreduce_reduce_bcast comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag:t1 ~tag2:t2
@@ -127,6 +146,9 @@ let run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags:(t1, t2, t
       Coll_impl.allreduce_rabenseifner comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_fold:t1
         ~tag_rs:t2 ~tag_ag:t3
   | Ar_ring -> Coll_impl.allreduce_ring comm dt op ~sendbuf ~pos ~recvbuf ~count ~tag_rs:t1 ~tag_ag:t2
+  | Ar_node_leader ->
+      Coll_impl.allreduce_node_leader comm dt op ~sendbuf ~pos ~recvbuf ~count
+        ~nodes:(nodes_for comm) ~tag_up:t1 ~tag_fold:t2 ~tag_rd:t3 ~tag_down:t4
 
 let run_allgather comm dt ~recvbuf ~rpos ~count ~my_block_pos ~my_block_buf algo ~tag =
   let f =
@@ -137,10 +159,14 @@ let run_allgather comm dt ~recvbuf ~rpos ~count ~my_block_pos ~my_block_buf algo
   in
   f comm dt ~recvbuf ~rpos ~count ~tag ~my_block_pos ~my_block_buf
 
-let run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tag =
+let run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tags:(t1, t2, t3, t4) =
   match (algo : Algo.alltoall) with
-  | A2a_pairwise -> Coll_impl.alltoall_pairwise comm dt ~sendbuf ~recvbuf ~count ~tag
-  | A2a_bruck -> Coll_impl.alltoall_bruck comm dt ~sendbuf ~recvbuf ~count ~tag
+  | A2a_pairwise -> Coll_impl.alltoall_pairwise comm dt ~sendbuf ~recvbuf ~count ~tag:t1
+  | A2a_bruck -> Coll_impl.alltoall_bruck comm dt ~sendbuf ~recvbuf ~count ~tag:t1
+  | A2a_smp ->
+      Coll_impl.alltoall_smp comm dt ~sendbuf ~recvbuf ~count ~nodes:(nodes_for comm) ~tag_local:t1
+        ~tag_up:t2 ~tag_net:t3 ~tag_down:t4
+  | A2a_hypergrid -> Coll_impl.alltoall_hypergrid comm dt ~sendbuf ~recvbuf ~count ~tag:t1 ~tag2:t2
 
 (* ------------------------------------------------------------------ *)
 (* Public operations.                                                  *)
@@ -187,7 +213,7 @@ let allreduce ?(pos = 0) comm dt op ~sendbuf ~recvbuf ~count =
   check_count "allreduce" count;
   check_coll comm ~op:"MPI_Allreduce" ~count (Some dt);
   traced comm ~op:"MPI_Allreduce" @@ fun () ->
-  let tags = draw3 comm in
+  let tags = draw4 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Allreduce" (Algo.allreduce_name algo);
   run_allreduce comm dt op ~sendbuf ~pos ~recvbuf ~count algo ~tags
@@ -337,10 +363,10 @@ let alltoall comm dt ~sendbuf ~recvbuf ~count =
   check_count "alltoall" count;
   check_coll comm ~op:"MPI_Alltoall" ~count (Some dt);
   traced comm ~op:"MPI_Alltoall" @@ fun () ->
-  let tag = Comm.next_collective_tag comm in
+  let tags = draw4 comm in
   let algo = select_alltoall comm dt count in
   record_algo comm "MPI_Alltoall" (Algo.alltoall_name algo);
-  run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tag
+  run_alltoall comm dt ~sendbuf ~recvbuf ~count algo ~tags
 
 let check_v_arrays what comm scounts sdispls rcounts rdispls =
   let p = Comm.size comm in
@@ -561,7 +587,7 @@ let iallreduce comm dt op ~sendbuf ~recvbuf ~count =
   check_count "iallreduce" count;
   check_coll comm ~op:"MPI_Iallreduce" ~count (Some dt);
   traced comm ~op:"MPI_Iallreduce" @@ fun () ->
-  let tags = draw3 comm in
+  let tags = draw4 comm in
   let algo = select_allreduce comm dt op count in
   record_algo comm "MPI_Iallreduce" (Algo.allreduce_name algo);
   spawn_collective comm ~label:"iallreduce" (fun () ->
@@ -655,3 +681,16 @@ let split comm ~color ~key =
     in
     Some (Comm.make w shared ~rank:(position members r))
   end
+
+(* MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): one communicator per
+   shared-memory node, built by splitting on the network model's placement
+   map.  On a flat fabric every rank is its own node, so the result is a
+   singleton communicator — the MPI-correct degenerate answer. *)
+let split_by_node ?(key = 0) comm =
+  let w = Comm.world comm in
+  let node =
+    Simnet.Netmodel.node_of w.World.net (Comm.world_rank_of comm (Comm.rank comm))
+  in
+  match split comm ~color:node ~key with
+  | Some c -> c
+  | None -> assert false (* node ids are never negative *)

@@ -252,11 +252,22 @@ val ialltoallv :
     @raise Invalid_argument on an unknown collective or algorithm name. *)
 val pin_algorithm : Comm.t -> coll:string -> algo:string -> unit
 
+(** [pin_table_algorithm comm ~coll table] installs a message-size-keyed
+    pin: each [(min_bytes, algo)] row applies from [min_bytes] upward (see
+    {!Coll_algos.Select.pin_table}).  This is how auto-tuned per-topology
+    tables from [Topology.Autotune] are deployed. *)
+val pin_table_algorithm : Comm.t -> coll:string -> (int * string) list -> unit
+
 (** [unpin_algorithm comm ~coll] returns [coll] to cost-based selection. *)
 val unpin_algorithm : Comm.t -> coll:string -> unit
 
-(** [pinned_algorithm comm ~coll] is the override in force, if any. *)
+(** [pinned_algorithm comm ~coll] is the unconditional override in force,
+    if any. *)
 val pinned_algorithm : Comm.t -> coll:string -> string option
+
+(** [pinned_table_algorithm comm ~coll] is the size-keyed table in force,
+    if any. *)
+val pinned_table_algorithm : Comm.t -> coll:string -> (int * string) list option
 
 (** {1 Communicator management} *)
 
@@ -267,3 +278,9 @@ val dup : Comm.t -> Comm.t
     communicator by [(key, rank)].  A negative color returns [None]
     (MPI_UNDEFINED). *)
 val split : Comm.t -> color:int -> key:int -> Comm.t option
+
+(** [split_by_node comm] is MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): the
+    sub-communicator of ranks sharing the caller's node, ordered by
+    [(key, rank)] (default [key = 0]: by parent rank).  On a flat fabric
+    every rank gets a singleton communicator. *)
+val split_by_node : ?key:int -> Comm.t -> Comm.t

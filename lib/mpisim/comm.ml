@@ -19,6 +19,10 @@ let world_rank_of c r =
   c.shared.group.(r)
 
 let group c = c.shared.group
+
+(* Placement query: the shared-memory node hosting a communicator rank. *)
+let node_of_rank c r = Simnet.Netmodel.node_of c.world.World.net (world_rank_of c r)
+
 let is_revoked c = c.shared.revoked
 let check_active c = if c.shared.revoked then raise Errors.Comm_revoked
 

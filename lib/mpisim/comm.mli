@@ -34,6 +34,12 @@ val world_rank_of : t -> int -> int
 (** [group comm] is the comm-rank to world-rank mapping (do not mutate). *)
 val group : t -> int array
 
+(** [node_of_rank comm r] is the shared-memory node hosting communicator
+    rank [r] (see {!Simnet.Netmodel.node_of}; on a flat fabric every rank
+    is its own node).
+    @raise Errors.Usage_error if [r] is out of range. *)
+val node_of_rank : t -> int -> int
+
 (** [is_revoked comm] is the ULFM revocation flag. *)
 val is_revoked : t -> bool
 

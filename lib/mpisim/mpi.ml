@@ -35,8 +35,8 @@ let with_run_collector f =
       finish ();
       raise e
 
-let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace ?hooks ?deadline
-    ~ranks f =
+let run ?(net = Netmodel.default) ?node ?fabric ?(failures = []) ?(fail_at = []) ?trace ?hooks
+    ?deadline ~ranks f =
   let tracing =
     match trace with Some b -> b | None -> Trace.Recorder.default_enabled ()
   in
@@ -46,7 +46,19 @@ let run ?(net = Netmodel.default) ?node ?(failures = []) ?(fail_at = []) ?trace 
   (* Exploration hooks: an explicit argument wins; otherwise consult the
      registered factory (env-driven activation, e.g. MPISIM_EXPLORE). *)
   let exhook = match hooks with Some _ -> hooks | None -> !Exhook.factory () in
-  let w = World.create ?node ~trace:recorder ?exhook ~net_params:net ~size:ranks () in
+  (* Topology: an explicit fabric wins; otherwise MPISIM_TOPOLOGY supplies
+     a spec (read per run, so tests can toggle it with putenv).  An unset
+     or empty variable keeps the flat/legacy model — the bit-identical
+     default. *)
+  let fabric =
+    match fabric with
+    | Some _ -> fabric
+    | None -> (
+        match Sys.getenv_opt "MPISIM_TOPOLOGY" with
+        | None | Some "" -> None
+        | Some spec -> Some (Netmodel.fabric_of_spec ~ranks spec))
+  in
+  let w = World.create ?node ?fabric ~trace:recorder ?exhook ~net_params:net ~size:ranks () in
   (match exhook with
   | Some h ->
       Engine.set_chooser w.World.engine

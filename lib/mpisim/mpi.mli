@@ -25,8 +25,14 @@ type 'a run_result = {
 (** [run ?net ?node ?failures ?trace ~ranks f] executes the SPMD program.
 
     @param net network cost-model parameters (default {!Simnet.Netmodel.default})
-    @param node [(intra-node params, node size)] switches to a hierarchical
-    fabric (e.g. [(Simnet.Netmodel.intra_node, 8)])
+    @param node [(intra-node params, node size)] switches to the legacy
+    two-tier hierarchy (e.g. [(Simnet.Netmodel.intra_node, 8)])
+    @param fabric a general tiered fabric ({!Simnet.Netmodel.fabric});
+    takes precedence over [node].  When neither is given, the
+    [MPISIM_TOPOLOGY] environment variable (read per run; a
+    {!Simnet.Netmodel.fabric_of_spec} spec such as ["two:48"] or
+    ["fat:48:4:8"]) supplies one — unset or empty keeps the flat model,
+    replaying every pre-topology schedule bit-identically
     @param failures [(time, world_rank)] process failures to inject
     @param fail_at [(world_rank, time)] deterministic time-based failure
     schedule, armed via {!Ulfm.schedule_failures} (validated up front;
@@ -50,6 +56,7 @@ type 'a run_result = {
 val run :
   ?net:Simnet.Netmodel.params ->
   ?node:Simnet.Netmodel.params * int ->
+  ?fabric:Simnet.Netmodel.fabric ->
   ?failures:(float * int) list ->
   ?fail_at:(int * float) list ->
   ?trace:bool ->

@@ -32,15 +32,16 @@ and agree_cell = {
   mutable agree_waiters : int Engine.resumer list;
 }
 
-let create ?node ?(trace = Trace.Recorder.inert) ?exhook ~net_params ~size () =
+let create ?node ?fabric ?(trace = Trace.Recorder.inert) ?exhook ~net_params ~size () =
   if size <= 0 then Errors.usage "World.create: size %d must be positive" size;
   let alive = Ds.Bitset.create size in
   Ds.Bitset.fill alive;
   let net =
-    match node with
-    | Some (intra, node_size) ->
+    match (fabric, node) with
+    | Some f, _ -> Netmodel.create_fabric f ~ranks:size
+    | None, Some (intra, node_size) ->
         Netmodel.create_hierarchical ~inter:net_params ~intra ~node_size ~ranks:size
-    | None -> Netmodel.create net_params ~ranks:size
+    | None, None -> Netmodel.create net_params ~ranks:size
   in
   {
     engine = Engine.create ();

@@ -54,11 +54,14 @@ and agree_cell = {
 }
 
 (** [create ~net_params ~size ()] builds a world of [size] ranks, all
-    alive; [node] switches to a hierarchical fabric of
-    [(intra-node params, node size)]; [trace] installs an event recorder
-    (default: the inert one — tracing off). *)
+    alive; [node] switches to the legacy two-tier hierarchy of
+    [(intra-node params, node size)]; [fabric] installs a general tiered
+    fabric (see {!Simnet.Netmodel.fabric}) and takes precedence over
+    [node]; [trace] installs an event recorder (default: the inert one —
+    tracing off). *)
 val create :
   ?node:Simnet.Netmodel.params * int ->
+  ?fabric:Simnet.Netmodel.fabric ->
   ?trace:Trace.Recorder.t ->
   ?exhook:Exhook.t ->
   net_params:Simnet.Netmodel.params ->

@@ -32,28 +32,92 @@ let intra_node =
     setup_overhead = 0.0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Tiered fabric description (lib/topology builds these).              *)
+(* ------------------------------------------------------------------ *)
+
+type fabric = {
+  f_node_of : int array;
+  f_rack_of : int array;
+  f_node : params;
+  f_rack : params;
+  f_core : params;
+  f_uplinks : int;
+}
+
+let validate_fabric f ~ranks =
+  if Array.length f.f_node_of <> ranks then
+    invalid_arg "Netmodel: fabric node map length differs from rank count";
+  let nodes = Array.length f.f_rack_of in
+  if nodes = 0 then invalid_arg "Netmodel: fabric has no nodes";
+  Array.iter
+    (fun n -> if n < 0 || n >= nodes then invalid_arg "Netmodel: fabric node id out of range")
+    f.f_node_of;
+  Array.iter
+    (fun r -> if r < 0 then invalid_arg "Netmodel: fabric rack id negative")
+    f.f_rack_of;
+  if f.f_uplinks < 0 then invalid_arg "Netmodel: fabric uplink count negative"
+
 type t = {
   p : params;
   intra : (params * int) option;  (* (intra-node params, node size) *)
+  fabric : fabric option;  (* general tiered fabric; [None] = the two legacy shapes *)
+  uplink_free : float array array;  (* node -> uplink port -> busy-until *)
   egress_free : float array;
   ingress_free : float array;
 }
 
 let create p ~ranks =
   if ranks <= 0 then invalid_arg "Netmodel.create: ranks must be positive";
-  { p; intra = None; egress_free = Array.make ranks 0.0; ingress_free = Array.make ranks 0.0 }
+  {
+    p;
+    intra = None;
+    fabric = None;
+    uplink_free = [||];
+    egress_free = Array.make ranks 0.0;
+    ingress_free = Array.make ranks 0.0;
+  }
 
 let create_hierarchical ~inter ~intra ~node_size ~ranks =
   if node_size <= 0 then invalid_arg "Netmodel.create_hierarchical: node_size must be positive";
   let t = create inter ~ranks in
   { t with intra = Some (intra, node_size) }
 
+let create_fabric f ~ranks =
+  validate_fabric f ~ranks;
+  let t = create f.f_core ~ranks in
+  let nodes = Array.length f.f_rack_of in
+  let uplink_free =
+    if f.f_uplinks = 0 then [||]
+    else Array.init nodes (fun _ -> Array.make f.f_uplinks 0.0)
+  in
+  { t with fabric = Some f; uplink_free }
+
 let params t = t.p
 
+(* Node id of a world rank: explicit placement on a fabric, [rank /
+   node_size] on the legacy two-tier model, one rank per node on a flat
+   fabric (every rank is its own shared-memory domain). *)
+let node_of t r =
+  match t.fabric with
+  | Some f -> f.f_node_of.(r)
+  | None -> ( match t.intra with Some (_, node_size) -> r / node_size | None -> r)
+
+let rack_of_rank t r =
+  match t.fabric with Some f -> f.f_rack_of.(f.f_node_of.(r)) | None -> 0
+
+let fabric_params f ~src_node ~dst_node =
+  if src_node = dst_node then f.f_node
+  else if f.f_rack_of.(src_node) = f.f_rack_of.(dst_node) then f.f_rack
+  else f.f_core
+
 let params_between t ~src ~dst =
-  match t.intra with
-  | Some (intra, node_size) when src / node_size = dst / node_size -> intra
-  | Some _ | None -> t.p
+  match t.fabric with
+  | Some f -> fabric_params f ~src_node:f.f_node_of.(src) ~dst_node:f.f_node_of.(dst)
+  | None -> (
+      match t.intra with
+      | Some (intra, node_size) when src / node_size = dst / node_size -> intra
+      | Some _ | None -> t.p)
 
 let local_compute_cost t ~bytes = float_of_int bytes *. t.p.memcpy_byte_time
 
@@ -69,11 +133,72 @@ let per_byte_cost p = p.injection_byte_time +. p.byte_time
 let msg_cost p ~bytes = startup_cost p +. (float_of_int bytes *. per_byte_cost p)
 
 let params_for_group t group =
-  match t.intra with
-  | Some (intra, node_size) when Array.length group > 0 ->
-      let node0 = group.(0) / node_size in
-      if Array.for_all (fun g -> g / node_size = node0) group then intra else t.p
-  | Some _ | None -> t.p
+  match t.fabric with
+  | Some f when Array.length group > 0 ->
+      let node0 = f.f_node_of.(group.(0)) in
+      if Array.for_all (fun g -> f.f_node_of.(g) = node0) group then f.f_node
+      else begin
+        let rack0 = f.f_rack_of.(node0) in
+        if Array.for_all (fun g -> f.f_rack_of.(f.f_node_of.(g)) = rack0) group then f.f_rack
+        else f.f_core
+      end
+  | Some _ | None -> (
+      match t.intra with
+      | Some (intra, node_size) when Array.length group > 0 ->
+          let node0 = group.(0) / node_size in
+          if Array.for_all (fun g -> g / node_size = node0) group then intra else t.p
+      | Some _ | None -> t.p)
+
+(* ------------------------------------------------------------------ *)
+(* Topology-aware group profile: what a collective spanning nodes      *)
+(* should plan with instead of the single pessimistic parameter set.   *)
+(* ------------------------------------------------------------------ *)
+
+type hier_profile = {
+  h_intra : params;
+  h_inter : params;
+  h_nodes : int;
+  h_max_per_node : int;
+}
+
+(* Only tiered fabrics get a profile: the legacy two-tier (?node) model
+   deliberately keeps its exact pre-topology planning behavior, and a flat
+   fabric has nothing to exploit. *)
+let hier_for_group t group =
+  match t.fabric with
+  | None -> None
+  | Some f ->
+      if Array.length group = 0 then None
+      else begin
+        (* Count distinct nodes and the heaviest node's population. *)
+        let counts = Hashtbl.create 8 in
+        Array.iter
+          (fun g ->
+            let nd = f.f_node_of.(g) in
+            Hashtbl.replace counts nd (1 + Option.value ~default:0 (Hashtbl.find_opt counts nd)))
+          group;
+        let nodes = Hashtbl.length counts in
+        if nodes <= 1 then None (* single node: params_for_group already exact *)
+        else begin
+          let mpn = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+          Some
+            {
+              h_intra = f.f_node;
+              h_inter = params_for_group t group;
+              h_nodes = nodes;
+              h_max_per_node = mpn;
+            }
+        end
+      end
+
+(* Earliest-free uplink port of [node]; deterministic argmin (first of the
+   equally free ports wins). *)
+let pick_uplink ports =
+  let best = ref 0 in
+  for i = 1 to Array.length ports - 1 do
+    if ports.(i) < ports.(!best) then best := i
+  done;
+  !best
 
 let transfer t ~now ~src ~dst ~bytes ~pack_factor =
   let p = params_between t ~src ~dst in
@@ -84,12 +209,72 @@ let transfer t ~now ~src ~dst ~bytes ~pack_factor =
     (done_at, done_at)
   end
   else begin
+    (* Inter-node messages on a fabric with a finite uplink count also
+       serialize on the source node's shared uplink ports (the fat-tree
+       oversubscription effect); intra-node traffic never touches them. *)
+    let uplink =
+      match t.fabric with
+      | Some f when f.f_uplinks > 0 && f.f_node_of.(src) <> f.f_node_of.(dst) ->
+          let ports = t.uplink_free.(f.f_node_of.(src)) in
+          Some (ports, pick_uplink ports)
+      | Some _ | None -> None
+    in
     let start = Float.max now t.egress_free.(src) in
+    let start =
+      match uplink with Some (ports, i) -> Float.max start ports.(i) | None -> start
+    in
     let injected = start +. p.send_overhead +. (fbytes *. p.injection_byte_time) in
     t.egress_free.(src) <- injected;
+    (match uplink with Some (ports, i) -> ports.(i) <- injected | None -> ());
     let wire_arrival = injected +. p.latency +. (fbytes *. p.byte_time) in
     let drain_start = Float.max wire_arrival t.ingress_free.(dst) in
     let available = drain_start +. p.recv_overhead in
     t.ingress_free.(dst) <- available;
     (injected, available)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Environment spec parser (MPISIM_TOPOLOGY).                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Specs:
+     "two:<node_size>"                        two-tier, default params
+     "fat:<node_size>:<nodes_per_rack>[:<uplinks>]"
+                                              three-tier fat tree
+   Block placement (rank r on node r / node_size).  Unknown specs raise
+   [Invalid_argument] so a typo in the environment fails loudly. *)
+let fabric_of_spec ~ranks spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Netmodel.fabric_of_spec: bad spec %S (expected two:<node_size> or \
+          fat:<node_size>:<nodes_per_rack>[:<uplinks>])"
+         spec)
+  in
+  let int_of s = match int_of_string_opt (String.trim s) with Some i when i > 0 -> i | _ -> fail () in
+  let nodes_for node_size = (ranks + node_size - 1) / node_size in
+  let block node_size = Array.init ranks (fun r -> r / node_size) in
+  match String.split_on_char ':' spec with
+  | [ "two"; ns ] ->
+      let node_size = int_of ns in
+      {
+        f_node_of = block node_size;
+        f_rack_of = Array.make (nodes_for node_size) 0;
+        f_node = intra_node;
+        f_rack = default;
+        f_core = default;
+        f_uplinks = 0;
+      }
+  | "fat" :: ns :: npr :: rest ->
+      let node_size = int_of ns and nodes_per_rack = int_of npr in
+      let uplinks = match rest with [] -> 0 | [ u ] -> int_of u | _ -> fail () in
+      let nodes = nodes_for node_size in
+      {
+        f_node_of = block node_size;
+        f_rack_of = Array.init nodes (fun n -> n / nodes_per_rack);
+        f_node = intra_node;
+        f_rack = low_latency;
+        f_core = default;
+        f_uplinks = uplinks;
+      }
+  | _ -> fail ()

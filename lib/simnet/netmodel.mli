@@ -40,6 +40,26 @@ val low_latency : params
 (** Shared-memory-class parameters for communication within a node. *)
 val intra_node : params
 
+(** {1 Tiered fabrics}
+
+    A general three-tier topology description (node / rack / core) with an
+    explicit rank→node→rack placement map and optional shared uplink ports
+    per node.  [lib/topology] provides builders and presets; this record is
+    the simulator-facing core so routing can live next to the port
+    schedule. *)
+
+type fabric = {
+  f_node_of : int array;  (** world rank → node id *)
+  f_rack_of : int array;  (** node id → rack id *)
+  f_node : params;  (** pairs on the same node *)
+  f_rack : params;  (** pairs on the same rack, different nodes *)
+  f_core : params;  (** pairs in different racks *)
+  f_uplinks : int;
+      (** shared uplink ports per node; inter-node messages from one node
+          serialize across them ([0] = uncongested uplinks, the flat
+          behavior) *)
+}
+
 type t
 
 (** [create params ~ranks] allocates per-rank port state (a flat fabric:
@@ -51,8 +71,28 @@ val create : params -> ranks:int -> t
     [rank / node_size]) use [intra], all others [inter]. *)
 val create_hierarchical : inter:params -> intra:params -> node_size:int -> ranks:int -> t
 
+(** [create_fabric f ~ranks] builds the model for a tiered fabric.  Raises
+    [Invalid_argument] if the placement maps are inconsistent with [ranks]. *)
+val create_fabric : fabric -> ranks:int -> t
+
+(** [fabric_of_spec ~ranks spec] parses an [MPISIM_TOPOLOGY]-style spec:
+    ["two:<node_size>"] (two-tier, shared-memory nodes under the default
+    inter-node fabric) or ["fat:<node_size>:<nodes_per_rack>\[:<uplinks>\]"]
+    (three-tier fat tree, optionally with [uplinks] shared uplink ports per
+    node).  Placement is block (rank [r] on node [r / node_size]).  Raises
+    [Invalid_argument] on a malformed spec. *)
+val fabric_of_spec : ranks:int -> string -> fabric
+
 (** [params t] returns the inter-node (or flat) model parameters. *)
 val params : t -> params
+
+(** [node_of t r] is the shared-memory node hosting world rank [r]: the
+    placement map on a tiered fabric, [r / node_size] on the legacy
+    two-tier model, and [r] itself (one rank per node) on a flat fabric. *)
+val node_of : t -> int -> int
+
+(** [rack_of_rank t r] is the rack of [r]'s node ([0] off tiered fabrics). *)
+val rack_of_rank : t -> int -> int
 
 (** [params_between t ~src ~dst] is the parameter set governing one pair. *)
 val params_between : t -> src:int -> dst:int -> params
@@ -85,8 +125,26 @@ val per_byte_cost : params -> float
 val msg_cost : params -> bytes:int -> float
 
 (** [params_for_group t group] is the parameter set a collective over the
-    given world ranks should plan with: on a hierarchical fabric the
-    intra-node parameters when every member lives on one node, otherwise
-    the inter-node parameters (the pessimistic bound for a spanning
-    collective). *)
+    given world ranks should plan with: the tightest tier containing every
+    member (node, then rack, then core on a tiered fabric; intra-node vs
+    inter-node on the legacy two-tier model), falling back to the flat
+    parameters. *)
 val params_for_group : t -> int array -> params
+
+(** A topology-aware planning profile for a group that spans nodes:
+    instead of collapsing to the single pessimistic spanning tier (what
+    {!params_for_group} returns), hierarchical collective algorithms plan
+    intra-node phases with [h_intra] and leader phases with [h_inter]. *)
+type hier_profile = {
+  h_intra : params;  (** cost of a message between two ranks on one node *)
+  h_inter : params;  (** cost of the worst tier the group spans *)
+  h_nodes : int;  (** number of distinct nodes occupied by the group *)
+  h_max_per_node : int;  (** population of the fullest node *)
+}
+
+(** [hier_for_group t group] is the hierarchical profile of the group, or
+    [None] when there is no hierarchy to exploit: a flat fabric, a group
+    confined to one node (where {!params_for_group} is already exact), or
+    the legacy two-tier [?node] model — which deliberately keeps its exact
+    pre-topology planning behavior; build a {!fabric} to opt in. *)
+val hier_for_group : t -> int array -> hier_profile option

@@ -1,0 +1,98 @@
+(** Analytic auto-tuning of collective algorithm selection.
+
+    [tune] sweeps the {!Coll_algos.Cost} model over a message-size grid for
+    one (fabric, communicator size) pair and folds the per-size winners
+    into message-size-keyed pin tables ({!Coll_algos.Select.pin_table}
+    rows).  The sweep reuses the runtime's own pinless argmin, so at every
+    sweep point the generated table agrees with what cost-based selection
+    would pick live; between sweep points the table holds the last winner
+    (piecewise-constant interpolation).
+
+    Everything here is a pure function of the fabric description, so every
+    rank computes an identical plan without communicating — {!install} is
+    called collectively but sends nothing. *)
+
+(** [(min_bytes, algo)] rows, ascending; the first row is anchored at 0. *)
+type table = (int * string) list
+
+type plan = {
+  t_p : int;  (** communicator size the plan was tuned for *)
+  t_sizes : int list;  (** the sweep grid, ascending *)
+  t_bcast : table;
+  t_allreduce : table;
+  t_alltoall : table;
+}
+
+(** Eight geometric sweep points, 8 B to 16 MiB. *)
+val default_sizes : int list
+
+(** {1 Raw predictions}
+
+    Candidate costs in catalogue order, for predicted-vs-simulated
+    validation (see [bench/]'s collectives gate). *)
+
+val predict_bcast :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  (string * float) list
+
+val predict_allreduce :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  ?elem_size:int ->
+  ?op_cost:float ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  (string * float) list
+
+val predict_alltoall :
+  ?hier:Simnet.Netmodel.hier_profile ->
+  Simnet.Netmodel.params ->
+  p:int ->
+  bytes:int ->
+  (string * float) list
+
+(** {1 Tuning} *)
+
+(** [tune fabric ~p] tunes a [p]-rank communicator occupying ranks
+    [0 .. p-1] of [fabric] (block-placed groups — the common case).
+    @param sizes message-size sweep grid (default {!default_sizes})
+    @param elem_size bytes per reduction element (default [8])
+    @param op_cost seconds per combined element (default [1e-9], the
+    built-in operator cost)
+    @param commutative whether the reduction commutes (default [true])
+    @raise Invalid_argument on an empty sweep or [p] exceeding the fabric. *)
+val tune :
+  ?sizes:int list ->
+  ?elem_size:int ->
+  ?op_cost:float ->
+  ?commutative:bool ->
+  Fabric.t ->
+  p:int ->
+  plan
+
+(** [tune_for_comm comm] tunes for a live communicator: the profile comes
+    from the communicator's actual group on its world's network model, so
+    sub-communicators (e.g. a {!Mpisim.Collectives.split_by_node} leader
+    comm) tune against their own tier. *)
+val tune_for_comm :
+  ?sizes:int list ->
+  ?elem_size:int ->
+  ?op_cost:float ->
+  ?commutative:bool ->
+  Mpisim.Comm.t ->
+  plan
+
+(** [install plan comm] pins the plan's tables on [comm] via
+    {!Mpisim.Collectives.pin_table_algorithm}.  Call it on every rank
+    (plans are deterministic, so rank-local installs agree). *)
+val install : plan -> Mpisim.Comm.t -> unit
+
+(** [crossovers table] is the thresholds where the winner changes (the
+    predicted crossover points; empty for a single-algorithm table). *)
+val crossovers : table -> int list
+
+val table_to_string : table -> string
+val to_string : plan -> string

@@ -1,0 +1,45 @@
+module N = Simnet.Netmodel
+
+type t = N.fabric
+
+let make ?(uplinks = 0) ~node_of ~rack_of ~node ~rack ~core () =
+  Place.validate ~ranks:(Array.length node_of) ~node_of ~rack_of;
+  if uplinks < 0 then invalid_arg "Fabric.make: uplinks negative";
+  {
+    N.f_node_of = Array.copy node_of;
+    f_rack_of = Array.copy rack_of;
+    f_node = node;
+    f_rack = rack;
+    f_core = core;
+    f_uplinks = uplinks;
+  }
+
+let two_tier ?(intra = N.intra_node) ?(inter = N.default) ?(uplinks = 0) ~node_size ~ranks () =
+  let node_of = Place.block ~ranks ~node_size in
+  let nodes = Place.node_count node_of in
+  (* one rack: the rack tier collapses onto the core parameters *)
+  make ~uplinks ~node_of ~rack_of:(Array.make nodes 0) ~node:intra ~rack:inter ~core:inter ()
+
+let fat_tree ?(intra = N.intra_node) ?(rack = N.low_latency) ?(core = N.default) ?(uplinks = 0)
+    ~node_size ~nodes_per_rack ~ranks () =
+  let node_of = Place.block ~ranks ~node_size in
+  let nodes = Place.node_count node_of in
+  let rack_of = Place.racks ~nodes ~nodes_per_rack in
+  make ~uplinks ~node_of ~rack_of ~node:intra ~rack ~core ()
+
+let of_spec = N.fabric_of_spec
+
+let nodes (f : t) = Array.length f.N.f_rack_of
+
+let racks (f : t) =
+  if Array.length f.N.f_rack_of = 0 then 0
+  else 1 + Array.fold_left Int.max 0 f.N.f_rack_of
+
+let ranks (f : t) = Array.length f.N.f_node_of
+
+let max_per_node (f : t) =
+  Array.fold_left Int.max 0 (Place.populations f.N.f_node_of)
+
+let describe (f : t) =
+  Printf.sprintf "%d ranks / %d nodes / %d racks (<=%d ranks/node, %d uplinks/node)"
+    (ranks f) (nodes f) (racks f) (max_per_node f) f.N.f_uplinks

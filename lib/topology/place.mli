@@ -1,0 +1,43 @@
+(** Rank placement maps for tiered fabrics.
+
+    A placement is two dense arrays: [node_of] maps world rank to node id,
+    [rack_of] maps node id to rack id — the exact representation
+    {!Simnet.Netmodel.fabric} consumes.  Builders here cover the standard
+    layouts; anything else is an ordinary [int array]. *)
+
+(** [ceil_div a b] rounds the quotient up (node counts from rank counts). *)
+val ceil_div : int -> int -> int
+
+(** [block ~ranks ~node_size] packs consecutive ranks onto each node:
+    rank [r] lives on node [r / node_size] (the MPI default and the layout
+    [Netmodel.fabric_of_spec] uses). *)
+val block : ranks:int -> node_size:int -> int array
+
+(** [round_robin ~ranks ~nodes] deals ranks across nodes cyclically:
+    rank [r] lives on node [r mod nodes] (the [--map-by node] layout that
+    defeats naive node-locality assumptions — useful in tests). *)
+val round_robin : ranks:int -> nodes:int -> int array
+
+(** [scattered ~ranks ~node_size] deals ranks to nodes through a fixed
+    multiplicative permutation — a deterministic model of a fragmented
+    batch allocation where consecutive ranks rarely share a node, the
+    adversarial placement for topology-blind collectives.  Balanced by
+    construction.
+    @raise Invalid_argument unless [node_size] divides [ranks]. *)
+val scattered : ranks:int -> node_size:int -> int array
+
+(** [racks ~nodes ~nodes_per_rack] blocks consecutive nodes into racks. *)
+val racks : nodes:int -> nodes_per_rack:int -> int array
+
+(** [node_count node_of] is the number of distinct nodes of a dense map. *)
+val node_count : int array -> int
+
+(** [populations node_of] is the per-node rank count, indexed by node id. *)
+val populations : int array -> int array
+
+(** [validate ~ranks ~node_of ~rack_of] checks a placement is dense and
+    consistent: the node map covers exactly [ranks] entries, every node id
+    indexes [rack_of], rack ids are non-negative, and every node hosts at
+    least one rank.
+    @raise Invalid_argument with a specific message otherwise. *)
+val validate : ranks:int -> node_of:int array -> rack_of:int array -> unit

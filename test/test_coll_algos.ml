@@ -220,6 +220,72 @@ let test_pin_table () =
     (Invalid_argument "Coll_algos.Select.pin: unknown bcast algorithm \"magic\"") (fun () ->
       Select.pin sel ~cid:0 ~coll:"bcast" ~algo:"magic")
 
+let test_pin_size_table () =
+  let sel = Select.create () in
+  Select.pin_table sel ~cid:7 ~coll:"bcast" [ (4096, "scatter_allgather"); (0, "binomial") ];
+  (* rows are kept sorted; last threshold <= bytes wins *)
+  Alcotest.(check (option (list (pair int string)))) "table visible, sorted"
+    (Some [ (0, "binomial"); (4096, "scatter_allgather") ])
+    (Select.pinned_table sel ~cid:7 ~coll:"bcast");
+  Alcotest.(check (option string)) "table is not a fixed pin" None
+    (Select.pinned sel ~cid:7 ~coll:"bcast");
+  Alcotest.(check string) "below threshold" "binomial"
+    (Algo.bcast_name (Select.bcast sel ~cid:7 prm ~p:16 ~bytes:8));
+  Alcotest.(check string) "at threshold" "scatter_allgather"
+    (Algo.bcast_name (Select.bcast sel ~cid:7 prm ~p:16 ~bytes:4096));
+  Alcotest.(check string) "above threshold" "scatter_allgather"
+    (Algo.bcast_name (Select.bcast sel ~cid:7 prm ~p:16 ~bytes:(1 lsl 20)));
+  (* a table whose first row starts above 0 falls back to cost selection
+     for smaller payloads *)
+  Select.pin_table sel ~cid:8 ~coll:"bcast" [ (1 lsl 30, "scatter_allgather") ];
+  Alcotest.(check string) "unmatched payload uses cost" "binomial"
+    (Algo.bcast_name (Select.bcast sel ~cid:8 prm ~p:16 ~bytes:8));
+  Select.unpin sel ~cid:7 ~coll:"bcast";
+  Alcotest.(check (option (list (pair int string)))) "unpin clears tables" None
+    (Select.pinned_table sel ~cid:7 ~coll:"bcast");
+  Alcotest.check_raises "empty table"
+    (Invalid_argument "Coll_algos.Select.pin_table: empty table") (fun () ->
+      Select.pin_table sel ~cid:0 ~coll:"bcast" []);
+  Alcotest.check_raises "negative threshold"
+    (Invalid_argument "Coll_algos.Select.pin_table: negative size threshold") (fun () ->
+      Select.pin_table sel ~cid:0 ~coll:"bcast" [ (-1, "binomial") ]);
+  Alcotest.check_raises "unknown algo in table"
+    (Invalid_argument "Coll_algos.Select.pin: unknown bcast algorithm \"magic\"") (fun () ->
+      Select.pin_table sel ~cid:0 ~coll:"bcast" [ (0, "magic") ])
+
+let test_hier_cost_gating () =
+  (* without a topology profile every hierarchical candidate predicts
+     infinity — the reason flat worlds can never auto-select one *)
+  Alcotest.(check bool) "bcast gated" true
+    (Cost.bcast prm ~p:16 ~bytes:4096 Algo.Bcast_node_leader = infinity);
+  Alcotest.(check bool) "allreduce gated" true
+    (Cost.allreduce prm ~p:16 ~bytes:4096 ~elems:512 ~op_cost:1e-9 Algo.Ar_node_leader = infinity);
+  Alcotest.(check bool) "alltoall smp gated" true
+    (Cost.alltoall prm ~p:16 ~bytes:4096 Algo.A2a_smp = infinity);
+  Alcotest.(check bool) "alltoall hypergrid gated" true
+    (Cost.alltoall prm ~p:16 ~bytes:4096 Algo.A2a_hypergrid = infinity);
+  let hier =
+    {
+      Netmodel.h_intra = Netmodel.intra_node;
+      h_inter = Netmodel.default;
+      h_nodes = 4;
+      h_max_per_node = 4;
+    }
+  in
+  List.iter
+    (fun (name, cost) -> Alcotest.(check bool) (name ^ " unlocked") true (cost < infinity))
+    [
+      ("bcast", Cost.bcast ~hier prm ~p:16 ~bytes:4096 Algo.Bcast_node_leader);
+      ( "allreduce",
+        Cost.allreduce ~hier prm ~p:16 ~bytes:4096 ~elems:512 ~op_cost:1e-9 Algo.Ar_node_leader );
+      ("alltoall smp", Cost.alltoall ~hier prm ~p:16 ~bytes:4096 Algo.A2a_smp);
+      ("alltoall hypergrid", Cost.alltoall ~hier prm ~p:16 ~bytes:4096 Algo.A2a_hypergrid);
+    ];
+  (* flat candidates ignore the profile entirely *)
+  Alcotest.(check (float 0.0)) "flat cost independent of hier"
+    (Cost.bcast prm ~p:16 ~bytes:4096 Algo.Bcast_binomial)
+    (Cost.bcast ~hier prm ~p:16 ~bytes:4096 Algo.Bcast_binomial)
+
 let test_hierarchical_params () =
   let node_size = 4 in
   let net =
@@ -338,6 +404,8 @@ let suite =
     Alcotest.test_case "alltoall variants agree" `Quick test_alltoall_variants;
     Alcotest.test_case "selector crossovers" `Quick test_selector_crossovers;
     Alcotest.test_case "pin table" `Quick test_pin_table;
+    Alcotest.test_case "size-keyed pin tables" `Quick test_pin_size_table;
+    Alcotest.test_case "hierarchical cost gating" `Quick test_hier_cost_gating;
     Alcotest.test_case "hierarchical params" `Quick test_hierarchical_params;
     Alcotest.test_case "profiling annotations" `Quick test_profiling_annotations;
     Alcotest.test_case "non-commutative fallback" `Quick test_noncommutative_annotation;

@@ -26,4 +26,5 @@ let () =
       ("stress", Test_stress.suite);
       ("engine-scale", Test_engine_scale.suite);
       ("persist", Test_persist.suite);
+      ("topology", Test_topology.suite);
     ]
