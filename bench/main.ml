@@ -140,6 +140,7 @@ let experiments =
     ("serving", Experiments.Serve_exp.run);
     ("engine", Experiments.Engine_exp.run);
     ("mpi4", Experiments.Mpi4_exp.run);
+    ("apps", Experiments.Apps_exp.run);
     ("micro", microbench);
   ]
 

@@ -103,3 +103,23 @@ MPISIM_TOPOLOGY=two:4 MPISIM_CHECK=communication dune exec test/test_main.exe --
 MPISIM_CHECK=communication dune exec test/test_main.exe -- test topology
 dune exec bench/main.exe -- colltuning
 test -s BENCH_collectives.json
+
+# Ninth pass: the scenario gallery.  The three differential workloads
+# (PageRank/CC over the generator families, the CG stencil solver over
+# its three halo transports, streaming windowed analytics over the
+# aggregator) run end-to-end under a randomized explore schedule with
+# the communication checker raised — each example internally proves
+# variant/transport bit-identity, oracle equality and kill-recovery,
+# and fails non-zero on any divergence.  The scenarios suite adds the
+# property sweep (degenerate process grids, zero-iteration solves) and
+# the chaos regressions (explorer-drawn kills with replayable tokens).
+# Then the apps bench gates on BENCH_apps.json: every entry of its
+# "checks" object (variant/transport/oracle exactness, p2p-vs-
+# persistent noise band) must be true, else the experiment exits
+# non-zero.
+MPISIM_EXPLORE=random:42 MPISIM_CHECK=communication dune exec examples/graph_analytics.exe
+MPISIM_EXPLORE=random:42 MPISIM_CHECK=communication dune exec examples/cg_solver.exe
+MPISIM_EXPLORE=random:42 MPISIM_CHECK=communication dune exec examples/stream_windows.exe
+MPISIM_CHECK=communication dune exec test/test_main.exe -- test scenarios
+dune exec bench/main.exe -- apps
+test -s BENCH_apps.json

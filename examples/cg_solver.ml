@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/cg_solver.ml. *)
+let () = Gallery.Cg_solver.run ()

@@ -1,0 +1,135 @@
+(* PageRank and connected components as differential-test citizens: the
+   same graph workload runs through the sparse (NBX), dense (tuned
+   alltoallv) and neighborhood-collective exchange variants, and every
+   variant must produce the bit-identical result — which in turn must
+   equal the host-side sequential oracle, and survive a mid-run rank
+   kill through lib/ckpt unchanged.
+
+   Run with:  dune exec examples/graph_analytics.exe *)
+
+module K = Kamping.Comm
+module Gen = Graphgen.Generators
+module G = Graphgen.Distgraph
+module GD = Gallery_digest
+
+let ranks = 4
+let alpha = 0.85
+let iters = 8
+let n_shards = 6
+
+(* one low-locality and one high-locality family (Fig. 10's spectrum) *)
+let workloads = [ (Gen.Erdos_renyi, 60, 3, 23); (Gen.Rgg2d, 64, 4, 7) ]
+
+let graph_for family ~global_n ~avg_degree ~seed raw =
+  Gen.generate family ~rank:(Mpisim.Comm.rank raw) ~comm_size:ranks ~global_n ~avg_degree ~seed
+
+let pagerank_scores variant family ~global_n ~avg_degree ~seed =
+  let res =
+    Mpisim.Mpi.results_exn
+      (Mpisim.Mpi.run ~ranks (fun raw ->
+           let g = graph_for family ~global_n ~avg_degree ~seed raw in
+           Apps.Pagerank.run ~variant (K.wrap raw) g ~alpha ~iters))
+  in
+  Array.concat (Array.to_list res)
+
+let cc_labels variant family ~global_n ~avg_degree ~seed =
+  let res =
+    Mpisim.Mpi.results_exn
+      (Mpisim.Mpi.run ~ranks (fun raw ->
+           let g = graph_for family ~global_n ~avg_degree ~seed raw in
+           Apps.Conncomp.run ~variant (K.wrap raw) g))
+  in
+  Array.concat (Array.to_list res)
+
+(* Assemble the (shard, block) lists the resilient runs return into the
+   global vector; every shard must be owned by exactly one survivor. *)
+let assemble ~global_n make res =
+  let out = Array.make global_n (make 0) in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Ok pairs ->
+          List.iter
+            (fun (s, block) ->
+              Hashtbl.replace seen s ();
+              let first, _ = G.block_range ~global_n ~comm_size:n_shards s in
+              Array.blit block 0 out first (Array.length block))
+            pairs
+      | Error _ -> ())
+    res.Mpisim.Mpi.results;
+  if Hashtbl.length seen <> n_shards then failwith "graph_analytics: missing shards";
+  out
+
+let resilient_pagerank ?fail_at family ~global_n ~avg_degree ~seed =
+  Mpisim.Mpi.run ?fail_at ~ranks (fun raw ->
+      Apps.Pagerank_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) ~family ~n_shards
+        ~global_n ~avg_degree ~seed ~alpha ~iters)
+
+let resilient_cc ?fail_at family ~global_n ~avg_degree ~seed =
+  Mpisim.Mpi.run ?fail_at ~ranks (fun raw ->
+      Apps.Conncomp_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) ~family ~n_shards
+        ~global_n ~avg_degree ~seed)
+
+(* (pagerank digest, cc digest, all-agree flag) for one workload *)
+let family_results (family, global_n, avg_degree, seed) =
+  let pr_ref = Apps.Pagerank.reference family ~global_n ~avg_degree ~seed ~alpha ~iters in
+  let pr_ok =
+    List.for_all
+      (fun v -> pagerank_scores v family ~global_n ~avg_degree ~seed = pr_ref)
+      Apps.Gexchange.all_variants
+  in
+  let cc_ref = Apps.Conncomp.reference family ~global_n ~avg_degree ~seed in
+  let cc_ok =
+    List.for_all
+      (fun v -> cc_labels v family ~global_n ~avg_degree ~seed = cc_ref)
+      Apps.Gexchange.all_variants
+  in
+  let pr_free = resilient_pagerank family ~global_n ~avg_degree ~seed in
+  let t_fail = 0.5 *. pr_free.Mpisim.Mpi.sim_time in
+  let pr_killed = resilient_pagerank ~fail_at:[ (1, t_fail) ] family ~global_n ~avg_degree ~seed in
+  let pr_res_ok =
+    assemble ~global_n (fun _ -> 0.0) pr_free = pr_ref
+    && assemble ~global_n (fun _ -> 0.0) pr_killed = pr_ref
+  in
+  let cc_free = resilient_cc family ~global_n ~avg_degree ~seed in
+  let cc_killed =
+    resilient_cc ~fail_at:[ (1, 0.5 *. cc_free.Mpisim.Mpi.sim_time) ] family ~global_n ~avg_degree
+      ~seed
+  in
+  let cc_res_ok =
+    assemble ~global_n (fun _ -> 0) cc_free = cc_ref
+    && assemble ~global_n (fun _ -> 0) cc_killed = cc_ref
+  in
+  (GD.floats pr_ref, GD.ints cc_ref, pr_ok && cc_ok && pr_res_ok && cc_res_ok)
+
+let digest () =
+  String.concat "|"
+    (List.map
+       (fun ((family, _, _, _) as w) ->
+         let pr, cc, ok = family_results w in
+         Printf.sprintf "%s:pr=%d,cc=%d,agree=%b" (Gen.family_name family) pr cc ok)
+       workloads)
+
+let run () =
+  List.iter
+    (fun ((family, global_n, avg_degree, seed) as w) ->
+      Printf.printf "%s (n=%d, d=%d):\n" (Gen.family_name family) global_n avg_degree;
+      List.iter
+        (fun v ->
+          let t = ref 0.0 in
+          let res =
+            Mpisim.Mpi.run ~ranks (fun raw ->
+                let g = graph_for family ~global_n ~avg_degree ~seed raw in
+                let kc = K.wrap raw in
+                let pr = Apps.Pagerank.run ~variant:v kc g ~alpha ~iters in
+                let cc = Apps.Conncomp.run ~variant:v kc g in
+                (pr, cc))
+          in
+          t := res.Mpisim.Mpi.sim_time;
+          Printf.printf "  %-9s pagerank+cc in %7.0f us simulated\n"
+            (Apps.Gexchange.variant_name v) (!t *. 1e6))
+        Apps.Gexchange.all_variants;
+      let _, _, ok = family_results w in
+      Printf.printf "  variants, oracle and kill-recovery agree: %b\n" ok;
+      if not ok then failwith "graph_analytics: divergence detected")
+    workloads

@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/graph_analytics.ml. *)
+let () = Gallery.Graph_analytics.run ()

@@ -1,0 +1,2 @@
+(* Thin launcher; the program lives in examples/gallery/stream_windows.ml. *)
+let () = Gallery.Stream_windows.run ()

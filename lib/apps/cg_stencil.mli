@@ -1,0 +1,71 @@
+(** Conjugate gradient on the 5-point 2-D Laplacian over a Cartesian
+    process grid, with three interchangeable halo transports.
+
+    The domain is an [nx * ny] interior grid with zero Dirichlet
+    boundary, block-partitioned over a [px * py] process grid
+    ({!Mpisim.Cart}); the right-hand side is hashed from the global cell
+    index, so every rank regenerates its block without communication.
+    Each iteration exchanges one boundary layer per side — via paired
+    point-to-point ({!Mpisim.Cart.halo_exchange}), standing MPI-4
+    persistent channels ([send_init]/[recv_init]), or an RMA window with
+    fence epochs — and folds the two dot products in a fixed per-block
+    order (allgather of per-rank partials, reproducible tree over the
+    rank index), so the iterates are {e bitwise identical} across
+    transports and schedules and equal the host-side {!reference}. *)
+
+type transport = P2p | Persistent | Rma
+
+val transport_name : transport -> string
+val all_transports : transport list
+
+type result = {
+  x : float array;  (** local block of the solution, row-major *)
+  rr : float;  (** final squared residual norm (global) *)
+  gi0 : int;  (** first global row of the block *)
+  gj0 : int;  (** first global column of the block *)
+  lx : int;  (** block rows *)
+  ly : int;  (** block columns *)
+}
+
+(** [solve ?transport kc ~dims ~nx ~ny ~iters ~seed] runs [iters] CG
+    iterations.  [dims = [|px; py|]] must multiply to the communicator
+    size, and every block must be non-empty ([nx >= px], [ny >= py]).
+    Collective. *)
+val solve :
+  ?transport:transport ->
+  Kamping.Comm.t ->
+  dims:int array ->
+  nx:int ->
+  ny:int ->
+  iters:int ->
+  seed:int ->
+  result
+
+(** [reference ~dims ~nx ~ny ~iters ~seed] is the sequential host-side
+    oracle: the full solution field (row-major) and final residual,
+    with the dot products folded in the same [dims]-blocked order —
+    bitwise equal to the assembled {!solve} blocks. *)
+val reference : dims:int array -> nx:int -> ny:int -> iters:int -> seed:int -> float array * float
+
+(** {1 Shared kernels}
+
+    Exposed so the resilient variant performs the exact same scalar
+    operations in the same order (see {!Cg_resilient}). *)
+
+val b_at : seed:int -> int -> int -> ny:int -> float
+
+val apply_block :
+  lx:int ->
+  ly:int ->
+  gn:float array ->
+  gs:float array ->
+  gw:float array ->
+  ge:float array ->
+  float array ->
+  float array ->
+  unit
+
+val partial_dot : float array -> float array -> int -> float
+val combine_partials : float array -> float
+val axpy : float array -> float -> float array -> int -> unit
+val update_p : float array -> float array -> float -> int -> unit

@@ -1,0 +1,92 @@
+(* Weakly connected components: symmetrize the edge set once, then
+   propagate minimum labels to a fixpoint.  All arithmetic is integral
+   and min-idempotent, so every variant and rank count agrees. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+module G = Graphgen.Distgraph
+
+let dt_pair = D.pair D.int D.int
+
+(* Undirected adjacency: local out-edges plus the reversals received
+   from the ranks owning our in-neighbors. *)
+let build_adjacency ex variant (graph : G.t) =
+  let local_n = graph.G.local_n in
+  let adj = Array.init local_n (fun _ -> V.create ()) in
+  let buckets : (int, (int * int) V.t) Hashtbl.t = Hashtbl.create 8 in
+  let bucket dst =
+    match Hashtbl.find_opt buckets dst with
+    | Some v -> v
+    | None ->
+        let v = V.create () in
+        Hashtbl.add buckets dst v;
+        v
+  in
+  for i = 0 to local_n - 1 do
+    let u = G.global_of_local graph i in
+    G.iter_neighbors graph i (fun v ->
+        V.push adj.(i) v;
+        V.push (bucket (G.owner graph v)) (v, u))
+  done;
+  let messages = Hashtbl.fold (fun dst v acc -> (dst, v) :: acc) buckets [] in
+  let received = Gexchange.exchange ex variant dt_pair ~messages in
+  List.iter
+    (fun (_, payload) ->
+      V.iter (fun (v, u) -> V.push adj.(v - graph.G.first_vertex) u) payload)
+    received;
+  adj
+
+let run ?(variant = Gexchange.Sparse) kc (graph : G.t) =
+  if graph.G.comm_size <> K.size kc then
+    Mpisim.Errors.usage "Conncomp.run: graph built for %d ranks, communicator has %d"
+      graph.G.comm_size (K.size kc);
+  let local_n = graph.G.local_n and first = graph.G.first_vertex in
+  let ex = Gexchange.create kc ~partners:(G.rank_partners graph) in
+  let adj = build_adjacency ex variant graph in
+  let labels = Array.init local_n (fun i -> first + i) in
+  let any_changed = ref true in
+  while !any_changed do
+    let changed = ref false in
+    let buckets : (int, (int * int) V.t) Hashtbl.t = Hashtbl.create 8 in
+    let bucket dst =
+      match Hashtbl.find_opt buckets dst with
+      | Some v -> v
+      | None ->
+          let v = V.create () in
+          Hashtbl.add buckets dst v;
+          v
+    in
+    for i = 0 to local_n - 1 do
+      let lbl = labels.(i) in
+      V.iter (fun v -> V.push (bucket (G.owner graph v)) (v, lbl)) adj.(i)
+    done;
+    let messages = Hashtbl.fold (fun dst v acc -> (dst, v) :: acc) buckets [] in
+    let received = Gexchange.exchange ex variant dt_pair ~messages in
+    List.iter
+      (fun (_, payload) ->
+        V.iter
+          (fun (v, lbl) ->
+            let i = v - first in
+            if lbl < labels.(i) then begin
+              labels.(i) <- lbl;
+              changed := true
+            end)
+          payload)
+      received;
+    any_changed := K.allreduce_single kc D.bool Mpisim.Op.bool_or !changed
+  done;
+  labels
+
+let reference family ~global_n ~avg_degree ~seed =
+  let g = Graphgen.Generators.generate family ~rank:0 ~comm_size:1 ~global_n ~avg_degree ~seed in
+  let parent = Array.init global_n (fun i -> i) in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  for u = 0 to global_n - 1 do
+    G.iter_neighbors g u (fun v -> union u v)
+  done;
+  Array.init global_n (fun u -> find u)

@@ -1,0 +1,21 @@
+(** Distributed connected components by min-label propagation.
+
+    The directed edge set is symmetrized once at setup (a reversal-edge
+    exchange through the same {!Gexchange} variant used for the
+    iterations), then every round each vertex offers its current label
+    to all undirected neighbors until a fixpoint; a vertex ends up
+    labeled with the smallest vertex id of its (weakly) connected
+    component.  Min is idempotent and commutative, so the result is
+    independent of rank count, exchange variant, and schedule. *)
+
+(** [run ?variant kc graph] returns this rank's block of the label
+    vector.  Collective; [graph.comm_size] must equal the communicator
+    size. *)
+val run :
+  ?variant:Gexchange.variant -> Kamping.Comm.t -> Graphgen.Distgraph.t -> int array
+
+(** [reference family ~global_n ~avg_degree ~seed] is the host-side
+    oracle: union-find over the full edge list, labels rewritten to the
+    component minimum. *)
+val reference :
+  Graphgen.Generators.family -> global_n:int -> avg_degree:int -> seed:int -> int array

@@ -1,0 +1,86 @@
+(* Push-style PageRank with a fixed floating-point order: dangling mass
+   through the reproducible-reduction tree and contributions applied in
+   ascending source-vertex order, so every rank count, exchange variant
+   and schedule produces the same bits. *)
+
+module K = Kamping.Comm
+module D = Mpisim.Datatype
+module V = Ds.Vec
+module G = Graphgen.Distgraph
+
+let dt_contrib = D.pair D.int D.float
+
+(* The shared scalar kernel: both the distributed run and the host
+   reference must perform these exact operations in this exact order. *)
+let base_score ~alpha ~n ~dangling =
+  ((1.0 -. alpha) /. float_of_int n) +. (dangling /. float_of_int n)
+
+let push_weight ~alpha score deg = alpha *. score /. float_of_int deg
+let dangling_weight ~alpha score = alpha *. score
+
+let run ?(variant = Gexchange.Sparse) kc (graph : G.t) ~alpha ~iters =
+  if graph.G.comm_size <> K.size kc then
+    Mpisim.Errors.usage "Pagerank.run: graph built for %d ranks, communicator has %d"
+      graph.G.comm_size (K.size kc);
+  let n = graph.G.global_n and local_n = graph.G.local_n in
+  let first = graph.G.first_vertex in
+  let ex = Gexchange.create kc ~partners:(G.rank_partners graph) in
+  let pr = ref (Array.make local_n (1.0 /. float_of_int n)) in
+  for _ = 1 to iters do
+    let cur = !pr in
+    let dangling_buf =
+      V.init local_n (fun i ->
+          if G.degree graph i = 0 then dangling_weight ~alpha cur.(i) else 0.0)
+    in
+    let dangling = Kamping_plugins.Reproducible_reduce.reduce kc D.float ( +. ) ~send_buf:dangling_buf in
+    let buckets : (int, (int * float) V.t) Hashtbl.t = Hashtbl.create 8 in
+    let bucket dst =
+      match Hashtbl.find_opt buckets dst with
+      | Some v -> v
+      | None ->
+          let v = V.create () in
+          Hashtbl.add buckets dst v;
+          v
+    in
+    for i = 0 to local_n - 1 do
+      let deg = G.degree graph i in
+      if deg > 0 then begin
+        let c = push_weight ~alpha cur.(i) deg in
+        G.iter_neighbors graph i (fun v -> V.push (bucket (G.owner graph v)) (v, c))
+      end
+    done;
+    let messages = Hashtbl.fold (fun dst v acc -> (dst, v) :: acc) buckets [] in
+    let received = Gexchange.exchange ex variant dt_contrib ~messages in
+    let next = Array.make local_n (base_score ~alpha ~n ~dangling) in
+    (* received is sorted by source rank and each payload is in ascending
+       source-vertex order, so per destination the additions happen in
+       global source order — the reference's order. *)
+    List.iter
+      (fun (_, payload) -> V.iter (fun (v, c) -> next.(v - first) <- next.(v - first) +. c) payload)
+      received;
+    pr := next
+  done;
+  !pr
+
+let reference family ~global_n ~avg_degree ~seed ~alpha ~iters =
+  let g = Graphgen.Generators.generate family ~rank:0 ~comm_size:1 ~global_n ~avg_degree ~seed in
+  let n = global_n in
+  let pr = ref (Array.make n (1.0 /. float_of_int n)) in
+  for _ = 1 to iters do
+    let cur = !pr in
+    let dangling =
+      Kamping_plugins.Reproducible_reduce.local_tree_reduce ( +. )
+        (fun u -> if G.degree g u = 0 then dangling_weight ~alpha cur.(u) else 0.0)
+        0 n
+    in
+    let next = Array.make n (base_score ~alpha ~n ~dangling) in
+    for u = 0 to n - 1 do
+      let deg = G.degree g u in
+      if deg > 0 then begin
+        let c = push_weight ~alpha cur.(u) deg in
+        G.iter_neighbors g u (fun v -> next.(v) <- next.(v) +. c)
+      end
+    done;
+    pr := next
+  done;
+  !pr

@@ -1,0 +1,41 @@
+(** Distributed PageRank over block-distributed CSR graphs.
+
+    Push-style power iteration: each vertex sends
+    [alpha * pr(u) / deg(u)] along its out-edges through a {!Gexchange}
+    variant; dangling mass is folded with the reproducible-reduction
+    plugin (fixed binary tree over the global vertex indices), and
+    contributions are applied in ascending source-vertex order — so the
+    result is {e bitwise identical} for every rank count, every exchange
+    variant, and every schedule, and equals the host-side {!reference}
+    bit for bit. *)
+
+(** The shared scalar kernels, exposed so the resilient variant and the
+    reference perform the exact same operations in the same order. *)
+
+val base_score : alpha:float -> n:int -> dangling:float -> float
+val push_weight : alpha:float -> float -> int -> float
+val dangling_weight : alpha:float -> float -> float
+
+(** [run ?variant kc graph ~alpha ~iters] returns this rank's block of
+    the score vector after [iters] power iterations (damping [alpha],
+    uniform teleport).  Collective; [graph.comm_size] must equal the
+    communicator size. *)
+val run :
+  ?variant:Gexchange.variant ->
+  Kamping.Comm.t ->
+  Graphgen.Distgraph.t ->
+  alpha:float ->
+  iters:int ->
+  float array
+
+(** [reference family ~global_n ~avg_degree ~seed ~alpha ~iters] is the
+    sequential host-side oracle: the full score vector, computed without
+    any communicator, bitwise equal to the concatenated {!run} blocks. *)
+val reference :
+  Graphgen.Generators.family ->
+  global_n:int ->
+  avg_degree:int ->
+  seed:int ->
+  alpha:float ->
+  iters:int ->
+  float array

@@ -1,0 +1,6 @@
+(** The application-gallery benchmark: PageRank exchange-variant
+    crossover, CG halo-transport parity, and streaming-window oracle
+    exactness.  Writes and self-validates [BENCH_apps.json] — [run]
+    raises if any gate fails. *)
+
+val run : unit -> unit

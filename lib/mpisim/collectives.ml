@@ -511,8 +511,12 @@ let spawn_collective comm ~label body =
     ~comm:(Comm.id comm) ~op:label ~at:(World.now w) req;
   let _ : Engine.fiber =
     Engine.spawn w.World.engine ~label (fun () ->
-        body ();
-        Request.complete req { source = -1; tag = 0; count = 0 })
+        match body () with
+        | () -> Request.complete req { source = -1; tag = 0; count = 0 }
+        | exception ((Errors.Process_failed _ | Errors.Comm_revoked) as e) ->
+            (* failure injection: surface on the waiter (ULFM semantics)
+               instead of tearing down the engine from a helper fiber *)
+            Request.abort req e)
   in
   req
 

@@ -127,6 +127,48 @@ let test_sendrecv_replace () =
       Alcotest.(check Tutil.int_array) "rotated" [| prev; prev * 2 |] got)
     results
 
+(* Scenario wave: halo exchange and the neighborhood collectives over a
+   Cart-derived topology, checker-clean on a two-tier fabric (the
+   MPISIM_TOPOLOGY=two:4 shape: 4-rank nodes under a slower top tier). *)
+let test_neighbor_exchange_two_tier () =
+  let ranks = 8 in
+  let fabric = Simnet.Netmodel.fabric_of_spec ~ranks "two:4" in
+  ignore
+    (Tutil.run_checked ~fabric ~ranks (fun comm ->
+         let cart = Cart.create comm ~dims:[| 4; 2 |] ~periodic:[| false; false |] in
+         let r = Comm.rank comm in
+         let c = Cart.coords cart r in
+         (* halos in both dimensions *)
+         let rl = [| -1 |] and rh = [| -1 |] in
+         ignore
+           (Cart.halo_exchange cart Datatype.int ~dim:0 ~send_low:[| r |] ~send_high:[| r |]
+              ~recv_low:rl ~recv_high:rh);
+         if c.(0) > 0 then Alcotest.(check int) "north halo" (r - 2) rl.(0);
+         if c.(0) < 3 then Alcotest.(check int) "south halo" (r + 2) rh.(0);
+         ignore
+           (Cart.halo_exchange cart Datatype.int ~dim:1 ~send_low:[| r |] ~send_high:[| r |]
+              ~recv_low:rl ~recv_high:rh);
+         (* neighborhood collective over the Cart adjacency *)
+         let neighbors = ref [] in
+         Array.iter
+           (fun dim ->
+             match Cart.shift cart ~dim ~disp:1 with
+             | lo, hi ->
+                 Option.iter (fun s -> neighbors := s :: !neighbors) lo;
+                 Option.iter (fun d -> neighbors := d :: !neighbors) hi)
+           [| 0; 1 |];
+         let partners = Array.of_list (List.sort_uniq compare !neighbors) in
+         let topo =
+           Topology.dist_graph_create_adjacent comm ~sources:partners ~destinations:partners
+         in
+         let deg = Array.length partners in
+         let sendbuf = Array.make deg r in
+         let recvbuf = Array.make deg (-1) in
+         Topology.neighbor_alltoall topo Datatype.int ~sendbuf ~recvbuf ~count:1;
+         Array.iteri
+           (fun i p -> Alcotest.(check int) "neighbor id round-trip" p recvbuf.(i))
+           partners))
+
 let suite =
   [
     Alcotest.test_case "dims_create" `Quick test_dims_create;
@@ -138,4 +180,6 @@ let suite =
     Alcotest.test_case "halo exchange on a 2d grid" `Quick test_halo_2d_grid;
     Alcotest.test_case "reduce_scatter_block" `Quick test_reduce_scatter_block;
     Alcotest.test_case "sendrecv_replace" `Quick test_sendrecv_replace;
+    Alcotest.test_case "neighbor exchange on two-tier fabric" `Quick
+      test_neighbor_exchange_two_tier;
   ]

@@ -418,6 +418,14 @@ let test_gallery_resilience () =
   gallery "checkpoint_restart" Gallery.Checkpoint_restart.digest;
   gallery "serving" Gallery.Serving.digest
 
+(* the scenario wave: each digest internally proves variant/transport
+   bit-identity, oracle equality and kill-recovery — re-checked on every
+   explored schedule *)
+let test_gallery_scenarios () =
+  gallery "graph_analytics" Gallery.Graph_analytics.digest;
+  gallery "cg_solver" Gallery.Cg_solver.digest;
+  gallery "stream_windows" Gallery.Stream_windows.digest
+
 (* ------------------------------------------------------------------ *)
 (* Mutation smoke: the harness finds a real, reintroduced bug          *)
 
@@ -534,6 +542,7 @@ let suite =
     Alcotest.test_case "gallery schedule-independent: apps" `Quick test_gallery_apps;
     Alcotest.test_case "gallery schedule-independent: resilience" `Quick
       test_gallery_resilience;
+    Alcotest.test_case "gallery schedule-independent: scenarios" `Quick test_gallery_scenarios;
     Alcotest.test_case "mutation smoke: daly divergence found+shrunk" `Quick
       test_mutation_smoke;
   ]

@@ -143,6 +143,47 @@ let test_rank_partners () =
   let g = G.of_edges ~comm_size:3 ~rank:0 ~global_n:9 edges in
   Alcotest.(check Tutil.int_array) "partners" [| 1; 2 |] (G.rank_partners g)
 
+(* Property (scenario wave): the edge multiset a generator family
+   produces is a function of (family, n, d, seed) only — the same for
+   every rank count and under randomized schedules, when the per-rank
+   slices are generated inside simulated ranks and gathered. *)
+let prop_generator_invariance =
+  let gen =
+    QCheck2.Gen.(
+      map2
+        (fun family (n, ds) -> (family, n, ds))
+        (oneofl [ Gen.Erdos_renyi; Gen.Rgg2d; Gen.Rhg ])
+        (pair (int_range 8 72) (pair (int_range 2 6) (int_range 0 999))))
+  in
+  let edge_codec = Serde.Codec.(list (pair int int)) in
+  let gathered ~p ~family ~n ~d ~seed =
+    let res =
+      Tutil.run ~ranks:p (fun raw ->
+          let g =
+            Gen.generate family ~rank:(Mpisim.Comm.rank raw) ~comm_size:p ~global_n:n
+              ~avg_degree:d ~seed
+          in
+          Kamping.Comm.allgather_serialized (Kamping.Comm.wrap raw) edge_codec (edge_set g))
+    in
+    List.sort compare (List.concat (Array.to_list res.(0)))
+  in
+  Tutil.qtest ~count:25 "generator edge multiset: rank-count and schedule independent" gen
+    (fun (family, n, (d, seed)) ->
+      let reference =
+        List.sort compare
+          (List.concat_map edge_set
+             (List.init 1 (fun rank ->
+                  Gen.generate family ~rank ~comm_size:1 ~global_n:n ~avg_degree:d ~seed)))
+      in
+      List.for_all (fun p -> gathered ~p ~family ~n ~d ~seed = reference) [ 1; 2; 4; 8 ]
+      &&
+      let shuffled, _token =
+        Explore.with_strategy
+          ~strategy:(Explore.Random { seed = seed + 1 })
+          (fun () -> gathered ~p:4 ~family ~n ~d ~seed)
+      in
+      shuffled = reference)
+
 let suite =
   [
     Alcotest.test_case "block_range partitions" `Quick test_block_range_partition;
@@ -155,4 +196,5 @@ let suite =
     prop_owner_consistent;
     Alcotest.test_case "of_edges CSR" `Quick test_of_edges_csr;
     Alcotest.test_case "rank partners" `Quick test_rank_partners;
+    prop_generator_invariance;
   ]

@@ -17,6 +17,7 @@ let () =
       ("checker", Test_checker.suite);
       ("ckpt", Test_ckpt.suite);
       ("trace", Test_trace.suite);
+      ("scenarios", Test_scenarios.suite);
       ("sweep", Test_sweep.suite);
       ("properties", Test_properties.suite);
       ("bindings", Test_bindings.suite);

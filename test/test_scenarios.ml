@@ -1,0 +1,247 @@
+(* Scenario diversity wave: differential and chaos tests for the gallery
+   workloads in lib/apps — PageRank / connected components over the
+   generator families, the CG stencil solver over its three halo
+   transports, and the streaming windowed-analytics pipeline.
+
+   The gallery digests (examples/gallery/{graph_analytics, cg_solver,
+   stream_windows}.ml) already prove oracle equality on the default
+   schedule; these tests add the property-based sweep over process
+   grids (including degenerate 1xN shapes and zero-iteration runs) and
+   the chaos regressions: a kill drawn by the explorer mid-run must
+   recover bit-identically, and the replay token must reproduce it. *)
+
+module K = Kamping.Comm
+module C = Apps.Cg_stencil
+module S = Apps.Stream_analytics
+module Gen = Graphgen.Generators
+module G = Graphgen.Distgraph
+
+(* ------------------------------------------------------------------ *)
+(* CG: cross-transport differential property                           *)
+
+(* (ranks, dims, nx, ny): balanced grids plus the degenerate single-row
+   and single-column decompositions *)
+let cg_shapes =
+  [
+    (1, [| 1; 1 |], 5, 4);
+    (2, [| 2; 1 |], 6, 5);
+    (2, [| 1; 2 |], 5, 6);
+    (4, [| 2; 2 |], 8, 6);
+    (4, [| 4; 1 |], 8, 5);
+    (4, [| 1; 4 |], 5, 8);
+    (6, [| 3; 2 |], 9, 8);
+    (6, [| 1; 6 |], 4, 12);
+  ]
+
+let assemble_cg ~nx ~ny results =
+  let field = Array.make (nx * ny) 0.0 in
+  Array.iter
+    (fun r ->
+      for k = 0 to (r.C.lx * r.C.ly) - 1 do
+        field.(((r.C.gi0 + (k / r.C.ly)) * ny) + r.C.gj0 + (k mod r.C.ly)) <- r.C.x.(k)
+      done)
+    results;
+  field
+
+let prop_cg_transports =
+  let gen =
+    QCheck2.Gen.(
+      map2
+        (fun shape (iters, seed) -> (shape, iters, seed))
+        (oneofl cg_shapes)
+        (pair (int_range 0 6) (int_range 0 999)))
+  in
+  Tutil.qtest ~count:30 "cg: transports bit-identical across grids" gen
+    (fun ((ranks, dims, nx, ny), iters, seed) ->
+      let ref_field, ref_rr = C.reference ~dims ~nx ~ny ~iters ~seed in
+      List.for_all
+        (fun transport ->
+          let rs =
+            Tutil.run ~ranks (fun raw ->
+                C.solve ~transport (K.wrap raw) ~dims ~nx ~ny ~iters ~seed)
+          in
+          assemble_cg ~nx ~ny rs = ref_field && Array.for_all (fun r -> r.C.rr = ref_rr) rs)
+        C.all_transports)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle equality on uneven decompositions, under the checker         *)
+
+let test_pagerank_oracle () =
+  let global_n = 33 and avg_degree = 3 and seed = 11 and alpha = 0.85 and iters = 6 in
+  List.iter
+    (fun family ->
+      let expect = Apps.Pagerank.reference family ~global_n ~avg_degree ~seed ~alpha ~iters in
+      List.iter
+        (fun variant ->
+          let rs =
+            Tutil.run_checked ~ranks:3 (fun raw ->
+                let g =
+                  Gen.generate family ~rank:(Mpisim.Comm.rank raw) ~comm_size:3 ~global_n
+                    ~avg_degree ~seed
+                in
+                Apps.Pagerank.run ~variant (K.wrap raw) g ~alpha ~iters)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s == reference" (Gen.family_name family)
+               (Apps.Gexchange.variant_name variant))
+            true
+            (Array.concat (Array.to_list rs) = expect))
+        Apps.Gexchange.all_variants)
+    [ Gen.Erdos_renyi; Gen.Rhg ]
+
+let test_cc_oracle () =
+  let global_n = 41 and avg_degree = 2 and seed = 3 in
+  let expect = Apps.Conncomp.reference Gen.Rhg ~global_n ~avg_degree ~seed in
+  List.iter
+    (fun variant ->
+      let rs =
+        Tutil.run_checked ~ranks:5 (fun raw ->
+            let g =
+              Gen.generate Gen.Rhg ~rank:(Mpisim.Comm.rank raw) ~comm_size:5 ~global_n
+                ~avg_degree ~seed
+            in
+            Apps.Conncomp.run ~variant (K.wrap raw) g)
+      in
+      Alcotest.(check bool)
+        (Apps.Gexchange.variant_name variant ^ " == union-find")
+        true
+        (Array.concat (Array.to_list rs) = expect))
+    Apps.Gexchange.all_variants
+
+let stream_cfg =
+  {
+    S.n_shards = 5;
+    windows = 2;
+    events_per_shard = 32;
+    n_keys = 9;
+    n_values = 25;
+    topk = 2;
+    threshold = 12;
+    flush_every = 30e-6;
+    seed = 21;
+  }
+
+let test_stream_oracle () =
+  let expect = S.reference stream_cfg in
+  let rs = Tutil.run_checked ~ranks:3 (fun raw -> S.run (K.wrap raw) stream_cfg) in
+  Array.iteri
+    (fun r got ->
+      Alcotest.(check bool) (Printf.sprintf "rank %d == reference" r) true (got = expect))
+    rs
+
+(* ------------------------------------------------------------------ *)
+(* Chaos regressions: explorer-drawn kills recover bit-identically     *)
+
+(* Run [workload] at 4 ranks with a kill of rank 1 drawn inside the
+   window, check the survivors against [check], then prove the replay
+   token round-trips and reproduces the identical execution. *)
+let chaos_recovers name ~seed workload check =
+  let chaos = { Explore.no_chaos with Explore.kills = [ (1, 20.0e-6, 120.0e-6) ] } in
+  let o = Explore.run ~strategy:(Explore.Random { seed }) ~chaos ~ranks:4 workload in
+  match o.Explore.outcome with
+  | Explore.Crashed e -> raise e
+  | Explore.Finished r ->
+      (match r.Mpisim.Mpi.results.(1) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: rank 1 survived the kill window" name);
+      check name r;
+      (* the token survives a print/parse round-trip ... *)
+      let s = Explore.token_to_string o.Explore.token in
+      Alcotest.(check bool) (name ^ ": token round-trip") true
+        (Explore.token_of_string s = o.Explore.token);
+      (* ... and replays the identical execution *)
+      (match (Explore.replay o.Explore.token ~ranks:4 workload).Explore.outcome with
+      | Explore.Crashed e -> raise e
+      | Explore.Finished r' ->
+          Alcotest.(check bool) (name ^ ": replay identical") true
+            (r.Mpisim.Mpi.sim_time = r'.Mpisim.Mpi.sim_time);
+          check (name ^ "[replay]") r')
+
+(* collect (shard, block) pairs from the survivors into the global array *)
+let assemble_shards ~global_n ~n_shards zero results =
+  let out = Array.make global_n zero in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Ok pairs ->
+          List.iter
+            (fun (s, block) ->
+              Hashtbl.replace seen s ();
+              let first, _ = G.block_range ~global_n ~comm_size:n_shards s in
+              Array.blit block 0 out first (Array.length block))
+            pairs
+      | Error _ -> ())
+    results;
+  Alcotest.(check int) "all shards recovered" n_shards (Hashtbl.length seen);
+  out
+
+let test_chaos_pagerank () =
+  let family = Gen.Erdos_renyi and global_n = 48 and avg_degree = 3 and seed = 7 in
+  let alpha = 0.85 and iters = 8 and n_shards = 6 in
+  let expect = Apps.Pagerank.reference family ~global_n ~avg_degree ~seed ~alpha ~iters in
+  chaos_recovers "pagerank" ~seed:101
+    (fun raw ->
+      Apps.Pagerank_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) ~family
+        ~n_shards ~global_n ~avg_degree ~seed ~alpha ~iters)
+    (fun name r ->
+      Alcotest.(check bool) (name ^ ": scores bit-identical") true
+        (assemble_shards ~global_n ~n_shards 0.0 r.Mpisim.Mpi.results = expect))
+
+let test_chaos_cc () =
+  let family = Gen.Rgg2d and global_n = 54 and avg_degree = 4 and seed = 13 and n_shards = 6 in
+  let expect = Apps.Conncomp.reference family ~global_n ~avg_degree ~seed in
+  chaos_recovers "conncomp" ~seed:103
+    (fun raw ->
+      Apps.Conncomp_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) ~family
+        ~n_shards ~global_n ~avg_degree ~seed)
+    (fun name r ->
+      Alcotest.(check bool) (name ^ ": labels bit-identical") true
+        (assemble_shards ~global_n ~n_shards 0 r.Mpisim.Mpi.results = expect))
+
+let test_chaos_cg () =
+  let nx = 18 and ny = 12 and iters = 12 and seed = 31 and n_shards = 6 in
+  let expect_x, expect_rr = C.reference ~dims:[| n_shards; 1 |] ~nx ~ny ~iters ~seed in
+  chaos_recovers "cg" ~seed:107
+    (fun raw ->
+      Apps.Cg_resilient.run ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) ~n_shards ~nx ~ny
+        ~iters ~seed)
+    (fun name r ->
+      let blocks = Array.map (Result.map fst) r.Mpisim.Mpi.results in
+      (* rows divide evenly (nx = 18, 6 shards), so each shard's row block
+         is also its contiguous block of the flat field *)
+      Alcotest.(check bool) (name ^ ": solution bit-identical") true
+        (assemble_shards ~global_n:(nx * ny) ~n_shards 0.0 blocks = expect_x);
+      Array.iter
+        (function
+          | Ok (_, rr) ->
+              Alcotest.(check bool) (name ^ ": residual bit-identical") true (rr = expect_rr)
+          | Error _ -> ())
+        r.Mpisim.Mpi.results)
+
+let test_chaos_stream () =
+  let expect = S.reference stream_cfg in
+  chaos_recovers "stream" ~seed:109
+    (fun raw -> S.resilient ~policy:(Ckpt.Schedule.Every_n 1) (K.wrap raw) stream_cfg)
+    (fun name r ->
+      let survivors =
+        List.filter_map
+          (function Ok v -> Some v | Error _ -> None)
+          (Array.to_list r.Mpisim.Mpi.results)
+      in
+      Alcotest.(check bool) (name ^ ": has survivors") true (survivors <> []);
+      List.iter
+        (fun got ->
+          Alcotest.(check bool) (name ^ ": windows bit-identical") true (got = expect))
+        survivors)
+
+let suite =
+  [
+    prop_cg_transports;
+    Alcotest.test_case "pagerank oracle (uneven blocks)" `Quick test_pagerank_oracle;
+    Alcotest.test_case "conncomp oracle (uneven blocks)" `Quick test_cc_oracle;
+    Alcotest.test_case "stream oracle (uneven shards)" `Quick test_stream_oracle;
+    Alcotest.test_case "chaos: pagerank recovers bit-identically" `Quick test_chaos_pagerank;
+    Alcotest.test_case "chaos: conncomp recovers bit-identically" `Quick test_chaos_cc;
+    Alcotest.test_case "chaos: cg recovers bit-identically" `Quick test_chaos_cg;
+    Alcotest.test_case "chaos: stream recovers bit-identically" `Quick test_chaos_stream;
+  ]

@@ -43,6 +43,9 @@ let suite =
     example "tracing_example" Gallery.Tracing_example.run;
     example "checkpoint_restart" Gallery.Checkpoint_restart.run;
     example "serving" Gallery.Serving.run;
+    example "graph_analytics" Gallery.Graph_analytics.run;
+    example "cg_solver" Gallery.Cg_solver.run;
+    example "stream_windows" Gallery.Stream_windows.run;
     Alcotest.test_case "overhead: PMPI equality under checker" `Quick test_overhead_profiles;
     Alcotest.test_case "overhead: sort kernel clean" `Quick test_overhead_sort_kernel;
   ]

@@ -417,7 +417,10 @@ let test_gallery_apps_two_tier () =
       gallery "bfs_example@two:4" Gallery.Bfs_example.digest;
       gallery "fault_tolerance@two:4" Gallery.Fault_tolerance.digest;
       gallery "checkpoint_restart@two:4" Gallery.Checkpoint_restart.digest;
-      gallery "serving@two:4" Gallery.Serving.digest)
+      gallery "serving@two:4" Gallery.Serving.digest;
+      gallery "graph_analytics@two:4" Gallery.Graph_analytics.digest;
+      gallery "cg_solver@two:4" Gallery.Cg_solver.digest;
+      gallery "stream_windows@two:4" Gallery.Stream_windows.digest)
 
 let suite =
   [
